@@ -1,0 +1,130 @@
+// Package repro's benchmark harness regenerates every table and figure
+// of the thesis evaluation as a testing.B benchmark: each bench runs the
+// corresponding experiment from internal/experiments (quick sweeps, so
+// `go test -bench=.` finishes in minutes) and reports the headline
+// metric where one exists. Run `go run ./cmd/ipcmodel -all` for the full
+// paper-scale sweeps.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/models"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// benchExperiment runs a registered experiment once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := experiments.Config{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Chapter 3: profiling tables -----------------------------------------
+
+func BenchmarkTable3_1_CharlotteProfiling(b *testing.B) { benchExperiment(b, "T3.1") }
+func BenchmarkTable3_2_JasminProfiling(b *testing.B)    { benchExperiment(b, "T3.2") }
+func BenchmarkTable3_3_925Profiling(b *testing.B)       { benchExperiment(b, "T3.3") }
+func BenchmarkTable3_4_UnixLocal(b *testing.B)          { benchExperiment(b, "T3.4") }
+func BenchmarkTable3_5_UnixNonLocal(b *testing.B)       { benchExperiment(b, "T3.5") }
+func BenchmarkTable3_6_UnixServers(b *testing.B)        { benchExperiment(b, "T3.6") }
+func BenchmarkTable3_7_UnixReadWrite(b *testing.B)      { benchExperiment(b, "T3.7") }
+
+// --- Chapter 5: smart bus tables ------------------------------------------
+
+func BenchmarkTable5_1_SmartBusSignals(b *testing.B)  { benchExperiment(b, "T5.1") }
+func BenchmarkTable5_2_SmartBusCommands(b *testing.B) { benchExperiment(b, "T5.2") }
+
+// --- Chapter 6: timing and model tables ------------------------------------
+
+func BenchmarkTable6_1_PrimitiveTimes(b *testing.B)        { benchExperiment(b, "T6.1") }
+func BenchmarkTable6_2_ContentionModel(b *testing.B)       { benchExperiment(b, "T6.2") }
+func BenchmarkTable6_4_ArchILocal(b *testing.B)            { benchExperiment(b, "T6.4") }
+func BenchmarkTable6_6_ArchINonLocal(b *testing.B)         { benchExperiment(b, "T6.6") }
+func BenchmarkTable6_9_ArchIILocal(b *testing.B)           { benchExperiment(b, "T6.9") }
+func BenchmarkTable6_11_ArchIINonLocal(b *testing.B)       { benchExperiment(b, "T6.11") }
+func BenchmarkTable6_14_ArchIIILocal(b *testing.B)         { benchExperiment(b, "T6.14") }
+func BenchmarkTable6_16_ArchIIINonLocal(b *testing.B)      { benchExperiment(b, "T6.16") }
+func BenchmarkTable6_19_ArchIVLocal(b *testing.B)          { benchExperiment(b, "T6.19") }
+func BenchmarkTable6_21_ArchIVNonLocal(b *testing.B)       { benchExperiment(b, "T6.21") }
+func BenchmarkTable6_24_OfferedLoadsLocal(b *testing.B)    { benchExperiment(b, "T6.24") }
+func BenchmarkTable6_25_OfferedLoadsNonLocal(b *testing.B) { benchExperiment(b, "T6.25") }
+
+// --- Chapter 6: result figures ---------------------------------------------
+
+func BenchmarkFigure6_7_GeometricDelays(b *testing.B)           { benchExperiment(b, "F6.7") }
+func BenchmarkFigure6_15_ModelValidation(b *testing.B)          { benchExperiment(b, "F6.15") }
+func BenchmarkFigure6_17a_MaxLoadLocal(b *testing.B)            { benchExperiment(b, "F6.17a") }
+func BenchmarkFigure6_17b_MaxLoadNonLocal(b *testing.B)         { benchExperiment(b, "F6.17b") }
+func BenchmarkFigure6_18_RealisticLocal(b *testing.B)           { benchExperiment(b, "F6.18") }
+func BenchmarkFigure6_19_RealisticNonLocal(b *testing.B)        { benchExperiment(b, "F6.19") }
+func BenchmarkFigure6_20_MaxLoadIIIvsIVLocal(b *testing.B)      { benchExperiment(b, "F6.20") }
+func BenchmarkFigure6_21_MaxLoadIIIvsIVNonLocal(b *testing.B)   { benchExperiment(b, "F6.21") }
+func BenchmarkFigure6_22_RealisticIIIvsIVLocal(b *testing.B)    { benchExperiment(b, "F6.22") }
+func BenchmarkFigure6_23_RealisticIIIvsIVNonLocal(b *testing.B) { benchExperiment(b, "F6.23") }
+
+// --- Appendix A -------------------------------------------------------------
+
+func BenchmarkTableA_1_MicrocodedController(b *testing.B) { benchExperiment(b, "TA.1") }
+
+// --- Ablations and extensions -----------------------------------------------
+
+func BenchmarkAblationFrontEnd(b *testing.B)   { benchExperiment(b, "X1") }
+func BenchmarkExtensionMultiHost(b *testing.B) { benchExperiment(b, "X2") }
+func BenchmarkCopyCrossover(b *testing.B)      { benchExperiment(b, "X3") }
+
+// --- Engine micro-benchmarks ------------------------------------------------
+//
+// Not paper artifacts, but useful health checks on the substrates the
+// experiments stand on: the exact GTPN solve, the model fixed point, and
+// the machine-level kernel round trip.
+
+func BenchmarkGTPNSolveLocalArchII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := models.BuildLocal(timing.ArchII, 2, 1, 2850)
+		res, err := m.Solve(models.SolveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Throughput*1e6, "trips/s")
+			b.ReportMetric(float64(res.States), "states")
+		}
+	}
+}
+
+func BenchmarkNonLocalFixedPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := models.SolveNonLocal(timing.ArchIII, 2, 1, 1140, models.SolveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Iterations), "iterations")
+		}
+	}
+}
+
+func BenchmarkMachineRoundTrips(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := machine.NewLocal(timing.ArchII, machine.Config{Seed: uint64(i) + 1})
+		res := m.Run(workload.Params{Conversations: 2, ComputeMean: 1140 * des.Microsecond}, 2*des.Second)
+		if res.RoundTrips == 0 {
+			b.Fatal("no round trips")
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command ipcmodel regenerates the thesis evaluation: it solves the
+// chapter 6 GTPN architecture models and prints any table or figure of
+// the paper by id.
+//
+// Usage:
+//
+//	ipcmodel -list              list experiment ids
+//	ipcmodel -id F6.18          regenerate one table/figure
+//	ipcmodel -all               regenerate everything
+//	ipcmodel -quick ...         trim the sweeps (2 conversations)
+//	ipcmodel -arch 2 -n 3 -x 2850 -nonlocal
+//	                            solve one model point directly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/models"
+	"repro/internal/timing"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiment ids")
+		id       = flag.String("id", "", "regenerate one experiment by id (e.g. T6.1, F6.18)")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		quick    = flag.Bool("quick", false, "trim sweeps for a fast pass")
+		plotFigs = flag.Bool("plot", false, "render figure experiments as ASCII charts")
+		arch     = flag.Int("arch", 0, "solve one point: architecture 1-4")
+		n        = flag.Int("n", 1, "solve one point: simultaneous conversations")
+		x        = flag.Float64("x", 0, "solve one point: mean server compute time (us)")
+		hosts    = flag.Int("hosts", 1, "solve one point: host processors per node")
+		nonlocal = flag.Bool("nonlocal", false, "solve one point: non-local conversations")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Quick: *quick, Plot: *plotFigs}
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case *id != "":
+		e, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ipcmodel: unknown experiment %q (try -list)\n", *id)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "ipcmodel: %v\n", err)
+			os.Exit(1)
+		}
+	case *all:
+		if err := experiments.RunAll(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "ipcmodel: %v\n", err)
+			os.Exit(1)
+		}
+	case *arch != 0:
+		if *arch < 1 || *arch > 4 {
+			fmt.Fprintln(os.Stderr, "ipcmodel: -arch must be 1..4")
+			os.Exit(1)
+		}
+		a := timing.Arch(*arch)
+		if *nonlocal {
+			res, err := models.SolveNonLocal(a, *n, *hosts, *x, models.SolveOptions{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ipcmodel: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("architecture %v, non-local, n=%d, X=%.0f us, hosts=%d\n", a, *n, *x, *hosts)
+			fmt.Printf("  throughput      %.2f round trips/s\n", res.Throughput*1e6)
+			fmt.Printf("  round trip      %.1f us\n", res.RoundTrip)
+			fmt.Printf("  server delay Sd %.1f us, client gap Cd %.1f us\n", res.Sd, res.Cd)
+			fmt.Printf("  fixed point in %d iterations (states: client %d, server %d)\n",
+				res.Iterations, res.ClientStates, res.ServerStates)
+			return
+		}
+		res, err := models.BuildLocal(a, *n, *hosts, *x).Solve(models.SolveOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipcmodel: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("architecture %v, local, n=%d, X=%.0f us, hosts=%d\n", a, *n, *x, *hosts)
+		fmt.Printf("  throughput %.2f round trips/s\n", res.Throughput*1e6)
+		fmt.Printf("  round trip %.1f us\n", res.RoundTrip)
+		fmt.Printf("  states     %d\n", res.States)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

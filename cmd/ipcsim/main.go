@@ -1,0 +1,82 @@
+// Command ipcsim runs the machine-level discrete-event simulation of one
+// of the four node architectures under the §6.3 conversation workload
+// and, optionally, compares it with the analytical model — the Figure
+// 6.15 validation from the command line.
+//
+// Usage:
+//
+//	ipcsim -arch 2 -n 3 -x 2850            local conversations
+//	ipcsim -arch 2 -n 3 -x 2850 -nonlocal  clients node 0, servers node 1
+//	ipcsim ... -validate                   also solve the model and compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/models"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		arch     = flag.Int("arch", 2, "architecture 1-4")
+		n        = flag.Int("n", 2, "simultaneous conversations")
+		x        = flag.Int64("x", 0, "mean server compute time (us)")
+		hosts    = flag.Int("hosts", 1, "host processors per node")
+		nonlocal = flag.Bool("nonlocal", false, "non-local conversations over the token ring")
+		seconds  = flag.Int64("seconds", 20, "simulated horizon")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		validate = flag.Bool("validate", false, "compare against the GTPN model")
+	)
+	flag.Parse()
+	if *arch < 1 || *arch > 4 {
+		fmt.Fprintln(os.Stderr, "ipcsim: -arch must be 1..4")
+		os.Exit(1)
+	}
+	a := timing.Arch(*arch)
+	cfg := machine.Config{Hosts: *hosts, Seed: *seed}
+	var m *machine.Machine
+	if *nonlocal {
+		m = machine.NewNonLocal(a, cfg)
+	} else {
+		m = machine.NewLocal(a, cfg)
+	}
+	p := workload.Params{Conversations: *n, ComputeMean: *x * des.Microsecond}
+	res := m.Run(p, *seconds*des.Second)
+
+	locality := "local"
+	if *nonlocal {
+		locality = "non-local"
+	}
+	fmt.Printf("architecture %v, %s, n=%d, X=%d us, hosts=%d, %ds simulated\n",
+		a, locality, *n, *x, *hosts, *seconds)
+	fmt.Printf("  round trips     %d\n", res.RoundTrips)
+	fmt.Printf("  throughput      %.2f round trips/s\n", res.Throughput*1e6)
+	fmt.Printf("  mean round trip %.1f us\n", res.MeanRoundTrip)
+
+	if *validate {
+		var tput float64
+		if *nonlocal {
+			sol, err := models.SolveNonLocal(a, *n, *hosts, float64(*x), models.SolveOptions{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ipcsim: model: %v\n", err)
+				os.Exit(1)
+			}
+			tput = sol.Throughput
+		} else {
+			sol, err := models.BuildLocal(a, *n, *hosts, float64(*x)).Solve(models.SolveOptions{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ipcsim: model: %v\n", err)
+				os.Exit(1)
+			}
+			tput = sol.Throughput
+		}
+		dev := (res.Throughput - tput) / tput * 100
+		fmt.Printf("  model           %.2f round trips/s (simulation %+.1f%%)\n", tput*1e6, dev)
+	}
+}

@@ -1,0 +1,43 @@
+// Command mcasm prints the smart memory controller's microprogram: the
+// assembled Appendix A micro-routines with addresses, encodings, and
+// disassembly, followed by the control-store and chip-size accounting
+// the thesis gives in §5.5 and Table A.1. With -exec it also runs a
+// sample transaction and prints the response with its micro-cycle count.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/microcode"
+)
+
+func main() {
+	exec := flag.Bool("exec", false, "run a demo enqueue/first transaction pair")
+	flag.Parse()
+
+	c := microcode.New()
+	fmt.Println("smart memory controller microprogram (Appendix A)")
+	fmt.Println()
+	for i, m := range c.Program() {
+		fmt.Printf("%3d  %07x  %s\n", i, m.Encode(), m)
+	}
+	fmt.Println()
+	fmt.Printf("control store: %d instructions x %d bits = %d bits (thesis budget: under 3000)\n",
+		len(c.Program()), microcode.BitsPerInstruction, c.MicrocodeBits())
+	fmt.Printf("data path: %d active components (thesis: roughly 6000)\n",
+		microcode.TotalComponents(microcode.DataPathComponents()))
+	fmt.Printf("sequencer: %d active components (thesis: roughly 1000)\n",
+		microcode.TotalComponents(microcode.SequencerComponents()))
+
+	if *exec {
+		fmt.Println()
+		out, err := c.Exec(bus.CmdEnqueue, []uint16{0x0010, 0x0100})
+		fmt.Printf("enqueue(0x10, 0x100): out=%v err=%v cycles=%d\n", out, err, c.LastCycles)
+		out, err = c.Exec(bus.CmdEnqueue, []uint16{0x0010, 0x0200})
+		fmt.Printf("enqueue(0x10, 0x200): out=%v err=%v cycles=%d\n", out, err, c.LastCycles)
+		out, err = c.Exec(bus.CmdFirst, []uint16{0x0010})
+		fmt.Printf("first(0x10):          out=%#04x err=%v cycles=%d\n", out, err, c.LastCycles)
+	}
+}

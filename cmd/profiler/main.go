@@ -1,0 +1,33 @@
+// Command profiler reproduces the chapter 3 measurement study: it runs
+// the instrumented miniature kernels (Charlotte, Jasmin, 925, Unix local
+// and non-local) through the §3.3 profiling machinery and prints the
+// round-trip breakdowns of Tables 3.1-3.5, plus the Unix service-time
+// tables 3.6 and 3.7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "fewer kernel-run rounds")
+	flag.Parse()
+	cfg := experiments.Config{Quick: *quick}
+	for _, id := range []string{"T3.1", "T3.2", "T3.3", "T3.4", "T3.5", "T3.6", "T3.7"} {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "profiler: experiment %s not registered\n", id)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

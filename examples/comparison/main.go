@@ -1,0 +1,56 @@
+// Comparison: the chapter 6 headline experiment as a program — sweep the
+// four node architectures over a range of offered loads and print
+// Figure 6.18-style series (message throughput versus offered load for
+// local conversations), showing where the message coprocessor and the
+// smart bus pay off.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+)
+
+func main() {
+	n := flag.Int("n", 3, "simultaneous conversations")
+	nonlocal := flag.Bool("nonlocal", false, "non-local conversations")
+	flag.Parse()
+
+	archs := []core.Arch{core.Uniprocessor, core.MessageCoprocessor, core.SmartBus, core.PartitionedBus}
+	serverMS := []float64{0, 0.57, 1.14, 2.85, 5.7, 11.4, 22.8}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "S (ms)\tload(I)\tI\tII\tIII\tIV\t(round trips/s, n=%d)\n", *n)
+	var base []float64
+	for _, s := range serverMS {
+		row := fmt.Sprintf("%.2f", s)
+		var loadI float64
+		for i, a := range archs {
+			sys := core.New(a)
+			p, err := sys.Analyze(core.Workload{
+				Conversations:   *n,
+				ServerComputeUS: s * 1000,
+				NonLocal:        *nonlocal,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				loadI = p.OfferedLoad
+				row += fmt.Sprintf("\t%.3f", loadI)
+				base = append(base, p.Throughput)
+			}
+			row += fmt.Sprintf("\t%.1f", p.Throughput)
+		}
+		fmt.Fprintln(tw, row)
+	}
+	tw.Flush()
+	fmt.Println("\nreading the series: architecture I is flat; II gains by pipelining host and")
+	fmt.Println("MP as load mixes communication and computation; III widens the gain with")
+	fmt.Println("smart-bus primitives; IV differs from III only marginally — shared memory")
+	fmt.Println("is not the bottleneck (the thesis's §6.9 conclusions).")
+}

@@ -1,0 +1,108 @@
+// Fileserver: the Figure 4.2 scenario on the simulated 925 kernel. An
+// editor asks a file server for pages of a file by sending a fixed-size
+// message that encloses a memory reference into the editor's own address
+// space; the server moves the page directly into that buffer with the
+// kernel's memory-move primitive and replies, completing the rendezvous.
+// Server computation per request uses the measured Unix file-system
+// read/write times of Table 3.7.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/kernel"
+	"repro/internal/profile"
+)
+
+const pageSize = 1024
+
+func main() {
+	node := core.NewNode(core.MessageCoprocessor)
+	defer node.Kernel.Shutdown()
+
+	// The file server: owns "fs", serves read-page and write-page
+	// requests against an in-memory 64-page file.
+	node.Kernel.Spawn("fileserver", func(ts *kernel.Task) {
+		file := make([]byte, 64*pageSize)
+		for i := range file {
+			file[i] = byte(i % 251)
+		}
+		svc := ts.CreateService("fs")
+		ts.Advertise("fs", svc)
+		if err := ts.Offer(svc); err != nil {
+			log.Fatal(err)
+		}
+		for {
+			m, err := ts.Receive(svc)
+			if err != nil {
+				return
+			}
+			op, page := m.Data[0], int(m.Data[1])
+			off := page * pageSize
+			switch op {
+			case 'r':
+				// Compute like a real file server (Table 3.7), then move
+				// the page straight into the editor's buffer.
+				ts.Compute(int64(profile.FileServerTime(pageSize, false)) * des.Microsecond)
+				if err := ts.MoveTo(m, 0, file[off:off+pageSize]); err != nil {
+					log.Fatalf("fileserver: move to editor: %v", err)
+				}
+			case 'w':
+				ts.Compute(int64(profile.FileServerTime(pageSize, true)) * des.Microsecond)
+				data, err := ts.MoveFrom(m, 0, pageSize)
+				if err != nil {
+					log.Fatalf("fileserver: move from editor: %v", err)
+				}
+				copy(file[off:], data)
+			}
+			if err := ts.Reply(m, []byte{'k'}); err != nil {
+				log.Fatalf("fileserver: reply: %v", err)
+			}
+		}
+	})
+
+	// The editor: reads page 7, modifies it, writes it back, re-reads it.
+	node.Kernel.Spawn("editor", func(ts *kernel.Task) {
+		fs, ok := ts.Lookup("fs")
+		for !ok {
+			ts.Yield()
+			fs, ok = ts.Lookup("fs")
+		}
+		buf := 0x1000 // page buffer in the editor's address space
+
+		read := func(page byte) {
+			ref := ts.NewMemoryRef(buf, pageSize, kernel.RightWrite)
+			if _, err := ts.Call(fs, []byte{'r', page}, ref); err != nil {
+				log.Fatalf("editor: read: %v", err)
+			}
+		}
+		write := func(page byte) {
+			ref := ts.NewMemoryRef(buf, pageSize, kernel.RightRead)
+			if _, err := ts.Call(fs, []byte{'w', page}, ref); err != nil {
+				log.Fatalf("editor: write: %v", err)
+			}
+		}
+
+		start := ts.Now()
+		read(7)
+		fmt.Printf("read page 7: first bytes % x (%.2f ms)\n",
+			ts.Mem[buf:buf+4], float64(ts.Now()-start)/float64(des.Millisecond))
+
+		for i := 0; i < 8; i++ {
+			ts.Mem[buf+i] = 'E'
+		}
+		write(7)
+		for i := range ts.Mem[buf : buf+pageSize] {
+			ts.Mem[buf+i] = 0
+		}
+		read(7)
+		fmt.Printf("after edit+writeback, page 7 starts %q\n", ts.Mem[buf:buf+8])
+		fmt.Printf("three rendezvous took %.2f ms of simulated time\n",
+			float64(ts.Now()-start)/float64(des.Millisecond))
+	})
+
+	node.Eng.Run(10 * des.Second)
+}

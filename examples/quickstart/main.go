@@ -1,0 +1,42 @@
+// Quickstart: build the thesis's message-coprocessor node architecture,
+// predict its IPC throughput analytically, then confirm the prediction
+// with the machine-level simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// Architecture II: host + message coprocessor (Figure 6.2).
+	sys := core.New(core.MessageCoprocessor, core.WithSeed(7))
+
+	// Three clients converse with three servers; each request costs the
+	// server 2.85 ms of computation (a mid-range Unix service, Table 3.6).
+	w := core.Workload{Conversations: 3, ServerComputeUS: 2850}
+
+	pred, err := sys.Analyze(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytical model: %.1f round trips/s (round trip %.2f ms, offered load %.2f, %d states)\n",
+		pred.Throughput, pred.RoundTripUS/1000, pred.OfferedLoad, pred.States)
+
+	meas, err := sys.Measure(w, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine simulation: %.1f round trips/s over %d rendezvous (round trip %.2f ms)\n",
+		meas.Throughput, meas.RoundTrips, meas.RoundTripUS/1000)
+
+	// The same workload on the plain uniprocessor, for contrast.
+	uni, err := core.New(core.Uniprocessor).Analyze(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uniprocessor baseline: %.1f round trips/s -> coprocessor gain %.2fx\n",
+		uni.Throughput, pred.Throughput/uni.Throughput)
+}

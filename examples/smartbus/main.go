@@ -1,0 +1,90 @@
+// Smartbus: drive the chapter 5 smart bus directly. The program builds
+// the singly-linked circular lists the kernel keeps in shared memory
+// (computation list, communication list, free lists) with atomic
+// enqueue/first transactions, then shows the bus's defining feature: a
+// long, low-priority block transfer being multiplexed with
+// higher-priority queue manipulation without aborting — the memory's tag
+// table resumes the stream where it left off.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/des"
+)
+
+// Shared-memory layout: list cells at the well-known locations, task
+// control blocks and kernel buffers above them (§5.1).
+const (
+	commListCell = 0x0010 // communication list tail pointer
+	compListCell = 0x0012 // computation list tail pointer
+	tcb0         = 0x0100 // task control blocks, 0x40 apart
+	kbuf0        = 0x4000 // kernel buffers, 40 bytes each
+)
+
+func main() {
+	eng := des.New(3)
+	b := bus.New(eng)
+	host := b.AttachUnit("host", 2)
+	mp := b.AttachUnit("mp", 4)
+	nic := b.AttachUnit("nic", 1)
+
+	fmt.Println("== task makes a communication request: host enqueues its TCB ==")
+	host.Enqueue(commListCell, tcb0, func() {
+		host.Enqueue(commListCell, tcb0+0x40, func() {
+			fmt.Printf("  t=%.2fus  communication list holds 2 TCBs (len=%d)\n",
+				us(eng), b.Ctrl.Mem.ListLen(commListCell))
+		})
+	})
+	eng.Run(des.Millisecond)
+
+	fmt.Println("== MP takes the first TCB, processes it, readies the task ==")
+	mp.First(commListCell, func(tcbAddr uint16) {
+		fmt.Printf("  t=%.2fus  first control block -> %#04x\n", us(eng), tcbAddr)
+		mp.Enqueue(compListCell, tcbAddr, func() {
+			fmt.Printf("  t=%.2fus  TCB moved to the computation list\n", us(eng))
+		})
+	})
+	eng.Run(2 * des.Millisecond)
+
+	fmt.Println("== NIC DMAs a packet into a kernel buffer while the MP keeps working ==")
+	packet := make([]byte, 40)
+	for i := range packet {
+		packet[i] = byte(0xA0 + i)
+	}
+	nic.WriteBlock(kbuf0, packet, func() {
+		fmt.Printf("  t=%.2fus  40-byte packet landed in kernel buffer\n", us(eng))
+	})
+	// Mid-stream, the MP performs queue work at higher priority.
+	eng.At(eng.Now()+2*des.Microsecond, func() {
+		mp.First(compListCell, func(tcbAddr uint16) {
+			fmt.Printf("  t=%.2fus  (MP dequeued %#04x between the NIC's data bursts)\n", us(eng), tcbAddr)
+		})
+	})
+	eng.Run(3 * des.Millisecond)
+
+	fmt.Println("== host reads the buffer back through the bus ==")
+	host.ReadBlock(kbuf0, 40, func(data []byte) {
+		ok := true
+		for i := range data {
+			if data[i] != packet[i] {
+				ok = false
+			}
+		}
+		fmt.Printf("  t=%.2fus  read back %d bytes, intact despite multiplexing: %v\n",
+			us(eng), len(data), ok)
+	})
+	eng.Run(4 * des.Millisecond)
+
+	fmt.Printf("\nbus totals: %d grants, %d edges (%.2f us busy), commands: ",
+		b.Stats.Grants, b.Stats.Edges, float64(b.Stats.BusyTicks)/float64(des.Microsecond))
+	for _, c := range bus.Commands() {
+		if n := b.Stats.ByCommand[c]; n > 0 {
+			fmt.Printf("[%s x%d] ", c, n)
+		}
+	}
+	fmt.Println()
+}
+
+func us(eng *des.Engine) float64 { return float64(eng.Now()) / float64(des.Microsecond) }

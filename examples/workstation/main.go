@@ -1,0 +1,87 @@
+// Workstation: the office-workstation setting that motivated the 925
+// project, assembled from this library's pieces. The node runs the
+// message-based operating system — the IPC kernel on a message
+// coprocessor (architecture II costs) plus the trusted system servers
+// (file, directory, timer, with the thesis's measured Table 3.6/3.7
+// service times) — and an "editor" application works a session against
+// them entirely over IPC: make a project directory, create a document,
+// write and re-read pages through memory references, nap on the timer.
+// The run ends with the §3.5 split of system time between communication
+// (the kernel) and computation (the servers).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/kernel"
+	"repro/internal/servers"
+)
+
+func main() {
+	node := core.NewNode(core.MessageCoprocessor)
+	defer node.Kernel.Shutdown()
+	servers.StartAll(node.Kernel)
+
+	node.Kernel.Spawn("editor", func(ts *kernel.Task) {
+		c := servers.NewClient(ts)
+		start := ts.Now()
+
+		if err := c.Mkdir("thesis"); err != nil {
+			log.Fatal(err)
+		}
+		fd, err := c.Open()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Write four 1 KB pages, then read them back.
+		page := make([]byte, 1024)
+		var inServers int64
+		for i := 0; i < 4; i++ {
+			for j := range page {
+				page[j] = byte('a' + i)
+			}
+			t0 := ts.Now()
+			if err := c.Write(fd, i*1024, 0x1000, page); err != nil {
+				log.Fatal(err)
+			}
+			inServers += ts.Now() - t0
+		}
+		for i := 0; i < 4; i++ {
+			t0 := ts.Now()
+			data, err := c.Read(fd, i*1024, 1024, 0x2000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			inServers += ts.Now() - t0
+			if data[0] != byte('a'+i) {
+				log.Fatalf("page %d corrupted: %q", i, data[:4])
+			}
+		}
+
+		if err := c.Sleep(2000); err != nil { // a 2 ms think pause
+			log.Fatal(err)
+		}
+		if err := c.Close(fd); err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Rmdir("thesis"); err != nil {
+			log.Fatal(err)
+		}
+
+		total := ts.Now() - start
+		fmt.Printf("session: mkdir, open, 4 writes + 4 reads of 1 KB, sleep, close, rmdir\n")
+		fmt.Printf("  wall time        %8.2f ms of simulated time\n", ms(total))
+		fmt.Printf("  in file calls    %8.2f ms (server computation + their IPC)\n", ms(inServers))
+		fmt.Printf("file round trips ran over architecture II (message coprocessor) costs;\n")
+		fmt.Printf("server times are the thesis's Unix measurements (Tables 3.6/3.7), so\n")
+		fmt.Printf("system time splits between kernel and servers as §3.5 observed.\n")
+	})
+
+	node.Eng.Run(120 * des.Second)
+}
+
+func ms(ticks int64) float64 { return float64(ticks) / float64(des.Millisecond) }

@@ -1,0 +1,61 @@
+package bus
+
+// Arbitrate runs Taub's distributed arbitration (§5.4, Figure 5.17) over
+// the 3-bit bus-request numbers of the contenders and returns the winning
+// number. Each contender drives the wired-or BR lines according to the
+// recurrence
+//
+//	OK_0 = 1
+//	OK_i = (~BR_{i-1} | br_{i-1}) & OK_{i-1}
+//	BR_i = OK_i & br_i
+//
+// and withdraws bit by bit until the lines settle; the unit whose number
+// matches the settled lines is the master-elect. The settled value is the
+// maximum contender number, which the implementation computes by
+// simulating the wired-or settling rather than by calling max, so the
+// recurrence itself is what the tests exercise.
+func Arbitrate(contenders []uint8) (winner uint8, ok bool) {
+	if len(contenders) == 0 {
+		return 0, false
+	}
+	const bits = 3
+	var br [bits]bool
+	// Iterate to a fixed point: with 3 bits the lines settle within a few
+	// rounds (the physical bus settles within one ANC handshake).
+	for round := 0; round < bits+1; round++ {
+		var next [bits]bool
+		for _, c := range contenders {
+			okLine := true
+			for i := 0; i < bits; i++ {
+				// Bit numbering follows the thesis: br_0 is the most
+				// significant bit.
+				bit := c>>(bits-1-i)&1 == 1
+				if i > 0 {
+					prevBit := c>>(bits-i)&1 == 1
+					okLine = okLine && (!br[i-1] || prevBit)
+				}
+				if okLine && bit {
+					next[i] = true
+				}
+			}
+		}
+		if next == br {
+			break
+		}
+		br = next
+	}
+	var settled uint8
+	for i := 0; i < bits; i++ {
+		if br[i] {
+			settled |= 1 << (bits - 1 - i)
+		}
+	}
+	for _, c := range contenders {
+		if c == settled {
+			return settled, true
+		}
+	}
+	// Cannot happen with distinct request numbers; with duplicates the
+	// settled value still matches one of them.
+	return settled, false
+}

@@ -1,0 +1,52 @@
+package bus
+
+import "repro/internal/memory"
+
+// Backend is the smart shared memory a Bus drives: the functional
+// operations behind each bus transaction. Two implementations exist —
+// the behavioral controller in package memory (the default) and the
+// Appendix A microcoded controller in package microcode, which plugs in
+// here so the full bus stack can run on actual microcode. Both must be
+// observationally identical; the bus-level differential test holds them
+// to it.
+type Backend interface {
+	// Enqueue atomically appends the control block to the list.
+	Enqueue(list, elem uint16) error
+	// First atomically dequeues and returns the head (or memory.Null).
+	First(list uint16) uint16
+	// Dequeue atomically removes an arbitrary element, reporting whether
+	// it was present.
+	Dequeue(list, elem uint16) bool
+	// ReadWord and WriteWord are the simple read / write-two-bytes
+	// transactions; SetByte is write-byte.
+	ReadWord(addr uint16) uint16
+	WriteWord(addr, v uint16)
+	SetByte(addr uint16, b byte)
+	// RegisterBlock records a block request in the tag table.
+	RegisterBlock(addr, count uint16, dir memory.Dir, owner int) (memory.Tag, error)
+	// ReadData and WriteData stream a registered block in bursts.
+	ReadData(t memory.Tag, maxWords int) (data []byte, done bool, err error)
+	WriteData(t memory.Tag, p []byte) (done bool, err error)
+}
+
+// ctrlBackend adapts the behavioral controller to the Backend interface.
+type ctrlBackend struct{ c *memory.Controller }
+
+func (b ctrlBackend) Enqueue(list, elem uint16) error { return b.c.Mem.Enqueue(list, elem) }
+func (b ctrlBackend) First(list uint16) uint16        { return b.c.Mem.First(list) }
+func (b ctrlBackend) Dequeue(list, elem uint16) bool  { return b.c.Mem.Dequeue(list, elem) }
+func (b ctrlBackend) ReadWord(addr uint16) uint16     { return b.c.Mem.ReadWord(addr) }
+func (b ctrlBackend) WriteWord(addr, v uint16)        { b.c.Mem.WriteWord(addr, v) }
+func (b ctrlBackend) SetByte(addr uint16, v byte)     { b.c.Mem.SetByte(addr, v) }
+func (b ctrlBackend) RegisterBlock(addr, count uint16, dir memory.Dir, owner int) (memory.Tag, error) {
+	return b.c.BlockTransfer(addr, count, dir, owner)
+}
+func (b ctrlBackend) ReadData(t memory.Tag, maxWords int) ([]byte, bool, error) {
+	return b.c.ReadData(t, maxWords)
+}
+func (b ctrlBackend) WriteData(t memory.Tag, p []byte) (bool, error) {
+	return b.c.WriteData(t, p)
+}
+
+// Compile-time check: the behavioral controller satisfies Backend.
+var _ Backend = ctrlBackend{}

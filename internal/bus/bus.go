@@ -1,0 +1,435 @@
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/memory"
+)
+
+// EdgeTicks is the duration of one handshake edge. The chapter 6 timing
+// assumptions equate the four-edge handshake with one Versabus memory
+// cycle (1 microsecond), so an edge is a quarter microsecond.
+const EdgeTicks = 250 * des.Nanosecond
+
+// TraceEvent describes one completed bus information cycle, for the
+// busdemo tool and tests.
+type TraceEvent struct {
+	At     int64 // completion time, ticks
+	Master string
+	Cmd    Command
+	Addr   uint16
+	Tag    memory.Tag
+	Edges  int
+	Detail string
+}
+
+// Stats aggregates bus activity.
+type Stats struct {
+	Grants     int64
+	Edges      int64
+	ByCommand  map[Command]int64
+	DataWords  int64
+	BusyTicks  int64
+	IdleArbits int64
+}
+
+// Bus is the smart bus: one shared memory module, up to eight units,
+// prioritized distributed arbitration, and multiplexed block transfers.
+type Bus struct {
+	eng     *des.Engine
+	Ctrl    *memory.Controller // the behavioral controller (nil with NewWith)
+	backend Backend
+	units   []*Unit
+	busy    bool
+
+	// Trace, if non-nil, receives an event per completed grant.
+	Trace func(TraceEvent)
+	Stats Stats
+
+	streams map[memory.Tag]*stream
+}
+
+type stream struct {
+	owner *Unit
+	tag   memory.Tag
+	dir   memory.Dir
+	// For writes: bytes still to send; for reads: bytes received so far.
+	out  []byte
+	in   []byte
+	done func(data []byte)
+}
+
+// New creates a smart bus over a fresh behavioral smart memory
+// controller.
+func New(eng *des.Engine) *Bus {
+	c := memory.NewController()
+	b := NewWith(eng, ctrlBackend{c})
+	b.Ctrl = c
+	return b
+}
+
+// NewWith creates a smart bus over any Backend — in particular the
+// Appendix A microcoded controller.
+func NewWith(eng *des.Engine, backend Backend) *Bus {
+	return &Bus{
+		eng:     eng,
+		backend: backend,
+		streams: map[memory.Tag]*stream{},
+	}
+}
+
+// Engine exposes the bus's discrete-event engine.
+func (b *Bus) Engine() *des.Engine { return b.eng }
+
+// AttachUnit registers a unit (host, message coprocessor, or network
+// interface) with a unique 3-bit bus-request number; higher numbers win
+// arbitration. At most eight units fit the 3-bit request space.
+func (b *Bus) AttachUnit(name string, br uint8) *Unit {
+	if br > 7 {
+		panic("bus: bus-request number must fit in 3 bits")
+	}
+	for _, u := range b.units {
+		if u.br == br {
+			panic(fmt.Sprintf("bus: duplicate bus-request number %d", br))
+		}
+	}
+	u := &Unit{bus: b, name: name, br: br}
+	b.units = append(b.units, u)
+	return u
+}
+
+// Unit is one master on the smart bus. The thesis environment guarantees
+// each unit has exactly one outstanding request; Unit enforces it.
+type Unit struct {
+	bus     *Bus
+	name    string
+	br      uint8
+	pending *op
+}
+
+// Name reports the unit's name.
+func (u *Unit) Name() string { return u.name }
+
+// BR reports the unit's bus-request number.
+func (u *Unit) BR() uint8 { return u.br }
+
+type opKind int
+
+const (
+	opEnqueue opKind = iota
+	opDequeue
+	opFirst
+	opRead
+	opWrite
+	opWriteByte
+	opBlockReq
+	opStreamWrite // unit-mastered write-data burst for an open tag
+)
+
+type op struct {
+	kind opKind
+	list uint16
+	elem uint16
+	addr uint16
+	word uint16
+	byt  byte
+	// block request fields
+	count uint16
+	dir   memory.Dir
+	data  []byte
+	done  func(result uint16, found bool)
+	tag   memory.Tag
+	str   *stream
+}
+
+func (u *Unit) submit(o *op) {
+	if u.pending != nil {
+		panic(fmt.Sprintf("bus: unit %s already has an outstanding request", u.name))
+	}
+	u.pending = o
+	u.bus.kick()
+}
+
+// Enqueue issues an atomic "enqueue control block" transaction.
+func (u *Unit) Enqueue(listAddr, element uint16, done func()) {
+	u.submit(&op{kind: opEnqueue, list: listAddr, elem: element,
+		done: func(uint16, bool) {
+			if done != nil {
+				done()
+			}
+		}})
+}
+
+// Dequeue issues an atomic "dequeue control block" transaction; done
+// reports whether the element was found (absent elements are a no-op).
+func (u *Unit) Dequeue(listAddr, element uint16, done func(found bool)) {
+	u.submit(&op{kind: opDequeue, list: listAddr, elem: element,
+		done: func(_ uint16, found bool) {
+			if done != nil {
+				done(found)
+			}
+		}})
+}
+
+// First issues an atomic "first control block" transaction; done receives
+// the dequeued element address or memory.Null.
+func (u *Unit) First(listAddr uint16, done func(elem uint16)) {
+	u.submit(&op{kind: opFirst, list: listAddr,
+		done: func(e uint16, _ bool) {
+			if done != nil {
+				done(e)
+			}
+		}})
+}
+
+// Read issues a simple read of the word at addr.
+func (u *Unit) Read(addr uint16, done func(word uint16)) {
+	u.submit(&op{kind: opRead, addr: addr,
+		done: func(w uint16, _ bool) {
+			if done != nil {
+				done(w)
+			}
+		}})
+}
+
+// Write issues a "write two bytes" of word at addr.
+func (u *Unit) Write(addr, word uint16, done func()) {
+	u.submit(&op{kind: opWrite, addr: addr, word: word,
+		done: func(uint16, bool) {
+			if done != nil {
+				done()
+			}
+		}})
+}
+
+// WriteSingleByte issues a "write byte" of b at addr.
+func (u *Unit) WriteSingleByte(addr uint16, b byte, done func()) {
+	u.submit(&op{kind: opWriteByte, addr: addr, byt: b,
+		done: func(uint16, bool) {
+			if done != nil {
+				done()
+			}
+		}})
+}
+
+// ReadBlock registers a block-read request for count bytes at addr; the
+// memory streams the data back ("block read data") and done receives it
+// once the final burst lands.
+func (u *Unit) ReadBlock(addr, count uint16, done func(data []byte)) {
+	u.submit(&op{kind: opBlockReq, addr: addr, count: count, dir: memory.ReadDir,
+		done: func(uint16, bool) {}, data: nil, str: &stream{owner: u, dir: memory.ReadDir, done: done}})
+}
+
+// WriteBlock registers a block-write request and streams data to the
+// memory ("block write data"); done fires when the final burst is
+// accepted.
+func (u *Unit) WriteBlock(addr uint16, data []byte, done func()) {
+	u.submit(&op{kind: opBlockReq, addr: addr, count: uint16(len(data)), dir: memory.WriteDir,
+		done: func(uint16, bool) {},
+		str: &stream{owner: u, dir: memory.WriteDir, out: data, done: func([]byte) {
+			if done != nil {
+				done()
+			}
+		}}})
+}
+
+// bid describes one contender in an arbitration cycle.
+type bid struct {
+	br       uint8
+	unit     *Unit // nil when the memory masters a read-data stream
+	str      *stream
+	isStream bool
+}
+
+// kick starts an information cycle when a request arrives and finds the
+// bus idle; that first grant pays for an arbitration cycle that could not
+// be overlapped with an information cycle.
+func (b *Bus) kick() {
+	if b.busy {
+		return
+	}
+	if b.tryGrant(EdgesIdleArbitration) {
+		b.Stats.IdleArbits++
+	}
+}
+
+// rearm continues with the next grant immediately after one completes;
+// its arbitration overlapped the grant that just finished (§5.4), so no
+// idle charge applies.
+func (b *Bus) rearm() {
+	b.busy = false
+	b.tryGrant(0)
+}
+
+// tryGrant arbitrates among all pending work and starts the winner's
+// information cycle. It reports whether a grant was issued.
+func (b *Bus) tryGrant(extraEdges int) bool {
+	var bids []bid
+	for _, u := range b.units {
+		if u.pending != nil {
+			if u.pending.kind == opStreamWrite {
+				bids = append(bids, bid{br: u.br, unit: u, str: u.pending.str, isStream: true})
+			} else {
+				bids = append(bids, bid{br: u.br, unit: u})
+			}
+		}
+	}
+	// The memory masters read-data streams, bidding with the priority of
+	// each stream's owner so higher-priority requests drain first.
+	for _, s := range b.streams {
+		if s.dir == memory.ReadDir {
+			bids = append(bids, bid{br: s.owner.br, str: s, isStream: true})
+		}
+	}
+	if len(bids) == 0 {
+		return false
+	}
+	nums := make([]uint8, len(bids))
+	for i, c := range bids {
+		nums[i] = c.br
+	}
+	winNum, _ := Arbitrate(nums)
+	var win bid
+	for _, c := range bids {
+		if c.br == winNum {
+			win = c
+			break
+		}
+	}
+	b.busy = true
+	if win.isStream {
+		b.grantStream(win.str, extraEdges)
+	} else {
+		b.grantOp(win.unit, extraEdges)
+	}
+	return true
+}
+
+func (b *Bus) grantOp(u *Unit, extraEdges int) {
+	o := u.pending
+	var edges int
+	var cmd Command
+	switch o.kind {
+	case opEnqueue:
+		edges, cmd = EdgesEnqueue, CmdEnqueue
+	case opDequeue:
+		edges, cmd = EdgesEnqueue, CmdDequeue
+	case opFirst:
+		edges, cmd = EdgesFirst, CmdFirst
+	case opRead:
+		edges, cmd = EdgesRead, CmdSimpleRead
+	case opWrite:
+		edges, cmd = EdgesWrite, CmdWriteTwoBytes
+	case opWriteByte:
+		edges, cmd = EdgesWrite, CmdWriteByte
+	case opBlockReq:
+		edges, cmd = EdgesBlockTransfer, CmdBlockTransfer
+	default:
+		panic("bus: bad op kind in grantOp")
+	}
+	total := edges + extraEdges
+	b.eng.After(int64(total)*EdgeTicks, func() {
+		b.account(u.name, cmd, total, addrOf(o))
+		u.pending = nil
+		switch o.kind {
+		case opEnqueue:
+			if err := b.backend.Enqueue(o.list, o.elem); err != nil {
+				panic(err) // trusted kernel code never enqueues NULL (§A.5)
+			}
+			o.done(0, true)
+		case opDequeue:
+			found := b.backend.Dequeue(o.list, o.elem)
+			o.done(0, found)
+		case opFirst:
+			o.done(b.backend.First(o.list), true)
+		case opRead:
+			o.done(b.backend.ReadWord(o.addr), true)
+		case opWrite:
+			b.backend.WriteWord(o.addr, o.word)
+			o.done(0, true)
+		case opWriteByte:
+			b.backend.SetByte(o.addr, o.byt)
+			o.done(0, true)
+		case opBlockReq:
+			tag, err := b.backend.RegisterBlock(o.addr, o.count, o.dir, int(u.br))
+			if err != nil {
+				panic(fmt.Sprintf("bus: block transfer rejected: %v", err))
+			}
+			o.str.tag = tag
+			b.streams[tag] = o.str
+			if o.dir == memory.WriteDir {
+				// The unit masters the write-data bursts.
+				u.pending = &op{kind: opStreamWrite, str: o.str}
+			}
+		}
+		b.rearm()
+	})
+}
+
+func (b *Bus) grantStream(s *stream, extraEdges int) {
+	total := TransfersPerGrant*EdgesPerDataTransfer + extraEdges
+	b.eng.After(int64(total)*EdgeTicks, func() {
+		switch s.dir {
+		case memory.ReadDir:
+			data, done, err := b.backend.ReadData(s.tag, TransfersPerGrant)
+			if err != nil {
+				panic(fmt.Sprintf("bus: read data: %v", err))
+			}
+			s.in = append(s.in, data...)
+			b.Stats.DataWords += int64((len(data) + 1) / 2)
+			b.account("memory", CmdBlockReadData, total, 0)
+			if done {
+				delete(b.streams, s.tag)
+				if s.done != nil {
+					s.done(s.in)
+				}
+			}
+		case memory.WriteDir:
+			n := 2 * TransfersPerGrant
+			if n > len(s.out) {
+				n = len(s.out)
+			}
+			chunk := s.out[:n]
+			s.out = s.out[n:]
+			done, err := b.backend.WriteData(s.tag, chunk)
+			if err != nil {
+				panic(fmt.Sprintf("bus: write data: %v", err))
+			}
+			b.Stats.DataWords += int64((n + 1) / 2)
+			b.account(s.owner.name, CmdBlockWriteData, total, 0)
+			if done {
+				delete(b.streams, s.tag)
+				s.owner.pending = nil
+				if s.done != nil {
+					s.done(nil)
+				}
+			} else if len(s.out) == 0 {
+				panic("bus: write stream drained without completing")
+			}
+		}
+		b.rearm()
+	})
+}
+
+func addrOf(o *op) uint16 {
+	switch o.kind {
+	case opEnqueue, opDequeue, opFirst:
+		return o.list
+	default:
+		return o.addr
+	}
+}
+
+func (b *Bus) account(master string, cmd Command, edges int, addr uint16) {
+	b.Stats.Grants++
+	b.Stats.Edges += int64(edges)
+	b.Stats.BusyTicks += int64(edges) * EdgeTicks
+	if b.Stats.ByCommand == nil {
+		b.Stats.ByCommand = map[Command]int64{}
+	}
+	b.Stats.ByCommand[cmd]++
+	if b.Trace != nil {
+		b.Trace(TraceEvent{At: b.eng.Now(), Master: master, Cmd: cmd, Addr: addr, Edges: edges})
+	}
+}

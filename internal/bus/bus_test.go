@@ -1,0 +1,327 @@
+package bus
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/memory"
+)
+
+func TestArbitrateWinnerIsHighestNumber(t *testing.T) {
+	cases := []struct {
+		in   []uint8
+		want uint8
+	}{
+		{[]uint8{3}, 3},
+		{[]uint8{0}, 0},
+		{[]uint8{1, 5, 2}, 5},
+		{[]uint8{7, 0}, 7},
+		{[]uint8{2, 3}, 3},
+		{[]uint8{4, 4}, 4}, // duplicates settle on the shared number
+		{[]uint8{6, 5, 4, 3, 2, 1, 0}, 6},
+	}
+	for _, c := range cases {
+		got, ok := Arbitrate(c.in)
+		if !ok || got != c.want {
+			t.Errorf("Arbitrate(%v) = %d,%v; want %d", c.in, got, ok, c.want)
+		}
+	}
+	if _, ok := Arbitrate(nil); ok {
+		t.Error("Arbitrate(nil) should report no winner")
+	}
+}
+
+// Property: for any set of distinct 3-bit numbers, Taub's recurrence
+// yields the maximum.
+func TestArbitrateQuick(t *testing.T) {
+	check := func(mask uint8) bool {
+		var contenders []uint8
+		var max uint8
+		has := false
+		for i := uint8(0); i < 8; i++ {
+			if mask&(1<<i) != 0 {
+				contenders = append(contenders, i)
+				max = i
+				has = true
+			}
+		}
+		if !has {
+			return true
+		}
+		got, ok := Arbitrate(contenders)
+		return ok && got == max
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandTableAndSignals(t *testing.T) {
+	if len(Commands()) != 9 {
+		t.Fatalf("Commands() has %d entries, want 9 (Table 5.2)", len(Commands()))
+	}
+	if CmdFirst != 0b0110 || CmdWriteByte != 0b1001 {
+		t.Fatal("command encodings drifted from Table 5.2")
+	}
+	if Command(0xF).String() != "invalid command" {
+		t.Fatal("invalid command must stringify as such")
+	}
+	sig := Signals()
+	total := 0
+	for _, s := range sig {
+		total += s.Lines
+	}
+	// 16 A/D + 4 TG + 4 CM + IS + IK + BBSY + 3 BR + AR + ANC + CLR = 33.
+	if total != 33 {
+		t.Fatalf("signal lines = %d, want 33 (Table 5.1)", total)
+	}
+}
+
+func newBus() (*des.Engine, *Bus) {
+	eng := des.New(7)
+	return eng, New(eng)
+}
+
+func TestEnqueueFirstOverBus(t *testing.T) {
+	eng, b := newBus()
+	mp := b.AttachUnit("mp", 3)
+	const listAddr = 0x0010
+	doneCount := 0
+	mp.Enqueue(listAddr, 0x0100, func() {
+		doneCount++
+		mp.Enqueue(listAddr, 0x0200, func() {
+			doneCount++
+			mp.First(listAddr, func(e uint16) {
+				doneCount++
+				if e != 0x0100 {
+					t.Errorf("First = %#04x, want 0x0100", e)
+				}
+			})
+		})
+	})
+	eng.Run(des.Millisecond)
+	if doneCount != 3 {
+		t.Fatalf("completed %d ops, want 3", doneCount)
+	}
+	if got := b.Ctrl.Mem.ListLen(listAddr); got != 1 {
+		t.Fatalf("list length after ops = %d, want 1", got)
+	}
+}
+
+// A 40-byte block round trip through the bus moves the kernel-buffer
+// payload intact and costs the Table 6.1 bus time: one four-edge request
+// plus twenty two-edge transfers = 11 microseconds of memory cycles.
+func TestBlockRoundTripTiming(t *testing.T) {
+	eng, b := newBus()
+	host := b.AttachUnit("host", 2)
+	payload := bytes.Repeat([]byte{0x5A}, 40)
+
+	var wrote, read int64
+	host.WriteBlock(0x4000, payload, func() { wrote = eng.Now() })
+	eng.Run(des.Second)
+	if wrote == 0 {
+		t.Fatal("write did not complete")
+	}
+	var got []byte
+	start := eng.Now()
+	host.ReadBlock(0x4000, 40, func(data []byte) {
+		got = data
+		read = eng.Now()
+	})
+	eng.Run(2 * des.Second)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read back %d bytes, mismatch", len(got))
+	}
+	// 4 edges request + 20 transfers * 2 edges = 44 edges = 11 us, plus
+	// one idle-arbitration charge (2 edges = 0.5 us).
+	wantTicks := int64(44+EdgesIdleArbitration) * EdgeTicks
+	if gotTicks := read - start; gotTicks != wantTicks {
+		t.Fatalf("block read took %d ticks, want %d", gotTicks, wantTicks)
+	}
+}
+
+// The queue-primitive timing the chapter 6 models assume: a four-edge
+// enqueue is 1 us of bus time, an eight-edge first is 2 us.
+func TestQueuePrimitiveTiming(t *testing.T) {
+	eng, b := newBus()
+	mp := b.AttachUnit("mp", 3)
+	var enqAt int64
+	mp.Enqueue(0x10, 0x0100, func() { enqAt = eng.Now() })
+	eng.Run(des.Second)
+	want := int64(EdgesEnqueue+EdgesIdleArbitration) * EdgeTicks
+	if enqAt != want {
+		t.Fatalf("enqueue completed at %d, want %d", enqAt, want)
+	}
+	start := eng.Now()
+	var firstAt int64
+	mp.First(0x10, func(uint16) { firstAt = eng.Now() })
+	eng.Run(2 * des.Second)
+	want = start + int64(EdgesFirst+EdgesIdleArbitration)*EdgeTicks
+	if firstAt != want {
+		t.Fatalf("first completed at %d, want %d", firstAt, want)
+	}
+}
+
+// A higher-priority unit's transaction interleaves into a lower-priority
+// unit's block stream: the stream is multiplexed, not locked (§2.6.6).
+func TestStreamPreemptedByHigherPriority(t *testing.T) {
+	eng, b := newBus()
+	nic := b.AttachUnit("nic", 1) // low priority
+	mp := b.AttachUnit("mp", 5)   // high priority
+	payload := bytes.Repeat([]byte{0xCC}, 200)
+	b.Ctrl.Mem.WriteBlock(0x1000, payload)
+
+	var events []TraceEvent
+	b.Trace = func(ev TraceEvent) { events = append(events, ev) }
+
+	var streamDone, enqDone int64
+	nic.ReadBlock(0x1000, 200, func(data []byte) {
+		streamDone = eng.Now()
+		if !bytes.Equal(data, payload) {
+			t.Error("stream data corrupted by interleaving")
+		}
+	})
+	// Let a few bursts go by, then the MP issues an enqueue.
+	eng.At(3*des.Microsecond, func() {
+		mp.Enqueue(0x0010, 0x0100, func() { enqDone = eng.Now() })
+	})
+	eng.Run(des.Second)
+
+	if streamDone == 0 || enqDone == 0 {
+		t.Fatal("operations did not complete")
+	}
+	if enqDone >= streamDone {
+		t.Fatalf("high-priority enqueue (%d) should finish before the long stream (%d)", enqDone, streamDone)
+	}
+	// The trace must show the enqueue between read-data bursts.
+	sawEnqueueMidStream := false
+	seenData := false
+	for _, ev := range events {
+		switch ev.Cmd {
+		case CmdBlockReadData:
+			if seenData && sawEnqueueMidStream {
+				// stream resumed after the enqueue: done
+				return
+			}
+			seenData = true
+		case CmdEnqueue:
+			if seenData {
+				sawEnqueueMidStream = true
+			}
+		}
+	}
+	t.Fatal("trace does not show the enqueue interleaved into the stream")
+}
+
+func TestSimpleReadWriteOverBus(t *testing.T) {
+	eng, b := newBus()
+	host := b.AttachUnit("host", 2)
+	var got uint16
+	host.Write(0x2000, 0x1234, func() {
+		host.Read(0x2000, func(w uint16) { got = w })
+	})
+	eng.Run(des.Second)
+	if got != 0x1234 {
+		t.Fatalf("read back %#04x", got)
+	}
+	var b2 byte
+	host.WriteSingleByte(0x2002, 0xAB, func() {})
+	eng.Run(2 * des.Second)
+	b2 = b.Ctrl.Mem.Byte(0x2002)
+	if b2 != 0xAB {
+		t.Fatalf("byte write stored %#02x", b2)
+	}
+}
+
+func TestDequeueOverBus(t *testing.T) {
+	eng, b := newBus()
+	mp := b.AttachUnit("mp", 3)
+	var found1, found2 bool
+	mp.Enqueue(0x10, 0x0100, func() {
+		mp.Dequeue(0x10, 0x0100, func(f bool) {
+			found1 = f
+			mp.Dequeue(0x10, 0x0999, func(f bool) { found2 = f })
+		})
+	})
+	eng.Run(des.Second)
+	if !found1 || found2 {
+		t.Fatalf("dequeue found=%v,%v; want true,false", found1, found2)
+	}
+}
+
+func TestOneOutstandingRequestPerUnit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on second outstanding request")
+		}
+	}()
+	_, b := newBus()
+	u := b.AttachUnit("host", 2)
+	u.Enqueue(0x10, 0x100, nil)
+	u.Enqueue(0x10, 0x200, nil) // must panic: one outstanding request per unit
+}
+
+func TestAttachValidation(t *testing.T) {
+	_, b := newBus()
+	b.AttachUnit("a", 1)
+	t.Run("duplicate br", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on duplicate br")
+			}
+		}()
+		b.AttachUnit("b", 1)
+	})
+	t.Run("br too wide", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on br > 7")
+			}
+		}()
+		b.AttachUnit("c", 8)
+	})
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	eng, b := newBus()
+	mp := b.AttachUnit("mp", 3)
+	mp.Enqueue(0x10, 0x100, func() {
+		mp.First(0x10, nil)
+	})
+	eng.Run(des.Second)
+	if b.Stats.Grants != 2 {
+		t.Fatalf("Grants = %d, want 2", b.Stats.Grants)
+	}
+	if b.Stats.ByCommand[CmdEnqueue] != 1 || b.Stats.ByCommand[CmdFirst] != 1 {
+		t.Fatalf("ByCommand = %v", b.Stats.ByCommand)
+	}
+	if b.Stats.Edges == 0 || b.Stats.BusyTicks == 0 {
+		t.Fatal("edge/busy accounting missing")
+	}
+}
+
+// The memory controller's tag table supports concurrent block requests
+// from different units without mixing their data.
+func TestConcurrentStreams(t *testing.T) {
+	eng, b := newBus()
+	u1 := b.AttachUnit("nicIn", 1)
+	u2 := b.AttachUnit("nicOut", 2)
+	a := bytes.Repeat([]byte{0x11}, 60)
+	c := bytes.Repeat([]byte{0x22}, 60)
+	b.Ctrl.Mem.WriteBlock(0x1000, a)
+
+	var got1 []byte
+	var wrote bool
+	u1.ReadBlock(0x1000, 60, func(d []byte) { got1 = d })
+	u2.WriteBlock(0x3000, c, func() { wrote = true })
+	eng.Run(des.Second)
+	if !bytes.Equal(got1, a) {
+		t.Fatal("interleaved read corrupted")
+	}
+	if !wrote || !bytes.Equal(b.Ctrl.Mem.ReadBlock(0x3000, 60), c) {
+		t.Fatal("interleaved write corrupted")
+	}
+	_ = memory.Null
+}

@@ -1,0 +1,106 @@
+// Package bus implements the smart bus of chapter 5: a high-level
+// transaction bus connecting the host, the message coprocessor, and the
+// network interfaces to the smart shared memory. It reproduces the
+// thesis design at the level the thesis specifies it — commands
+// (Table 5.2), signal groups (Table 5.1), clock-edge transaction timing
+// (Figures 5.3–5.16), two-transfers-per-grant streaming mode, and the
+// Taub-style distributed arbitration of §5.4 — on top of a discrete-event
+// engine, so that transaction latencies measured here are the ones the
+// chapter 6 models charge for smart-bus primitives.
+package bus
+
+// Command is the 4-bit encoding driven on the CM lines (Table 5.2).
+type Command uint8
+
+// Smart bus commands, exactly as Table 5.2 encodes them.
+const (
+	CmdSimpleRead     Command = 0b0000
+	CmdBlockTransfer  Command = 0b0001
+	CmdBlockReadData  Command = 0b0010
+	CmdBlockWriteData Command = 0b0011
+	CmdEnqueue        Command = 0b0100
+	CmdDequeue        Command = 0b0101
+	CmdFirst          Command = 0b0110
+	CmdWriteTwoBytes  Command = 0b1000
+	CmdWriteByte      Command = 0b1001
+)
+
+var commandNames = map[Command]string{
+	CmdSimpleRead:     "simple read",
+	CmdBlockTransfer:  "block transfer",
+	CmdBlockReadData:  "block read data",
+	CmdBlockWriteData: "block write data",
+	CmdEnqueue:        "enqueue control block",
+	CmdDequeue:        "dequeue control block",
+	CmdFirst:          "first control block",
+	CmdWriteTwoBytes:  "write two bytes",
+	CmdWriteByte:      "write byte",
+}
+
+func (c Command) String() string {
+	if n, ok := commandNames[c]; ok {
+		return n
+	}
+	return "invalid command"
+}
+
+// Commands lists the valid command encodings in Table 5.2 order.
+func Commands() []Command {
+	return []Command{
+		CmdSimpleRead, CmdBlockTransfer, CmdBlockReadData, CmdBlockWriteData,
+		CmdEnqueue, CmdDequeue, CmdFirst, CmdWriteTwoBytes, CmdWriteByte,
+	}
+}
+
+// Signal describes one signal group of the physical bus.
+type Signal struct {
+	Name  string
+	Lines int
+	Desc  string
+}
+
+// Signals reproduces Table 5.1: the wires of the smart bus.
+func Signals() []Signal {
+	return []Signal{
+		{"A/D", 16, "Multiplexed address/data"},
+		{"TG", 4, "Tag"},
+		{"CM", 4, "Command"},
+		{"IS", 1, "Information strobe"},
+		{"IK", 1, "Information acknowledge"},
+		{"BBSY", 1, "Bus busy"},
+		{"BR", 3, "Bus request"},
+		{"AR", 1, "Arbitration start"},
+		{"ANC", 1, "Arbitration not complete"},
+		{"CLR", 1, "System Reset"},
+	}
+}
+
+// Handshake edge counts per transaction, from the chapter 5 timing
+// diagrams. A four-edge handshake equals one Versabus memory cycle
+// (1 microsecond) in the chapter 6 timing assumptions, so one edge is a
+// quarter microsecond.
+const (
+	// EdgesBlockTransfer: address + count exchange (Figure 5.4).
+	EdgesBlockTransfer = 4
+	// EdgesEnqueue covers enqueue and dequeue control block: list address
+	// + element address (Figure 5.10).
+	EdgesEnqueue = 4
+	// EdgesFirst: list address out, element address back (Figure 5.12).
+	EdgesFirst = 8
+	// EdgesRead: address out, data back (Figure 5.14).
+	EdgesRead = 8
+	// EdgesWrite: address + data (Figure 5.16).
+	EdgesWrite = 4
+	// EdgesPerDataTransfer: one 16-bit streaming-mode transfer
+	// (Figures 5.6 and 5.8).
+	EdgesPerDataTransfer = 2
+	// TransfersPerGrant: the arbitration protocol grants the bus for two
+	// data transfers at a time so the strobe lines return to the released
+	// state (§5.3.1).
+	TransfersPerGrant = 2
+	// EdgesIdleArbitration is charged when a request finds the bus idle
+	// and must run an arbitration cycle that cannot be overlapped with an
+	// information cycle (rule 4 of §5.4 makes the previous master start
+	// it; we charge half a memory cycle).
+	EdgesIdleArbitration = 2
+)

@@ -1,0 +1,220 @@
+// Package core is the library's front door: it packages the thesis's
+// contribution — a node architecture with a dedicated message
+// coprocessor and smart-bus support for interprocess communication —
+// behind a small API. A System pairs one of the four chapter 6 node
+// architectures with the §6.3 conversation workload and can be
+// evaluated two ways that cross-validate each other:
+//
+//   - Analyze solves the architecture's Generalized Timed Petri Net
+//     model exactly (the thesis's analytical method), and
+//   - Measure runs the full machine-level discrete-event simulation —
+//     the 925-style kernel, scheduler, kernel buffers, and (for
+//     non-local workloads) the token ring (the thesis's experimental
+//     method).
+//
+// For building actual message-passing applications on the simulated
+// kernel (services, send/receive/reply, memory references, interrupt
+// handlers), use NewNode and NewCluster, which expose the kernel
+// directly; the examples directory shows both styles.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/models"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// Arch selects the node architecture.
+type Arch = timing.Arch
+
+// The four architectures of chapter 6.
+const (
+	Uniprocessor       = timing.ArchI
+	MessageCoprocessor = timing.ArchII
+	SmartBus           = timing.ArchIII
+	PartitionedBus     = timing.ArchIV
+)
+
+// Workload is the §6.3 conversation workload.
+type Workload struct {
+	// Conversations is the number of simultaneous client-server pairs.
+	Conversations int
+	// ServerComputeUS is the mean server computation per conversation in
+	// microseconds (the thesis's X).
+	ServerComputeUS float64
+	// NonLocal groups clients on one node and servers on another,
+	// communicating over the token ring.
+	NonLocal bool
+}
+
+// System is one configured node architecture.
+type System struct {
+	arch  Arch
+	hosts int
+	seed  uint64
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithHosts sets the number of host processors per node (default 1; the
+// thesis test-bed had 2).
+func WithHosts(n int) Option { return func(s *System) { s.hosts = n } }
+
+// WithSeed seeds the simulation's random streams.
+func WithSeed(seed uint64) Option { return func(s *System) { s.seed = seed } }
+
+// New creates a System for the given architecture.
+func New(arch Arch, opts ...Option) *System {
+	s := &System{arch: arch, hosts: 1, seed: 1}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Arch reports the system's architecture.
+func (s *System) Arch() Arch { return s.arch }
+
+// Prediction is an analytical (GTPN) result.
+type Prediction struct {
+	// Throughput in round trips per second.
+	Throughput float64
+	// RoundTripUS is the mean conversation cycle time.
+	RoundTripUS float64
+	// OfferedLoad is C/(C+S) for this system and workload.
+	OfferedLoad float64
+	// States is the size of the solved state space (client+server nets
+	// for non-local workloads).
+	States int
+}
+
+// Analyze solves the GTPN model of the system under the workload.
+func (s *System) Analyze(w Workload) (Prediction, error) {
+	if w.Conversations <= 0 {
+		return Prediction{}, fmt.Errorf("core: workload needs at least one conversation")
+	}
+	var p Prediction
+	if w.NonLocal {
+		res, err := models.SolveNonLocal(s.arch, w.Conversations, s.hosts, w.ServerComputeUS, models.SolveOptions{})
+		if err != nil {
+			return Prediction{}, err
+		}
+		p = Prediction{Throughput: res.Throughput * 1e6, RoundTripUS: res.RoundTrip,
+			States: res.ClientStates + res.ServerStates}
+	} else {
+		res, err := models.BuildLocal(s.arch, w.Conversations, s.hosts, w.ServerComputeUS).Solve(models.SolveOptions{})
+		if err != nil {
+			return Prediction{}, err
+		}
+		p = Prediction{Throughput: res.Throughput * 1e6, RoundTripUS: res.RoundTrip, States: res.States}
+	}
+	c, err := s.roundTripC(w.NonLocal)
+	if err != nil {
+		return Prediction{}, err
+	}
+	p.OfferedLoad = timing.OfferedLoad(c, w.ServerComputeUS)
+	return p, nil
+}
+
+func (s *System) roundTripC(nonLocal bool) (float64, error) {
+	if nonLocal {
+		res, err := models.SolveNonLocal(s.arch, 1, s.hosts, 0, models.SolveOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return res.RoundTrip, nil
+	}
+	res, err := models.BuildLocal(s.arch, 1, s.hosts, 0).Solve(models.SolveOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return res.RoundTrip, nil
+}
+
+// Measurement is a machine-level simulation result.
+type Measurement struct {
+	// Throughput in round trips per second.
+	Throughput float64
+	// RoundTripUS is the mean client-observed cycle time.
+	RoundTripUS float64
+	// RoundTrips completed in the measurement window.
+	RoundTrips int64
+}
+
+// Measure runs the machine-level simulation of the system under the
+// workload for the given number of simulated seconds.
+func (s *System) Measure(w Workload, seconds int64) (Measurement, error) {
+	if w.Conversations <= 0 {
+		return Measurement{}, fmt.Errorf("core: workload needs at least one conversation")
+	}
+	if seconds <= 0 {
+		seconds = 10
+	}
+	cfg := machine.Config{Hosts: s.hosts, Seed: s.seed}
+	var m *machine.Machine
+	if w.NonLocal {
+		m = machine.NewNonLocal(s.arch, cfg)
+	} else {
+		m = machine.NewLocal(s.arch, cfg)
+	}
+	res := m.Run(workload.Params{
+		Conversations: w.Conversations,
+		ComputeMean:   int64(w.ServerComputeUS) * des.Microsecond,
+	}, seconds*des.Second)
+	if res.RoundTrips == 0 {
+		return Measurement{}, fmt.Errorf("core: no round trips completed; extend the horizon")
+	}
+	return Measurement{
+		Throughput:  res.Throughput * 1e6,
+		RoundTripUS: res.MeanRoundTrip,
+		RoundTrips:  res.RoundTrips,
+	}, nil
+}
+
+// Node is a single simulated node running the message-based kernel, for
+// building applications directly against the IPC API.
+type Node struct {
+	// Eng is the node's event engine; call Eng.Run to advance time.
+	Eng *des.Engine
+	// Kernel spawns tasks and owns services.
+	Kernel *kernel.Kernel
+}
+
+// NewNode creates a single node with the architecture's kernel
+// organization and measured activity costs. Architecture I runs the IPC
+// kernel on the host; the others on a message coprocessor.
+func NewNode(arch Arch, opts ...Option) *Node {
+	s := New(arch, opts...)
+	eng := des.New(s.seed)
+	k := kernel.New(eng, kernel.Config{
+		Hosts:       s.hosts,
+		Coprocessor: arch != Uniprocessor,
+		Costs:       timing.CostsFor(arch, true),
+	})
+	return &Node{Eng: eng, Kernel: k}
+}
+
+// Cluster is a multi-node distributed system over a token ring.
+type Cluster struct {
+	Eng     *des.Engine
+	Cluster *kernel.Cluster
+}
+
+// NewCluster creates nodes interconnected by the token ring, each with
+// the architecture's kernel organization and non-local activity costs.
+func NewCluster(arch Arch, nodes int, opts ...Option) *Cluster {
+	s := New(arch, opts...)
+	eng := des.New(s.seed)
+	cl := kernel.NewCluster(eng, nodes, kernel.Config{
+		Hosts:       s.hosts,
+		Coprocessor: arch != Uniprocessor,
+		Costs:       timing.CostsFor(arch, false),
+	})
+	return &Cluster{Eng: eng, Cluster: cl}
+}

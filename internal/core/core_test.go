@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/kernel"
+)
+
+func TestAnalyzeLocal(t *testing.T) {
+	s := New(MessageCoprocessor)
+	p, err := s.Analyze(Workload{Conversations: 2, ServerComputeUS: 2850})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Throughput <= 0 || p.RoundTripUS <= 0 || p.States == 0 {
+		t.Fatalf("prediction = %+v", p)
+	}
+	if p.OfferedLoad <= 0.5 || p.OfferedLoad >= 0.8 {
+		t.Fatalf("offered load = %.3f, want ~0.65 for S=2.85ms on arch II", p.OfferedLoad)
+	}
+}
+
+func TestAnalyzeVersusMeasure(t *testing.T) {
+	s := New(MessageCoprocessor, WithSeed(9))
+	w := Workload{Conversations: 2, ServerComputeUS: 1140}
+	p, err := s.Analyze(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Measure(w, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev := math.Abs(m.Throughput-p.Throughput) / p.Throughput; dev > 0.25 {
+		t.Fatalf("measure %.1f vs analyze %.1f trips/s (%.0f%% apart)", m.Throughput, p.Throughput, dev*100)
+	}
+}
+
+func TestAnalyzeNonLocal(t *testing.T) {
+	s := New(SmartBus)
+	p, err := s.Analyze(Workload{Conversations: 2, NonLocal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Throughput <= 0 {
+		t.Fatalf("prediction = %+v", p)
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	s := New(Uniprocessor)
+	if _, err := s.Analyze(Workload{}); err == nil {
+		t.Error("Analyze with zero conversations should fail")
+	}
+	if _, err := s.Measure(Workload{}, 1); err == nil {
+		t.Error("Measure with zero conversations should fail")
+	}
+}
+
+func TestNodeRunsApplications(t *testing.T) {
+	n := NewNode(MessageCoprocessor)
+	defer n.Kernel.Shutdown()
+	var got string
+	n.Kernel.Spawn("server", func(ts *kernel.Task) {
+		svc := ts.CreateService("greet")
+		ts.Advertise("greet", svc)
+		_ = ts.Offer(svc)
+		m, err := ts.Receive(svc)
+		if err != nil {
+			return
+		}
+		_ = ts.Reply(m, []byte("hello back"))
+	})
+	n.Kernel.Spawn("client", func(ts *kernel.Task) {
+		ref, ok := ts.Lookup("greet")
+		for !ok {
+			ts.Yield()
+			ref, ok = ts.Lookup("greet")
+		}
+		reply, err := ts.Call(ref, []byte("hello"), nil)
+		if err == nil {
+			got = string(reply[:10])
+		}
+	})
+	n.Eng.Run(des.Second)
+	if got != "hello back" {
+		t.Fatalf("reply = %q", got)
+	}
+}
+
+func TestClusterSpansNodes(t *testing.T) {
+	c := NewCluster(MessageCoprocessor, 3)
+	defer c.Cluster.Shutdown()
+	if c.Cluster.Nodes() != 3 {
+		t.Fatalf("nodes = %d", c.Cluster.Nodes())
+	}
+}
+
+func TestOptionsAndArch(t *testing.T) {
+	s := New(PartitionedBus, WithHosts(2), WithSeed(5))
+	if s.Arch() != PartitionedBus {
+		t.Fatalf("Arch = %v", s.Arch())
+	}
+	p, err := s.Analyze(Workload{Conversations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Throughput <= 0 {
+		t.Fatalf("prediction = %+v", p)
+	}
+	m, err := s.Measure(Workload{Conversations: 1, NonLocal: true}, 0) // 0 -> default horizon
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RoundTrips == 0 {
+		t.Fatal("no round trips in non-local measurement")
+	}
+}

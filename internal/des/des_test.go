@@ -1,0 +1,156 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.At(10, func() { got = append(got, 11) }) // FIFO tie-break after the first t=10 event
+	e.Run(100)
+	want := []int{1, 11, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %d, want horizon 100", e.Now())
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	e := New(1)
+	ran := false
+	e.At(50, func() { ran = true })
+	n := e.Run(40)
+	if n != 0 || ran {
+		t.Fatal("event beyond horizon must not run")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now = %d; must not pass a pending event", e.Now())
+	}
+	e.Run(60)
+	if !ran {
+		t.Fatal("event should run once horizon passes it")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	var seq []int64
+	e.At(5, func() {
+		seq = append(seq, e.Now())
+		e.After(7, func() { seq = append(seq, e.Now()) })
+	})
+	e.Run(100)
+	if len(seq) != 2 || seq[0] != 5 || seq[1] != 12 {
+		t.Fatalf("seq = %v", seq)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(1)
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run(20)
+}
+
+func TestResourceFCFSAndPriority(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "host")
+	var order []string
+	hold := func(name string, pri int, d int64) {
+		r.Acquire(pri, func() {
+			e.After(d, func() {
+				order = append(order, name)
+				r.Release()
+			})
+		})
+	}
+	// a starts immediately; b, c queue at equal priority (FCFS); i is a
+	// higher-priority "interrupt" that overtakes b and c but does not
+	// preempt a.
+	e.At(0, func() { hold("a", 0, 10) })
+	e.At(1, func() { hold("b", 0, 10) })
+	e.At(2, func() { hold("c", 0, 10) })
+	e.At(3, func() { hold("i", 5, 10) })
+	e.Run(1000)
+	want := "a,i,b,c"
+	got := ""
+	for i, s := range order {
+		if i > 0 {
+			got += ","
+		}
+		got += s
+	}
+	if got != want {
+		t.Fatalf("completion order %q, want %q", got, want)
+	}
+	if r.Served != 4 {
+		t.Fatalf("Served = %d, want 4", r.Served)
+	}
+	if r.BusyTicks != 40 {
+		t.Fatalf("BusyTicks = %d, want 40", r.BusyTicks)
+	}
+}
+
+func TestResourceUse(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "mp")
+	doneAt := int64(0)
+	r.Use(0, 25, func() { doneAt = e.Now() })
+	r.Use(0, 5, nil)
+	e.Run(1000)
+	if doneAt != 25 {
+		t.Fatalf("first Use completed at %d, want 25", doneAt)
+	}
+	if r.Busy() {
+		t.Fatal("resource should be idle at the end")
+	}
+	if got := r.BusyTicks; got != 30 {
+		t.Fatalf("BusyTicks = %d, want 30", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "host")
+	r.Use(0, 40, nil)
+	e.Run(100)
+	if u := r.Utilization(); u != 0.4 {
+		t.Fatalf("Utilization = %v, want 0.4", u)
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on releasing idle resource")
+		}
+	}()
+	e := New(1)
+	NewResource(e, "x").Release()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative delay")
+		}
+	}()
+	New(1).After(-1, func() {})
+}

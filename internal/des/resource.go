@@ -1,0 +1,107 @@
+package des
+
+// Resource is a single server with a non-preemptive priority queue,
+// modeling a processor (host or message coprocessor) executing one
+// kernel activity at a time. Higher priority values are served first;
+// ties are FCFS, matching the scheduling policy of the thesis
+// experiments (§4.8). Network-interrupt service is modeled by granting
+// it a higher priority than task-level work, the machine-level analogue
+// of the "(NetIntr = 0)" frequency gates in the chapter 6 nets.
+type Resource struct {
+	eng  *Engine
+	name string
+	busy bool
+	q    []grant
+
+	// BusyTicks accumulates total occupied time for utilization reports.
+	BusyTicks int64
+	lastStart int64
+	// Served counts completed holds.
+	Served int64
+}
+
+type grant struct {
+	pri int
+	seq uint64
+	fn  func()
+}
+
+// NewResource returns an idle single-server resource.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Name reports the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Busy reports whether the server is occupied.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen reports the number of waiting requests.
+func (r *Resource) QueueLen() int { return len(r.q) }
+
+// Acquire requests the server at the given priority; fn runs when the
+// server is granted. The holder must call Release when done (typically
+// from a scheduled completion event).
+func (r *Resource) Acquire(pri int, fn func()) {
+	r.eng.seq++
+	g := grant{pri: pri, seq: r.eng.seq, fn: fn}
+	if !r.busy {
+		r.busy = true
+		r.lastStart = r.eng.Now()
+		fn()
+		return
+	}
+	// Insert by priority (desc), FCFS within a priority.
+	i := len(r.q)
+	for i > 0 && r.q[i-1].pri < pri {
+		i--
+	}
+	r.q = append(r.q, grant{})
+	copy(r.q[i+1:], r.q[i:])
+	r.q[i] = g
+}
+
+// Use is the common acquire-hold-release pattern: take the server at
+// pri, hold it for d ticks, then run fn (after releasing).
+func (r *Resource) Use(pri int, d int64, fn func()) {
+	r.Acquire(pri, func() {
+		r.eng.After(d, func() {
+			r.Release()
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}
+
+// Release frees the server and grants it to the highest-priority waiter.
+func (r *Resource) Release() {
+	if !r.busy {
+		panic("des: Release of idle resource " + r.name)
+	}
+	r.BusyTicks += r.eng.Now() - r.lastStart
+	r.Served++
+	if len(r.q) == 0 {
+		r.busy = false
+		return
+	}
+	g := r.q[0]
+	copy(r.q, r.q[1:])
+	r.q = r.q[:len(r.q)-1]
+	r.lastStart = r.eng.Now()
+	g.fn()
+}
+
+// Utilization reports the fraction of time the server has been busy up
+// to now (including an in-progress hold).
+func (r *Resource) Utilization() float64 {
+	if r.eng.Now() == 0 {
+		return 0
+	}
+	busy := r.BusyTicks
+	if r.busy {
+		busy += r.eng.Now() - r.lastStart
+	}
+	return float64(busy) / float64(r.eng.Now())
+}

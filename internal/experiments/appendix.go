@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/microcode"
+)
+
+func init() {
+	register("TA.1", "Data Path Chip: Component Count (and control-store size)", func(w io.Writer, _ Config) error {
+		c := microcode.New()
+		fmt.Fprintf(w, "control store: %d micro-instructions x %d bits = %d bits (thesis: under 3000)\n",
+			len(c.Program()), microcode.BitsPerInstruction, c.MicrocodeBits())
+
+		tw := table(w)
+		fmt.Fprintln(tw, "Data path unit\tActive components\tDetail")
+		for _, cp := range microcode.DataPathComponents() {
+			fmt.Fprintf(tw, "%s\t%d\t%s\n", cp.Unit, cp.Count, cp.Detail)
+		}
+		fmt.Fprintf(tw, "TOTAL\t%d\t(thesis: roughly 6000)\n", microcode.TotalComponents(microcode.DataPathComponents()))
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+
+		tw = table(w)
+		fmt.Fprintln(tw, "Sequencer unit\tActive components\tDetail")
+		for _, cp := range microcode.SequencerComponents() {
+			fmt.Fprintf(tw, "%s\t%d\t%s\n", cp.Unit, cp.Count, cp.Detail)
+		}
+		fmt.Fprintf(tw, "TOTAL\t%d\t(thesis: roughly 1000)\n", microcode.TotalComponents(microcode.SequencerComponents()))
+		return tw.Flush()
+	})
+}

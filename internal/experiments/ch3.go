@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/profile"
+)
+
+func init() {
+	for _, sys := range profile.AllSystems() {
+		sys := sys
+		register("T"+sys.Table, sys.System+" Profiling", func(w io.Writer, cfg Config) error {
+			return runProfilingTable(w, sys, cfg)
+		})
+	}
+	register("T3.6", "Unix Servers", func(w io.Writer, _ Config) error {
+		tw := table(w)
+		fmt.Fprintln(tw, "System Service\tTime (ms)")
+		for _, s := range profile.Table36() {
+			fmt.Fprintf(tw, "%s\t%.3f\n", s.Service, s.TimeUS/1000)
+		}
+		return tw.Flush()
+	})
+	register("T3.7", "Unix Read/Write", func(w io.Writer, _ Config) error {
+		tw := table(w)
+		fmt.Fprintln(tw, "BlockSize\tRead (ms)\tWrite (ms)")
+		for _, r := range profile.Table37() {
+			fmt.Fprintf(tw, "%d\t%.4f\t%.4f\n", r.BlockSize, r.ReadUS/1000, r.WriteUS/1000)
+		}
+		return tw.Flush()
+	})
+}
+
+func runProfilingTable(w io.Writer, sys profile.SystemProfile, cfg Config) error {
+	rounds := 500
+	if cfg.Quick {
+		rounds = 100
+	}
+	m := profile.KernelRun(sys, rounds, 2)
+	fmt.Fprintf(w, "%s (Speed ~ %.1f MIPS)\n", sys.CPU, sys.MIPS)
+	locality := "Local"
+	if !sys.Local {
+		locality = "Non-local"
+	}
+	fmt.Fprintf(w, "Round Trip (%s Message) = %.2f ms measured (paper: %.2f ms), %d bytes\n",
+		locality, m.RoundTripUS/1000, sys.RoundTripUS/1000, sys.MsgBytes)
+	fmt.Fprintf(w, "Copy Time = %.3f ms; fixed overhead = %.3f ms; copy dominates beyond ~%.0f bytes\n",
+		sys.CopyTimeUS/1000, profile.FixedOverheadUS(sys)/1000, profile.CopyDominationSize(sys))
+
+	byName := map[string]profile.MeasuredRow{}
+	for _, r := range m.Rows {
+		byName[r.Name] = r
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "Activity\tTime (ms)\tPaper %\tMeasured %")
+	for _, a := range sys.Activities {
+		r := byName[a.Name]
+		fmt.Fprintf(tw, "%s\t%.3f\t%.1f\t%.1f\n", a.Name, a.TimeUS/1000, a.Percent, r.Percent)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "mean kernel-queue residence per message: %.1f us\n", m.QueueDelayUS)
+	return nil
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bus"
+	"repro/internal/des"
+	"repro/internal/models"
+	"repro/internal/timing"
+)
+
+func init() {
+	register("T6.1", "Comparison of Processing Times", func(w io.Writer, _ Config) error {
+		measured, err := measureBusPrimitives()
+		if err != nil {
+			return err
+		}
+		tw := table(w)
+		fmt.Fprintln(tw, "Operation\tArch II proc (us)\tArch II mem (us)\tArch III proc (us)\tArch III mem (us)\tSimulated bus (us)\tHandshake")
+		for _, r := range timing.Table61() {
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.2f\t%s\n",
+				r.Operation, r.SWProcessing, r.SWMemory, r.HWProcessing, r.HWMemory,
+				measured[r.Operation], r.Handshake)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\"Simulated bus\" is the edge-accurate smart-bus simulation's transaction")
+		fmt.Fprintln(w, "time for the same operation (idle-arbitration charge excluded), matching")
+		fmt.Fprintln(w, "the table's \"Arch III mem\" column by construction of the timing diagrams.")
+		return nil
+	})
+
+	register("T6.2", "Contention sub-model (Arch I non-local client), Tables 6.2/6.3", func(w io.Writer, cfg Config) error {
+		rows, err := models.SolveContention(timing.Table62(), models.SolveOptions{})
+		if err != nil {
+			return err
+		}
+		tw := table(w)
+		fmt.Fprintln(tw, "Activity\tBest (us)\tSolved contention (us)\tPaper contention (us)")
+		for _, r := range rows {
+			fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\n", r.Name, r.Best, r.Contention, r.Paper)
+		}
+		return tw.Flush()
+	})
+
+	// The eight round-trip decomposition tables, each paired with the
+	// stage means its transition table feeds into the models.
+	for _, b := range timing.AllBreakdowns() {
+		b := b
+		locality := "Local"
+		if !b.Local {
+			locality = "Non-local"
+		}
+		register("T"+b.Table,
+			fmt.Sprintf("Architecture %v: %s Conversation", b.Arch, locality),
+			func(w io.Writer, _ Config) error { return printBreakdown(w, b) })
+	}
+
+	register("T6.24", "Offered Loads (Local)", func(w io.Writer, cfg Config) error {
+		return offeredLoads(w, cfg, true)
+	})
+	register("T6.25", "Offered Loads (Non-local)", func(w io.Writer, cfg Config) error {
+		return offeredLoads(w, cfg, false)
+	})
+}
+
+// measureBusPrimitives drives each Table 6.1 operation over the
+// simulated smart bus and reports its bus time in microseconds,
+// excluding the one-off idle-arbitration charge.
+func measureBusPrimitives() (map[string]float64, error) {
+	eng := des.New(21)
+	b := bus.New(eng)
+	mp := b.AttachUnit("mp", 3)
+	out := map[string]float64{}
+	idle := float64(bus.EdgesIdleArbitration*bus.EdgeTicks) / float64(des.Microsecond)
+
+	run := func(name string, op func(done func())) {
+		start := eng.Now()
+		finishedAt := int64(-1)
+		op(func() { finishedAt = eng.Now() })
+		eng.Run(eng.Now() + des.Second)
+		if finishedAt < 0 {
+			out[name] = -1
+			return
+		}
+		out[name] = float64(finishedAt-start)/float64(des.Microsecond) - idle
+	}
+
+	run("Enqueue", func(done func()) { mp.Enqueue(0x10, 0x100, done) })
+	run("Dequeue", func(done func()) { mp.Dequeue(0x10, 0x100, func(bool) { done() }) })
+	mp.Enqueue(0x10, 0x200, nil)
+	eng.Run(eng.Now() + des.Second)
+	run("First", func(done func()) { mp.First(0x10, func(uint16) { done() }) })
+	payload := make([]byte, 40)
+	run("Block Write (40 Bytes)", func(done func()) { mp.WriteBlock(0x4000, payload, done) })
+	run("Block Read (40 Bytes)", func(done func()) { mp.ReadBlock(0x4000, 40, func([]byte) { done() }) })
+	return out, nil
+}
+
+func printBreakdown(w io.Writer, b timing.Breakdown) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "Processor\tInitiator\t#\tDescription\tProcessing (us)\tShared access (us)\tBest (us)\tContention (us)")
+	for _, r := range b.Rows {
+		if r.IsCompute() {
+			fmt.Fprintf(tw, "%s\t%s\t%s\tCompute\tWorkload Parameter\t\t\t\n", r.Processor, r.Initiator, r.Number)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.0f\t%.0f\t%.0f\t%.1f\n",
+			r.Processor, r.Initiator, r.Number, r.Name, r.Processing, r.Shared, r.Best, r.Contention)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serial sums: best %.1f us, contention %.1f us\n", b.BestTotal, b.ContentionTotal)
+
+	// The derived model stage means (the paired transition table).
+	if b.Local {
+		p := timing.LocalParamsFor(b.Arch)
+		fmt.Fprintf(w, "model stages (us): host-client %.1f, host-server %.1f, send %.1f, recv %.1f, match %.1f, compute-base %.1f, reply %.1f\n",
+			p.HostClient, p.HostServer, p.CommSend, p.CommRecv, p.CommMatch, p.HostCompute, p.CommReply)
+	} else {
+		c := timing.ClientParamsFor(b.Arch)
+		s := timing.ServerParamsFor(b.Arch)
+		fmt.Fprintf(w, "client-node stages (us): host-send %.1f, send %.1f, cleanup %.1f, dma %.1f/%.1f\n",
+			c.HostSend, c.CommSend, c.CommCleanup, c.DMAOut, c.DMAIn)
+		fmt.Fprintf(w, "server-node stages (us): host-recv %.1f, recv %.1f, match %.1f, compute-base %.1f, reply %.1f\n",
+			s.HostRecv, s.CommRecv, s.CommMatch, s.HostCompute, s.CommReply)
+	}
+	return nil
+}
+
+// offeredLoads prints Tables 6.24/6.25: the paper's published loads next
+// to the loads implied by our solved single-conversation round trips.
+func offeredLoads(w io.Writer, cfg Config, local bool) error {
+	archs := []timing.Arch{timing.ArchI, timing.ArchII, timing.ArchIII, timing.ArchIV}
+	// C per architecture: the zero-compute single-conversation model
+	// round trip.
+	var c [4]float64
+	for i, a := range archs {
+		if local {
+			res, err := models.BuildLocal(a, 1, 1, 0).Solve(models.SolveOptions{})
+			if err != nil {
+				return err
+			}
+			c[i] = res.RoundTrip
+		} else {
+			res, err := models.SolveNonLocal(a, 1, 1, 0, models.SolveOptions{})
+			if err != nil {
+				return err
+			}
+			c[i] = res.RoundTrip
+		}
+	}
+	rows := timing.Table624()
+	if !local {
+		rows = timing.Table625()
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "Server time (ms)\tI paper/ours\tII paper/ours\tIII paper/ours\tIV paper/ours")
+	for _, r := range rows {
+		line := fmt.Sprintf("%.2f", r.ServerTimeMS)
+		for i := range archs {
+			ours := timing.OfferedLoad(c[i], r.ServerTimeMS*1000)
+			line += fmt.Sprintf("\t%.3f / %.3f", r.Load[i], ours)
+		}
+		fmt.Fprintln(tw, line)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "model round-trip C (us): I %.0f, II %.0f, III %.0f, IV %.0f\n", c[0], c[1], c[2], c[3])
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package experiments regenerates every table and figure of the thesis
+// evaluation: the chapter 3 profiling tables (3.1-3.7), the smart-bus
+// specification tables (5.1, 5.2), the chapter 6 timing and model tables
+// (6.1-6.25), and the chapter 6 result figures (6.15, 6.17-6.23), each
+// as a registered experiment that writes the corresponding rows or data
+// series. cmd/ipcmodel, cmd/profiler, and the repository benchmarks all
+// drive this registry.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Config tunes experiment execution.
+type Config struct {
+	// Quick trims the sweeps (fewer conversations and offered-load
+	// points) so the whole registry runs in tens of seconds; the full
+	// sweeps reproduce the paper's 1-4 conversations.
+	Quick bool
+	// Plot renders the figure experiments as ASCII charts in addition to
+	// their data tables.
+	Plot bool
+}
+
+// maxConversations reports the sweep depth.
+func (c Config) maxConversations() int {
+	if c.Quick {
+		return 2
+	}
+	return 4
+}
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the paper artifact id, e.g. "T3.1" or "F6.18".
+	ID string
+	// Title is the paper caption.
+	Title string
+	// Run writes the regenerated rows/series to w.
+	Run func(w io.Writer, cfg Config) error
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(w io.Writer, cfg Config) error) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All lists the registered experiments in paper order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i].ID, out[j].ID) })
+	return out
+}
+
+// less orders ids in paper order: chapter 3 tables, chapter 5 tables,
+// chapter 6 tables, chapter 6 figures, the appendix, then the extensions.
+func less(a, b string) bool {
+	ra, na := idRank(a)
+	rb, nb := idRank(b)
+	if ra != rb {
+		return ra < rb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b // suffixes like "a"/"b" on F6.17
+}
+
+// idRank classifies an id and extracts its numeric section.
+func idRank(id string) (rank int, section float64) {
+	switch {
+	case strings.HasPrefix(id, "T3."):
+		rank = 0
+	case strings.HasPrefix(id, "T5."):
+		rank = 1
+	case strings.HasPrefix(id, "T6."):
+		rank = 2
+	case strings.HasPrefix(id, "F"):
+		rank = 3
+	case strings.HasPrefix(id, "TA."):
+		rank = 4
+	case strings.HasPrefix(id, "X"):
+		rank = 5
+	default:
+		rank = 6
+	}
+	// Parse the trailing number (e.g. "6.17" from "F6.17a").
+	num := strings.TrimLeft(id, "TFXA")
+	num = strings.TrimPrefix(num, ".")
+	num = strings.TrimRight(num, "ab")
+	if v, err := strconv.ParseFloat(strings.TrimPrefix(num, "3."), 64); err == nil && rank == 0 {
+		return rank, v
+	}
+	if v, err := strconv.ParseFloat(strings.TrimPrefix(strings.TrimPrefix(num, "5."), "6."), 64); err == nil {
+		return rank, v
+	}
+	if v, err := strconv.ParseFloat(num, 64); err == nil {
+		return rank, v
+	}
+	return rank, 0
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment in order, writing section headers.
+func RunAll(w io.Writer, cfg Config) error {
+	for _, e := range All() {
+		fmt.Fprintf(w, "==== %s — %s ====\n", e.ID, e.Title)
+		if err := e.Run(w, cfg); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// table starts a tabwriter for aligned output.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}

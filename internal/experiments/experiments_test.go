@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Every table and figure of the evaluation must be registered.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"T3.1", "T3.2", "T3.3", "T3.4", "T3.5", "T3.6", "T3.7",
+		"T5.1", "T5.2",
+		"T6.1", "T6.2", "T6.4", "T6.6", "T6.9", "T6.11", "T6.14", "T6.16",
+		"T6.19", "T6.21", "T6.24", "T6.25",
+		"F6.7", "F6.15", "F6.17a", "F6.17b", "F6.18", "F6.19",
+		"F6.20", "F6.21", "F6.22", "F6.23",
+		"TA.1", "X1", "X2", "X3",
+	}
+	have := map[string]bool{}
+	for _, e := range All() {
+		have[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(have) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(have), len(want))
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("T6.1"); !ok {
+		t.Fatal("ByID(T6.1) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID(nope) should fail")
+	}
+}
+
+// Each cheap experiment runs and produces plausible output. The
+// expensive figure sweeps are covered by TestRunAllQuick below and by
+// the benchmarks.
+func TestTablesRun(t *testing.T) {
+	cheap := []string{"T3.1", "T3.2", "T3.3", "T3.4", "T3.5", "T3.6", "T3.7",
+		"T5.1", "T5.2", "T6.1", "T6.2", "T6.4", "T6.9", "T6.14", "T6.19", "F6.7", "TA.1", "X3"}
+	for _, id := range cheap {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf, Config{Quick: true}); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}
+
+// The smart-bus command table reports the timing-diagram edge counts.
+func TestCommandEdgesMatchTimingDiagrams(t *testing.T) {
+	e, _ := ByID("T5.2")
+	var buf bytes.Buffer
+	if err := e.Run(&buf, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`(?m)^0100\s+enqueue control block\s+4$`,
+		`(?m)^0110\s+first control block\s+8$`,
+		`(?m)^0000\s+simple read\s+8$`,
+		`(?m)^1000\s+write two bytes\s+4$`,
+		`(?m)^0001\s+block transfer\s+4$`,
+		`(?m)^0010\s+block read data\s+4$`,
+	} {
+		if ok, _ := regexp.MatchString(want, out); !ok {
+			t.Errorf("T5.2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A quick full pass over the registry completes without error.
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry pass is slow; run without -short")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, Config{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range All() {
+		if !strings.Contains(buf.String(), e.ID+" — ") {
+			t.Errorf("RunAll output missing section %s", e.ID)
+		}
+	}
+}
+
+// The T6.1 experiment's live bus measurement reproduces the paper's
+// architecture III memory-time column exactly.
+func TestT61SimulatedBusColumn(t *testing.T) {
+	e, _ := ByID("T6.1")
+	var buf bytes.Buffer
+	if err := e.Run(&buf, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`(?m)^Enqueue\s+60\s+14\s+9\s+1\s+1\.00`,
+		`(?m)^First\s+60\s+14\s+9\s+2\s+2\.00`,
+		`(?m)^Block Read \(40 Bytes\)\s+180\s+20\s+9\s+11\s+11\.00`,
+	} {
+		if ok, _ := regexp.MatchString(want, out); !ok {
+			t.Errorf("T6.1 output missing %q:\n%s", want, out)
+		}
+	}
+}

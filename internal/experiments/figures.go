@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/des"
+	"repro/internal/gtpn"
+	"repro/internal/machine"
+	"repro/internal/models"
+	"repro/internal/plot"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// serverTimesMS picks the Figure 6.18-style sweep of mean server
+// computation times (from Table 6.24's grid).
+func serverTimesMS(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{0, 1.14, 5.7, 22.8}
+	}
+	return []float64{0, 0.57, 1.14, 2.85, 5.7, 11.4, 22.8, 45.6}
+}
+
+func conversationRange(cfg Config) []int {
+	out := make([]int, 0, cfg.maxConversations())
+	for n := 1; n <= cfg.maxConversations(); n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
+func init() {
+	register("F6.7", "Modeling Large Constant Delays (geometric approximation)", runFig67)
+	register("F6.15", "Model Validation (machine simulation vs GTPN model)", runFig615)
+	register("F6.17a", "Maximum Communication Load (Local)", func(w io.Writer, cfg Config) error {
+		return maxLoadFigure(w, cfg, true, []timing.Arch{timing.ArchI, timing.ArchII, timing.ArchIII})
+	})
+	register("F6.17b", "Maximum Communication Load (Non-local)", func(w io.Writer, cfg Config) error {
+		return maxLoadFigure(w, cfg, false, []timing.Arch{timing.ArchI, timing.ArchII, timing.ArchIII})
+	})
+	register("F6.18", "Realistic Workload (Local)", func(w io.Writer, cfg Config) error {
+		return realisticFigure(w, cfg, true, []timing.Arch{timing.ArchI, timing.ArchII, timing.ArchIII})
+	})
+	register("F6.19", "Realistic Workload (Non-local)", func(w io.Writer, cfg Config) error {
+		return realisticFigure(w, cfg, false, []timing.Arch{timing.ArchI, timing.ArchII, timing.ArchIII})
+	})
+	register("F6.20", "Maximum Load (Architectures III & IV: Local)", func(w io.Writer, cfg Config) error {
+		return maxLoadFigure(w, cfg, true, []timing.Arch{timing.ArchIII, timing.ArchIV})
+	})
+	register("F6.21", "Maximum Load (Architectures III & IV: Non-local)", func(w io.Writer, cfg Config) error {
+		return maxLoadFigure(w, cfg, false, []timing.Arch{timing.ArchIII, timing.ArchIV})
+	})
+	register("F6.22", "Realistic Load (Architectures III & IV: Local)", func(w io.Writer, cfg Config) error {
+		return realisticFigure(w, cfg, true, []timing.Arch{timing.ArchIII, timing.ArchIV})
+	})
+	register("F6.23", "Realistic Load (Architectures III & IV: Non-local)", func(w io.Writer, cfg Config) error {
+		return realisticFigure(w, cfg, false, []timing.Arch{timing.ArchIII, timing.ArchIV})
+	})
+}
+
+// runFig67 demonstrates the Figure 6.7 device: a large constant delay
+// and a geometric delay with the same mean yield the same throughput.
+func runFig67(w io.Writer, _ Config) error {
+	const d = 100
+	build := func(geometric bool) *gtpn.Net {
+		b := gtpn.NewBuilder()
+		p1 := b.Place("P1", 1)
+		p2 := b.Place("P2", 0)
+		if geometric {
+			b.Transition("T2").From(p1).To(p2).Delay(1).Freq(gtpn.Const(1.0 / d))
+			b.Transition("T2.loop").From(p1).To(p1).Delay(1).Freq(gtpn.Const(1 - 1.0/d))
+		} else {
+			b.Transition("T2").From(p1).To(p2).Delay(d)
+		}
+		b.Transition("T0").From(p2).To(p1).Delay(1)
+		return b.MustBuild()
+	}
+	for _, geo := range []bool{false, true} {
+		sol, err := build(geo).Solve(gtpn.SolveOptions{})
+		if err != nil {
+			return err
+		}
+		kind := "constant delay"
+		if geo {
+			kind = "geometric delay"
+		}
+		fmt.Fprintf(w, "%-16s mean %d: throughput %.8f per tick (states: %d)\n",
+			kind, d, sol.Rate("T0"), sol.States)
+	}
+	fmt.Fprintf(w, "exact for both: 1/(%d+1) = %.8f\n", d, 1.0/(d+1))
+	return nil
+}
+
+// runFig615 validates the GTPN models against the machine-level
+// discrete-event implementation, as Figure 6.15 validated them against
+// the 925 test-bed (like that test-bed, two hosts per node).
+func runFig615(w io.Writer, cfg Config) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "Conversations\tServer time (ms)\tModel (trips/s)\tSimulated (trips/s)\tDeviation")
+	horizon := 20 * des.Second
+	if cfg.Quick {
+		horizon = 6 * des.Second
+	}
+	for _, n := range conversationRange(cfg) {
+		for _, sms := range serverTimesMS(cfg) {
+			xUS := sms * 1000
+			sol, err := models.SolveNonLocal(timing.ArchII, n, 2, xUS, models.SolveOptions{})
+			if err != nil {
+				return err
+			}
+			m := machine.NewNonLocal(timing.ArchII, machine.Config{Hosts: 2, Seed: uint64(n)*97 + uint64(sms*10)})
+			res := m.Run(workload.Params{
+				Conversations: n,
+				ComputeMean:   int64(xUS) * des.Microsecond,
+			}, horizon)
+			dev := 0.0
+			if sol.Throughput > 0 {
+				dev = (res.Throughput - sol.Throughput) / sol.Throughput
+			}
+			fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.2f\t%+.1f%%\n",
+				n, sms, sol.Throughput*1e6, res.Throughput*1e6, dev*100)
+		}
+	}
+	return tw.Flush()
+}
+
+// maxLoadFigure prints throughput versus the number of conversations at
+// maximum communication load (zero compute) for the given architectures.
+func maxLoadFigure(w io.Writer, cfg Config, local bool, archs []timing.Arch) error {
+	tw := table(w)
+	header := "Conversations"
+	for _, a := range archs {
+		header += fmt.Sprintf("\tArch %v (trips/s)", a)
+	}
+	fmt.Fprintln(tw, header)
+	series := make([]plot.Series, len(archs))
+	for i, a := range archs {
+		series[i].Name = fmt.Sprintf("arch %v", a)
+	}
+	for _, n := range conversationRange(cfg) {
+		line := fmt.Sprintf("%d", n)
+		for i, a := range archs {
+			tput, err := solveThroughput(a, local, n, 0)
+			if err != nil {
+				return err
+			}
+			series[i].X = append(series[i].X, float64(n))
+			series[i].Y = append(series[i].Y, tput*1e6)
+			line += fmt.Sprintf("\t%.2f", tput*1e6)
+		}
+		fmt.Fprintln(tw, line)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return drawFigure(w, cfg, "throughput vs conversations (maximum communication load)",
+		"conversations", "round trips/s", series)
+}
+
+// drawFigure renders the collected series when plotting is enabled.
+func drawFigure(w io.Writer, cfg Config, title, xlabel, ylabel string, series []plot.Series) error {
+	if !cfg.Plot {
+		return nil
+	}
+	var c plot.Chart
+	c.Title = title
+	c.XLabel = xlabel
+	c.YLabel = ylabel
+	for _, s := range series {
+		if err := c.Add(s); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, c.Render())
+	return err
+}
+
+// realisticFigure prints throughput versus offered load (computed, as
+// the paper plots it, against architecture I's communication time) for
+// each conversation count and architecture.
+func realisticFigure(w io.Writer, cfg Config, local bool, archs []timing.Arch) error {
+	// Architecture I's C for the x axis.
+	cI, err := roundTripC(timing.ArchI, local)
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	header := "Server time (ms)\tOffered load (arch I)"
+	for _, a := range archs {
+		for _, n := range conversationRange(cfg) {
+			header += fmt.Sprintf("\t%v n=%d", a, n)
+		}
+	}
+	fmt.Fprintln(tw, header)
+	nMax := cfg.maxConversations()
+	series := make([]plot.Series, len(archs))
+	for i, a := range archs {
+		series[i].Name = fmt.Sprintf("arch %v n=%d", a, nMax)
+	}
+	for _, sms := range serverTimesMS(cfg) {
+		xUS := sms * 1000
+		load := timing.OfferedLoad(cI, xUS)
+		line := fmt.Sprintf("%.2f\t%.3f", sms, load)
+		for i, a := range archs {
+			for _, n := range conversationRange(cfg) {
+				tput, err := solveThroughput(a, local, n, xUS)
+				if err != nil {
+					return err
+				}
+				if n == nMax {
+					series[i].X = append(series[i].X, load)
+					series[i].Y = append(series[i].Y, tput*1e6)
+				}
+				line += fmt.Sprintf("\t%.2f", tput*1e6)
+			}
+		}
+		fmt.Fprintln(tw, line)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return drawFigure(w, cfg,
+		fmt.Sprintf("throughput vs offered load (n=%d conversations)", nMax),
+		"offered load (arch I)", "round trips/s", series)
+}
+
+func solveThroughput(a timing.Arch, local bool, n int, xUS float64) (float64, error) {
+	if local {
+		res, err := models.BuildLocal(a, n, 1, xUS).Solve(models.SolveOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return res.Throughput, nil
+	}
+	res, err := models.SolveNonLocal(a, n, 1, xUS, models.SolveOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput, nil
+}
+
+func roundTripC(a timing.Arch, local bool) (float64, error) {
+	if local {
+		res, err := models.BuildLocal(a, 1, 1, 0).Solve(models.SolveOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return res.RoundTrip, nil
+	}
+	res, err := models.SolveNonLocal(a, 1, 1, 0, models.SolveOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return res.RoundTrip, nil
+}

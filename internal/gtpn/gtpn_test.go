@@ -1,0 +1,400 @@
+package gtpn
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func near(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", what, got, want, tol)
+	}
+}
+
+func relNear(t *testing.T, got, want, rel float64, what string) {
+	t.Helper()
+	if want == 0 {
+		near(t, got, want, rel, what)
+		return
+	}
+	if math.IsNaN(got) || math.Abs(got-want)/math.Abs(want) > rel {
+		t.Errorf("%s = %v, want %v (rel tol %v)", what, got, want, rel)
+	}
+}
+
+// A single token cycling through one delay-D transition fires at rate 1/D.
+func TestSingleLoopConstantDelay(t *testing.T) {
+	for _, d := range []int{1, 2, 5, 17} {
+		b := NewBuilder()
+		p := b.Place("P", 1)
+		b.Transition("T").From(p).To(p).Delay(d).Resource("lambda")
+		net := b.MustBuild()
+		sol, err := net.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Converged {
+			t.Fatalf("delay %d: solver did not converge", d)
+		}
+		relNear(t, sol.Rate("T"), 1/float64(d), 1e-9, "rate")
+		// The transition is always in flight.
+		relNear(t, sol.Usage("lambda"), 1, 1e-9, "usage")
+	}
+}
+
+// The Figure 6.6 example shape: a token loops in P1 geometrically, visits
+// P2 for one tick, and returns. Mean cycle = 1/p + 1.
+func TestGeometricCycle(t *testing.T) {
+	p := 0.25
+	b := NewBuilder()
+	p1 := b.Place("P1", 1)
+	p2 := b.Place("P2", 0)
+	b.Transition("T0").From(p1).To(p2).Delay(1).Freq(Const(p)).Resource("lambda")
+	b.Transition("T1").From(p1).To(p1).Delay(1).Freq(Const(1 - p))
+	b.Transition("T2").From(p2).To(p1).Delay(1)
+	net := b.MustBuild()
+	sol, err := net.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (1/p + 1)
+	relNear(t, sol.Rate("T0"), want, 1e-9, "throughput")
+	relNear(t, sol.Rate("T2"), want, 1e-9, "T2 rate")
+	// Mean tokens split proportionally to time spent in each phase; the
+	// P1 phase includes T0/T1 firings in flight, so check populations.
+	n1 := sol.Population([]string{"P1"}, []string{"T0", "T1"})
+	n2 := sol.Population([]string{"P2"}, []string{"T2"})
+	relNear(t, n1+n2, 1, 1e-9, "token conservation")
+	relNear(t, n1, (1/p)/(1/p+1), 1e-9, "P1 occupancy")
+}
+
+// Figure 6.7: a large constant delay and a geometric delay with the same
+// mean yield the same throughput.
+func TestGeometricApproximationOfConstantDelay(t *testing.T) {
+	const d = 40
+	build := func(geometric bool) *Net {
+		b := NewBuilder()
+		p1 := b.Place("P1", 1)
+		p2 := b.Place("P2", 0)
+		if geometric {
+			b.Transition("T2").From(p1).To(p2).Delay(1).Freq(Const(1.0 / d))
+			b.Transition("T2loop").From(p1).To(p1).Delay(1).Freq(Const(1 - 1.0/d))
+		} else {
+			b.Transition("T2").From(p1).To(p2).Delay(d)
+		}
+		b.Transition("T0").From(p2).To(p1).Delay(1).Resource("lambda")
+		return b.MustBuild()
+	}
+	solveRate := func(n *Net) float64 {
+		sol, err := n.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol.Rate("T0")
+	}
+	rConst := solveRate(build(false))
+	rGeo := solveRate(build(true))
+	relNear(t, rConst, 1.0/(d+1), 1e-9, "constant-delay throughput")
+	relNear(t, rGeo, 1.0/(d+1), 1e-9, "geometric-delay throughput")
+}
+
+// Conflicting transitions split probability in proportion to frequency.
+func TestConflictSplit(t *testing.T) {
+	b := NewBuilder()
+	p := b.Place("P", 1)
+	a := b.Place("A", 0)
+	c := b.Place("C", 0)
+	b.Transition("TA").From(p).To(a).Delay(1).Freq(Const(3))
+	b.Transition("TB").From(p).To(c).Delay(1).Freq(Const(1))
+	net := b.MustBuild()
+	sol, err := net.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.DeadStates != 2 {
+		t.Fatalf("DeadStates = %d, want 2", sol.DeadStates)
+	}
+	// The chain is absorbed into A with probability 3/4.
+	near(t, sol.Tokens("A"), 0.75, 1e-9, "P(absorb A)")
+	near(t, sol.Tokens("C"), 0.25, 1e-9, "P(absorb C)")
+}
+
+// A zero-delay transition forwards tokens within an instant and is
+// counted in FiringRate.
+func TestZeroDelayForwarding(t *testing.T) {
+	b := NewBuilder()
+	p1 := b.Place("P1", 1)
+	p2 := b.Place("P2", 0)
+	p3 := b.Place("P3", 0)
+	b.Transition("Tslow").From(p1).To(p2).Delay(4)
+	b.Transition("Timm").From(p2).To(p3).Delay(0)
+	b.Transition("Tback").From(p3).To(p1).Delay(1)
+	net := b.MustBuild()
+	sol, err := net.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relNear(t, sol.Rate("Timm"), 1.0/5, 1e-9, "immediate transition rate")
+	relNear(t, sol.Rate("Tback"), 1.0/5, 1e-9, "Tback rate")
+	near(t, sol.MeanTokens[p2], 0, 1e-12, "P2 is always drained instantly")
+}
+
+// Zero-delay cycles are detected rather than looping forever.
+func TestZeroDelayCycleDetected(t *testing.T) {
+	b := NewBuilder()
+	p1 := b.Place("P1", 1)
+	p2 := b.Place("P2", 0)
+	b.Transition("Ta").From(p1).To(p2).Delay(0)
+	b.Transition("Tb").From(p2).To(p1).Delay(0)
+	net := b.MustBuild()
+	_, err := net.Solve(SolveOptions{})
+	if err == nil || !strings.Contains(err.Error(), "zero-delay") {
+		t.Fatalf("expected zero-delay cycle error, got %v", err)
+	}
+}
+
+// State-dependent frequencies implement priority: while an interrupt
+// token is pending, the low-priority stage is inhibited.
+func TestStateDependentPriority(t *testing.T) {
+	b := NewBuilder()
+	host := b.Place("Host", 1)
+	work := b.Place("Work", 1)
+	intr := b.Place("Intr", 1)
+	done := b.Place("Done", 0)
+	intrGate := func(v View) float64 {
+		if v.Tokens(intr) == 0 {
+			return 1
+		}
+		return 0
+	}
+	// Low-priority work takes the host only when no interrupt pends.
+	b.Transition("TWork").From(work, host).To(done, host).Delay(3).Freq(intrGate)
+	// Interrupt service takes the host unconditionally.
+	b.Transition("TIntr").From(intr, host).To(host).Delay(2)
+	net := b.MustBuild()
+	sol, err := net.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequence is forced: interrupt (2 ticks) then work (3 ticks), then
+	// dead. Work completes exactly once.
+	if sol.DeadStates != 1 {
+		t.Fatalf("DeadStates = %d, want 1", sol.DeadStates)
+	}
+	near(t, sol.Tokens("Done"), 1, 1e-9, "work completed after interrupt")
+}
+
+// Two customers and one server: utilization and throughput follow the
+// closed-network solution; solver and simulator agree.
+func TestClosedNetworkSolverVsSimulator(t *testing.T) {
+	build := func() *Net {
+		b := NewBuilder()
+		think := b.Place("Think", 2)
+		srv := b.Place("Server", 1)
+		busy := b.Place("Busy", 0)
+		// Thinking ends geometrically with mean 8.
+		b.Transition("TthinkEnd").From(think, srv).To(busy, srv).Delay(1).Freq(Const(1.0 / 8))
+		b.Transition("TthinkLoop").From(think, srv).To(think, srv).Delay(1).Freq(Const(7.0 / 8))
+		// Service is geometric with mean 4 and holds the server... the
+		// Busy stage represents service; it does not need srv because
+		// entry was serialized; give it its own geometric stage.
+		b.Transition("TsvcEnd").From(busy).To(think).Delay(1).Freq(Const(1.0 / 4)).Resource("lambda")
+		b.Transition("TsvcLoop").From(busy).To(busy).Delay(1).Freq(Const(3.0 / 4))
+		return b.MustBuild()
+	}
+	sol, err := build().Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := build().Simulate(SimOptions{Seed: 42, Ticks: 4_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Dead {
+		t.Fatal("simulation reached a dead state")
+	}
+	relNear(t, sim.Rate("TsvcEnd"), sol.Rate("TsvcEnd"), 0.02, "sim vs solver throughput")
+	relNear(t, sim.Usage("lambda"), sol.Usage("lambda"), 0.02, "sim vs solver usage")
+	relNear(t, sim.Tokens("Think"), sol.Tokens("Think"), 0.02, "sim vs solver population")
+}
+
+// Little's law holds exactly in the solved steady state.
+func TestLittlesLaw(t *testing.T) {
+	b := NewBuilder()
+	out := b.Place("Outside", 3)
+	in := b.Place("Inside", 0)
+	b.Transition("Tarrive").From(out).To(in).Delay(1).Freq(Const(1.0 / 10)).Resource("arrivals")
+	b.Transition("TarriveLoop").From(out).To(out).Delay(1).Freq(Const(9.0 / 10))
+	b.Transition("Tleave").From(in).To(out).Delay(1).Freq(Const(1.0 / 6))
+	b.Transition("TleaveLoop").From(in).To(in).Delay(1).Freq(Const(5.0 / 6))
+	net := b.MustBuild()
+	sol, err := net.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := sol.Rate("Tarrive")
+	n := sol.Population([]string{"Inside"}, []string{"Tleave", "TleaveLoop"})
+	tResp := LittleDelay(n, lambda)
+	// Consistency: the departure rate must match the arrival rate, and
+	// time in system must equal the geometric service mean (6 ticks:
+	// a customer occupies the station from arrival completion until its
+	// own departure completes).
+	relNear(t, sol.Rate("Tleave"), lambda, 1e-9, "flow balance")
+	relNear(t, tResp, 6, 1e-9, "Little's-law response time")
+}
+
+// Mixed delays in flight: a delay-3 and a delay-2 firing started together
+// complete at the right times.
+func TestMixedDelaysAdvance(t *testing.T) {
+	b := NewBuilder()
+	a := b.Place("A", 1)
+	c := b.Place("C", 1)
+	a2 := b.Place("A2", 0)
+	c2 := b.Place("C2", 0)
+	sync := b.Place("Sync", 0)
+	b.Transition("Tlong").From(a).To(a2).Delay(3)
+	b.Transition("Tshort").From(c).To(c2).Delay(2)
+	b.Transition("Tjoin").From(a2, c2).To(sync).Delay(0)
+	net := b.MustBuild()
+	sol, err := net.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.DeadStates != 1 {
+		t.Fatalf("DeadStates = %d, want 1", sol.DeadStates)
+	}
+	near(t, sol.Tokens("Sync"), 1, 1e-9, "joined")
+}
+
+func TestBuilderValidation(t *testing.T) {
+	t.Run("duplicate place", func(t *testing.T) {
+		b := NewBuilder()
+		b.Place("P", 1)
+		b.Place("P", 1)
+		b.Transition("T").From(0).To(0).Delay(1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected duplicate-place error")
+		}
+	})
+	t.Run("no input places", func(t *testing.T) {
+		b := NewBuilder()
+		p := b.Place("P", 1)
+		b.Transition("T").To(p).Delay(1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected no-input error")
+		}
+	})
+	t.Run("negative delay", func(t *testing.T) {
+		b := NewBuilder()
+		p := b.Place("P", 1)
+		b.Transition("T").From(p).To(p).Delay(-1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected negative-delay error")
+		}
+	})
+	t.Run("empty net", func(t *testing.T) {
+		if _, err := NewBuilder().Build(); err == nil {
+			t.Fatal("expected empty-net error")
+		}
+	})
+	t.Run("unknown place id", func(t *testing.T) {
+		b := NewBuilder()
+		p := b.Place("P", 1)
+		b.Transition("T").From(p).To(PlaceID(99)).Delay(1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected unknown-place error")
+		}
+	})
+}
+
+func TestNetIntrospection(t *testing.T) {
+	b := NewBuilder()
+	p := b.Place("P", 2)
+	q := b.Place("Q", 0)
+	b.Transition("T").From(p).To(q).Delay(1).Resource("r1")
+	b.Transition("U").From(q).To(p).Delay(1).Resource("r2")
+	net := b.MustBuild()
+	if net.NumPlaces() != 2 || net.NumTransitions() != 2 {
+		t.Fatalf("sizes: %d places, %d transitions", net.NumPlaces(), net.NumTransitions())
+	}
+	if name := net.PlaceName(p); name != "P" {
+		t.Errorf("PlaceName = %q", name)
+	}
+	if id, ok := net.PlaceByName("Q"); !ok || id != q {
+		t.Errorf("PlaceByName(Q) = %v, %v", id, ok)
+	}
+	if _, ok := net.PlaceByName("nope"); ok {
+		t.Error("PlaceByName(nope) should fail")
+	}
+	if id, ok := net.TransByName("U"); !ok || net.TransName(id) != "U" {
+		t.Errorf("TransByName(U) round-trip failed")
+	}
+	rs := net.Resources()
+	if len(rs) != 2 || rs[0] != "r1" || rs[1] != "r2" {
+		t.Errorf("Resources = %v", rs)
+	}
+}
+
+// The If helper mirrors the thesis "<expr> -> a, b" notation.
+func TestIfFreq(t *testing.T) {
+	b := NewBuilder()
+	p := b.Place("P", 1)
+	q := b.Place("Q", 0)
+	b.Transition("T").From(p).To(q).Delay(1).
+		Freq(If(func(v View) bool { return v.Tokens(p) > 0 }, 0.5, 0))
+	b.Transition("Tloop").From(p).To(p).Delay(1).Freq(Const(0.5))
+	net := b.MustBuild()
+	sol, err := net.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, sol.Tokens("Q"), 1, 1e-9, "eventually absorbed in Q")
+}
+
+// Multiplicity: a transition consuming two tokens from one place.
+func TestInputMultiplicity(t *testing.T) {
+	b := NewBuilder()
+	p := b.Place("P", 2)
+	q := b.Place("Q", 0)
+	b.Transition("Tpair").From(p, p).To(q).Delay(1)
+	net := b.MustBuild()
+	sol, err := net.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, sol.Tokens("Q"), 1, 1e-9, "pair consumed")
+	near(t, sol.Tokens("P"), 0, 1e-9, "P drained")
+}
+
+// Simulator handles dead nets gracefully.
+func TestSimulatorDeadNet(t *testing.T) {
+	b := NewBuilder()
+	p := b.Place("P", 1)
+	q := b.Place("Q", 0)
+	b.Transition("T").From(p).To(q).Delay(2)
+	net := b.MustBuild()
+	res, err := net.Simulate(SimOptions{Seed: 1, Ticks: 100, WarmupSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dead || res.DeadTick != 2 {
+		t.Fatalf("Dead=%v DeadTick=%d, want true/2", res.Dead, res.DeadTick)
+	}
+}
+
+// Solution.String is stable and mentions resources.
+func TestSolutionString(t *testing.T) {
+	b := NewBuilder()
+	p := b.Place("P", 1)
+	b.Transition("T").From(p).To(p).Delay(1).Resource("lambda")
+	sol, err := b.MustBuild().Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sol.String()
+	if !strings.Contains(s, "lambda") || !strings.Contains(s, "states: 1") {
+		t.Errorf("String() = %q", s)
+	}
+}

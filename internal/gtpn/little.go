@@ -1,0 +1,58 @@
+package gtpn
+
+import "fmt"
+
+// Population reports the time-averaged number of customers inside a
+// subsystem, counting tokens resting in the named places plus firings in
+// flight on the named transitions. Combined with a firing rate it yields
+// mean delays through Little's law (N = lambda * T), the device the
+// thesis uses to extract the surrogate server delay S_d from the server
+// model (its "Queue"/"T6" apparatus, which this engine replaces by
+// measuring populations directly).
+func (s *Solution) Population(placeNames, transNames []string) float64 {
+	var n float64
+	for _, name := range placeNames {
+		p, ok := s.net.PlaceByName(name)
+		if !ok {
+			panic(fmt.Sprintf("gtpn: unknown place %q", name))
+		}
+		n += s.MeanTokens[p]
+	}
+	for _, name := range transNames {
+		t, ok := s.net.TransByName(name)
+		if !ok {
+			panic(fmt.Sprintf("gtpn: unknown transition %q", name))
+		}
+		n += s.MeanFiring[t]
+	}
+	return n
+}
+
+// Population is the simulation counterpart of Solution.Population.
+func (r *SimResult) Population(placeNames, transNames []string) float64 {
+	var n float64
+	for _, name := range placeNames {
+		p, ok := r.net.PlaceByName(name)
+		if !ok {
+			panic(fmt.Sprintf("gtpn: unknown place %q", name))
+		}
+		n += r.MeanTokens[p]
+	}
+	for _, name := range transNames {
+		t, ok := r.net.TransByName(name)
+		if !ok {
+			panic(fmt.Sprintf("gtpn: unknown transition %q", name))
+		}
+		n += r.MeanFiring[t]
+	}
+	return n
+}
+
+// LittleDelay applies Little's law: given a population N and a throughput
+// lambda (per tick), it reports the mean time spent in the subsystem.
+func LittleDelay(population, lambda float64) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	return population / lambda
+}

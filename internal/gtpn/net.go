@@ -1,0 +1,296 @@
+package gtpn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PlaceID identifies a place within a Net.
+type PlaceID int
+
+// TransID identifies a transition within a Net.
+type TransID int
+
+// View gives frequency functions read access to the state in which they
+// are evaluated: the current marking and the multiset of in-flight
+// (currently firing) transitions.
+type View interface {
+	// Tokens reports the number of tokens currently in place p.
+	Tokens(p PlaceID) int
+	// Firing reports how many firings of transition t are in flight.
+	Firing(t TransID) int
+}
+
+// FreqFunc computes the firing weight of a transition in a given state.
+// A non-positive weight disables the transition in that state.
+type FreqFunc func(v View) float64
+
+// Const returns a state-independent frequency.
+func Const(w float64) FreqFunc {
+	return func(View) float64 { return w }
+}
+
+// If returns a frequency that is then when cond holds and otherwise
+// otherwise, mirroring the thesis notation "<expr> -> a, b".
+func If(cond func(v View) bool, then, otherwise float64) FreqFunc {
+	return func(v View) float64 {
+		if cond(v) {
+			return then
+		}
+		return otherwise
+	}
+}
+
+// Place is a node of the net holding tokens.
+type Place struct {
+	Name    string
+	Initial int
+}
+
+// Transition is an event of the net. In and Out are multisets of places
+// expressed by repetition.
+type Transition struct {
+	Name     string
+	In       []PlaceID
+	Out      []PlaceID
+	Delay    int
+	Freq     FreqFunc
+	Resource string
+}
+
+// Net is an immutable Generalized Timed Petri Net.
+type Net struct {
+	places []Place
+	trans  []Transition
+
+	// inCount[t][p] and outCount[t][p] are dense multiplicity tables.
+	inCount  [][]int32
+	outCount [][]int32
+	// sparse input lists for the enabling test.
+	inList [][]placeMult
+	// maxDelay across transitions.
+	maxDelay int
+	// firingOffset[t] is the index of transition t's first remaining-time
+	// bucket in the flattened firing vector; transition t with Delay d
+	// owns buckets firingOffset[t] .. firingOffset[t]+d-1, where bucket i
+	// counts firings with remaining time i+1. Zero-delay transitions own
+	// no buckets.
+	firingOffset []int
+	firingLen    int
+
+	// lastFires0 is scratch state for the Monte Carlo simulator (see
+	// sampleInstant); a Net must not be simulated concurrently.
+	lastFires0 map[int]int
+}
+
+type placeMult struct {
+	p PlaceID
+	m int32
+}
+
+// NumPlaces reports the number of places in the net.
+func (n *Net) NumPlaces() int { return len(n.places) }
+
+// NumTransitions reports the number of transitions in the net.
+func (n *Net) NumTransitions() int { return len(n.trans) }
+
+// PlaceName reports the name of place p.
+func (n *Net) PlaceName(p PlaceID) string { return n.places[p].Name }
+
+// TransName reports the name of transition t.
+func (n *Net) TransName(t TransID) string { return n.trans[t].Name }
+
+// PlaceByName looks a place up by name.
+func (n *Net) PlaceByName(name string) (PlaceID, bool) {
+	for i, p := range n.places {
+		if p.Name == name {
+			return PlaceID(i), true
+		}
+	}
+	return 0, false
+}
+
+// TransByName looks a transition up by name.
+func (n *Net) TransByName(name string) (TransID, bool) {
+	for i, t := range n.trans {
+		if t.Name == name {
+			return TransID(i), true
+		}
+	}
+	return 0, false
+}
+
+// Resources reports the distinct resource tags used in the net, sorted.
+func (n *Net) Resources() []string {
+	seen := map[string]bool{}
+	for _, t := range n.trans {
+		if t.Resource != "" {
+			seen[t.Resource] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// initialMarking returns a fresh copy of the net's initial marking.
+func (n *Net) initialMarking() []int32 {
+	m := make([]int32, len(n.places))
+	for i, p := range n.places {
+		m[i] = int32(p.Initial)
+	}
+	return m
+}
+
+// Builder assembles a Net.
+type Builder struct {
+	places []Place
+	trans  []*TransitionBuilder
+	names  map[string]bool
+	errs   []error
+}
+
+// NewBuilder returns an empty net builder.
+func NewBuilder() *Builder {
+	return &Builder{names: map[string]bool{}}
+}
+
+// Place adds a place with the given name and initial token count and
+// returns its id.
+func (b *Builder) Place(name string, initial int) PlaceID {
+	if b.names["p:"+name] {
+		b.errs = append(b.errs, fmt.Errorf("gtpn: duplicate place %q", name))
+	}
+	b.names["p:"+name] = true
+	if initial < 0 {
+		b.errs = append(b.errs, fmt.Errorf("gtpn: place %q has negative initial marking %d", name, initial))
+	}
+	b.places = append(b.places, Place{Name: name, Initial: initial})
+	return PlaceID(len(b.places) - 1)
+}
+
+// Transition starts the definition of a transition. Attributes are set on
+// the returned TransitionBuilder; defaults are Delay 0 and Freq Const(1).
+func (b *Builder) Transition(name string) *TransitionBuilder {
+	if b.names["t:"+name] {
+		b.errs = append(b.errs, fmt.Errorf("gtpn: duplicate transition %q", name))
+	}
+	b.names["t:"+name] = true
+	tb := &TransitionBuilder{t: Transition{Name: name, Freq: Const(1)}}
+	b.trans = append(b.trans, tb)
+	return tb
+}
+
+// TransitionBuilder configures a single transition fluently.
+type TransitionBuilder struct {
+	t Transition
+}
+
+// From appends input places (repetition expresses multiplicity).
+func (tb *TransitionBuilder) From(ps ...PlaceID) *TransitionBuilder {
+	tb.t.In = append(tb.t.In, ps...)
+	return tb
+}
+
+// To appends output places (repetition expresses multiplicity).
+func (tb *TransitionBuilder) To(ps ...PlaceID) *TransitionBuilder {
+	tb.t.Out = append(tb.t.Out, ps...)
+	return tb
+}
+
+// Delay sets the deterministic firing duration in ticks.
+func (tb *TransitionBuilder) Delay(d int) *TransitionBuilder {
+	tb.t.Delay = d
+	return tb
+}
+
+// Freq sets the firing-weight function.
+func (tb *TransitionBuilder) Freq(f FreqFunc) *TransitionBuilder {
+	tb.t.Freq = f
+	return tb
+}
+
+// Resource tags the transition with a named resource; the solver reports
+// the time-averaged number of in-flight firings per resource.
+func (tb *TransitionBuilder) Resource(r string) *TransitionBuilder {
+	tb.t.Resource = r
+	return tb
+}
+
+// Build validates the net and freezes it.
+func (b *Builder) Build() (*Net, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.places) == 0 {
+		return nil, fmt.Errorf("gtpn: net has no places")
+	}
+	if len(b.trans) == 0 {
+		return nil, fmt.Errorf("gtpn: net has no transitions")
+	}
+	n := &Net{places: append([]Place(nil), b.places...)}
+	for _, tb := range b.trans {
+		t := tb.t
+		if t.Delay < 0 {
+			return nil, fmt.Errorf("gtpn: transition %q has negative delay %d", t.Name, t.Delay)
+		}
+		if len(t.In) == 0 {
+			return nil, fmt.Errorf("gtpn: transition %q has no input places", t.Name)
+		}
+		for _, p := range append(append([]PlaceID(nil), t.In...), t.Out...) {
+			if int(p) < 0 || int(p) >= len(n.places) {
+				return nil, fmt.Errorf("gtpn: transition %q references unknown place %d", t.Name, p)
+			}
+		}
+		n.trans = append(n.trans, t)
+	}
+	n.freeze()
+	return n, nil
+}
+
+// MustBuild is Build that panics on error; for use in tests and in model
+// constructors whose nets are statically known to be well-formed.
+func (b *Builder) MustBuild() *Net {
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (n *Net) freeze() {
+	np, nt := len(n.places), len(n.trans)
+	n.inCount = make([][]int32, nt)
+	n.outCount = make([][]int32, nt)
+	n.inList = make([][]placeMult, nt)
+	n.firingOffset = make([]int, nt)
+	off := 0
+	for i, t := range n.trans {
+		in := make([]int32, np)
+		out := make([]int32, np)
+		for _, p := range t.In {
+			in[p]++
+		}
+		for _, p := range t.Out {
+			out[p]++
+		}
+		n.inCount[i] = in
+		n.outCount[i] = out
+		var lst []placeMult
+		for p, m := range in {
+			if m > 0 {
+				lst = append(lst, placeMult{PlaceID(p), m})
+			}
+		}
+		n.inList[i] = lst
+		n.firingOffset[i] = off
+		off += t.Delay
+		if t.Delay > n.maxDelay {
+			n.maxDelay = t.Delay
+		}
+	}
+	n.firingLen = off
+}

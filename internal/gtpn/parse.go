@@ -1,0 +1,278 @@
+package gtpn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file gives nets a textual form, in the spirit of the UW GTPN
+// analyzer the thesis used ("takes a description of the petri net,
+// builds the reachable states..."). The format is line-oriented:
+//
+//	# Figure 6.6, roughly
+//	place P1 = 1
+//	place P2
+//
+//	trans T0 : P1 -> P2        delay 1  freq 1/5      resource lambda
+//	trans T1 : P1 -> P1        delay 1  freq 1-1/5
+//	trans T2 : P2 -> P1        delay 1
+//
+// Multiplicities repeat the place name ("P P -> Q" consumes two tokens
+// from P). Frequencies accept a decimal, the thesis's "1/x" and "1-1/x"
+// geometric-stage forms, or "a/b". A transition may carry a gate,
+// "when <place> = 0" or "when <place> > 0", the marking-dependent
+// inhibition used by the chapter 6 interrupt-priority expressions.
+type parser struct {
+	b      *Builder
+	places map[string]PlaceID
+	line   int
+}
+
+// ParseNet reads the textual format and builds the net.
+func ParseNet(r io.Reader) (*Net, error) {
+	p := &parser{b: NewBuilder(), places: map[string]PlaceID{}}
+	sc := bufio.NewScanner(r)
+	var pending []pendingTrans
+	for sc.Scan() {
+		p.line++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "place":
+			if err := p.parsePlace(fields[1:]); err != nil {
+				return nil, p.errf("%v", err)
+			}
+		case "trans":
+			pt, err := p.parseTrans(strings.TrimSpace(line[len("trans"):]))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			pending = append(pending, pt)
+		default:
+			return nil, p.errf("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Transitions are materialized after all places are known, so a net
+	// may reference places declared later... they must still be declared
+	// somewhere; resolve now.
+	for _, pt := range pending {
+		if err := p.buildTrans(pt); err != nil {
+			return nil, err
+		}
+	}
+	return p.b.Build()
+}
+
+// ParseNetString is ParseNet over a string.
+func ParseNetString(s string) (*Net, error) { return ParseNet(strings.NewReader(s)) }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("gtpn: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parsePlace(fields []string) error {
+	if len(fields) == 0 {
+		return fmt.Errorf("place needs a name")
+	}
+	name := fields[0]
+	initial := 0
+	rest := fields[1:]
+	if len(rest) >= 1 && rest[0] == "=" {
+		rest = rest[1:]
+	}
+	if len(rest) >= 1 {
+		n, err := strconv.Atoi(rest[0])
+		if err != nil {
+			return fmt.Errorf("bad initial marking %q", rest[0])
+		}
+		initial = n
+	}
+	if _, dup := p.places[name]; dup {
+		return fmt.Errorf("duplicate place %q", name)
+	}
+	p.places[name] = p.b.Place(name, initial)
+	return nil
+}
+
+type pendingTrans struct {
+	name     string
+	ins      []string
+	outs     []string
+	delay    int
+	freq     FreqFunc
+	resource string
+	gate     *gateSpec
+	line     int
+}
+
+type gateSpec struct {
+	place string
+	zero  bool // true: enabled when marking == 0; false: when marking > 0
+}
+
+func (p *parser) parseTrans(rest string) (pendingTrans, error) {
+	pt := pendingTrans{delay: 1, freq: Const(1), line: p.line}
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return pt, fmt.Errorf("transition needs \"name : ins -> outs\"")
+	}
+	pt.name = strings.TrimSpace(rest[:colon])
+	if pt.name == "" {
+		return pt, fmt.Errorf("transition needs a name")
+	}
+	rest = rest[colon+1:]
+
+	arrow := strings.Index(rest, "->")
+	if arrow < 0 {
+		return pt, fmt.Errorf("transition %s needs \"ins -> outs\"", pt.name)
+	}
+	pt.ins = strings.Fields(rest[:arrow])
+	rest = rest[arrow+2:]
+
+	// The outs run until the first keyword.
+	fields := strings.Fields(rest)
+	i := 0
+	for ; i < len(fields); i++ {
+		if isKeyword(fields[i]) {
+			break
+		}
+		pt.outs = append(pt.outs, fields[i])
+	}
+	for i < len(fields) {
+		switch fields[i] {
+		case "delay":
+			if i+1 >= len(fields) {
+				return pt, fmt.Errorf("%s: delay needs a value", pt.name)
+			}
+			d, err := strconv.Atoi(fields[i+1])
+			if err != nil || d < 0 {
+				return pt, fmt.Errorf("%s: bad delay %q", pt.name, fields[i+1])
+			}
+			pt.delay = d
+			i += 2
+		case "freq":
+			if i+1 >= len(fields) {
+				return pt, fmt.Errorf("%s: freq needs a value", pt.name)
+			}
+			f, err := parseFreq(fields[i+1])
+			if err != nil {
+				return pt, fmt.Errorf("%s: %v", pt.name, err)
+			}
+			pt.freq = Const(f)
+			i += 2
+		case "resource":
+			if i+1 >= len(fields) {
+				return pt, fmt.Errorf("%s: resource needs a name", pt.name)
+			}
+			pt.resource = fields[i+1]
+			i += 2
+		case "when":
+			// "when P = 0" or "when P > 0"
+			if i+3 >= len(fields) {
+				return pt, fmt.Errorf("%s: when needs \"<place> =|> 0\"", pt.name)
+			}
+			g := &gateSpec{place: fields[i+1]}
+			switch fields[i+2] {
+			case "=", "==":
+				g.zero = true
+			case ">":
+				g.zero = false
+			default:
+				return pt, fmt.Errorf("%s: bad gate operator %q", pt.name, fields[i+2])
+			}
+			if fields[i+3] != "0" {
+				return pt, fmt.Errorf("%s: gates compare against 0", pt.name)
+			}
+			pt.gate = g
+			i += 4
+		default:
+			return pt, fmt.Errorf("%s: unexpected token %q", pt.name, fields[i])
+		}
+	}
+	if len(pt.ins) == 0 {
+		return pt, fmt.Errorf("%s: no input places", pt.name)
+	}
+	return pt, nil
+}
+
+func isKeyword(s string) bool {
+	switch s {
+	case "delay", "freq", "resource", "when":
+		return true
+	}
+	return false
+}
+
+// parseFreq accepts "0.25", "1/1390", "1-1/1390", and "3/4".
+func parseFreq(s string) (float64, error) {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "1-"); ok {
+		inner, err := parseFreq(rest)
+		if err != nil {
+			return 0, err
+		}
+		return 1 - inner, nil
+	}
+	if num, den, ok := strings.Cut(s, "/"); ok {
+		n, err1 := strconv.ParseFloat(num, 64)
+		d, err2 := strconv.ParseFloat(den, 64)
+		if err1 != nil || err2 != nil || d == 0 {
+			return 0, fmt.Errorf("bad frequency %q", s)
+		}
+		return n / d, nil
+	}
+	return 0, fmt.Errorf("bad frequency %q", s)
+}
+
+func (p *parser) buildTrans(pt pendingTrans) error {
+	resolve := func(names []string) ([]PlaceID, error) {
+		out := make([]PlaceID, len(names))
+		for i, n := range names {
+			id, ok := p.places[n]
+			if !ok {
+				return nil, fmt.Errorf("gtpn: line %d: %s references unknown place %q", pt.line, pt.name, n)
+			}
+			out[i] = id
+		}
+		return out, nil
+	}
+	ins, err := resolve(pt.ins)
+	if err != nil {
+		return err
+	}
+	outs, err := resolve(pt.outs)
+	if err != nil {
+		return err
+	}
+	freq := pt.freq
+	if pt.gate != nil {
+		gp, ok := p.places[pt.gate.place]
+		if !ok {
+			return fmt.Errorf("gtpn: line %d: %s gates on unknown place %q", pt.line, pt.name, pt.gate.place)
+		}
+		zero := pt.gate.zero
+		base := pt.freq
+		freq = func(v View) float64 {
+			if (v.Tokens(gp) == 0) == zero {
+				return base(v)
+			}
+			return 0
+		}
+	}
+	tb := p.b.Transition(pt.name).From(ins...).To(outs...).Delay(pt.delay).Freq(freq)
+	if pt.resource != "" {
+		tb.Resource(pt.resource)
+	}
+	return nil
+}

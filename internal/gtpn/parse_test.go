@@ -1,0 +1,171 @@
+package gtpn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const fig66Net = `
+# The Figure 6.6 example: a token loops in P1 geometrically, visits P2,
+# and returns.
+place P1 = 1
+place P2
+
+trans T0 : P1 -> P2 delay 1 freq 1/5 resource lambda
+trans T1 : P1 -> P1 delay 1 freq 1-1/5
+trans T2 : P2 -> P1 delay 1
+`
+
+func TestParseFig66(t *testing.T) {
+	net, err := ParseNetString(fig66Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := net.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 6 // mean cycle 5 + 1
+	if got := sol.Rate("T0"); !nearEq(got, want) {
+		t.Fatalf("throughput = %v, want %v", got, want)
+	}
+	if sol.Usage("lambda") == 0 {
+		t.Fatal("resource not parsed")
+	}
+}
+
+func nearEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// The parsed architecture I local net matches the programmatic model's
+// single-conversation round trip (4970 us).
+func TestParseArchILocal(t *testing.T) {
+	src := `
+place Clients = 1
+place Servers = 1
+place Host    = 1
+place SentC
+place RcvdS
+
+trans TSendEnd  : Clients Host -> SentC Host   delay 1 freq 1/1390
+trans TSendLoop : Clients Host -> Clients Host delay 1 freq 1-1/1390
+trans TRecvEnd  : Servers Host -> RcvdS Host   delay 1 freq 1/970
+trans TRecvLoop : Servers Host -> Servers Host delay 1 freq 1-1/970
+trans TDone     : SentC RcvdS Host -> Clients Servers Host delay 1 freq 1/2610 resource lambda
+trans TDoneLoop : SentC RcvdS Host -> SentC RcvdS Host     delay 1 freq 1-1/2610
+`
+	net, err := ParseNetString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := net.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := 1 / sol.Rate("TDone")
+	if rt < 4969.9 || rt > 4970.1 {
+		t.Fatalf("round trip = %.2f, want 4970", rt)
+	}
+}
+
+// Gates parse and inhibit: interrupt priority in textual form.
+func TestParseGate(t *testing.T) {
+	src := `
+place Work = 1
+place Intr = 1
+place Host = 1
+place Done
+
+trans TWork : Work Host -> Done Host delay 3 when Intr = 0
+trans TIntr : Intr Host -> Host      delay 2
+`
+	net, err := ParseNetString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := net.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.DeadStates != 1 || !nearEq(sol.Tokens("Done"), 1) {
+		t.Fatalf("gate semantics wrong: dead=%d done=%v", sol.DeadStates, sol.Tokens("Done"))
+	}
+}
+
+func TestParseMultiplicity(t *testing.T) {
+	src := `
+place P = 2
+place Q
+trans T : P P -> Q delay 1
+`
+	net, err := ParseNetString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := net.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nearEq(sol.Tokens("Q"), 1) {
+		t.Fatalf("pair not consumed: Q=%v", sol.Tokens("Q"))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "placee P = 1",
+		"bad marking":       "place P = x",
+		"duplicate place":   "place P\nplace P",
+		"missing colon":     "place P = 1\ntrans T P -> P",
+		"missing arrow":     "place P = 1\ntrans T : P",
+		"unknown place":     "place P = 1\ntrans T : P -> Q delay 1",
+		"bad freq":          "place P = 1\ntrans T : P -> P freq x/",
+		"bad delay":         "place P = 1\ntrans T : P -> P delay -2",
+		"bad gate op":       "place P = 1\ntrans T : P -> P when P ~ 0",
+		"gate nonzero":      "place P = 1\ntrans T : P -> P when P = 3",
+		"dangling keyword":  "place P = 1\ntrans T : P -> P freq",
+		"no inputs":         "place P = 1\ntrans T : -> P",
+		"stray token":       "place P = 1\ntrans T : P -> P banana",
+	}
+	for name, src := range cases {
+		if _, err := ParseNetString(src); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, src)
+		}
+	}
+}
+
+func TestParseFreqForms(t *testing.T) {
+	for s, want := range map[string]float64{
+		"0.25":   0.25,
+		"1/4":    0.25,
+		"3/4":    0.75,
+		"1-1/4":  0.75,
+		"1-0.25": 0.75,
+	} {
+		got, err := parseFreq(s)
+		if err != nil || !nearEq(got, want) {
+			t.Errorf("parseFreq(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+}
+
+func TestParseReaderErrors(t *testing.T) {
+	// An io.Reader that fails should surface the error.
+	if _, err := ParseNet(failReader{}); err == nil {
+		t.Fatal("expected reader error")
+	}
+	// Comments and blank lines are fine.
+	if _, err := ParseNet(strings.NewReader("# nothing but comments\nplace P = 1\ntrans T : P -> P\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type failReader struct{}
+
+func (failReader) Read([]byte) (int, error) { return 0, errors.New("broken reader") }

@@ -1,0 +1,159 @@
+package gtpn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// Solving the same net twice yields bit-identical results: the engine is
+// deterministic, including its floating-point accumulation order.
+func TestSolveDeterministic(t *testing.T) {
+	build := func() *Net {
+		b := NewBuilder()
+		clients := b.Place("C", 3)
+		srv := b.Place("S", 1)
+		busy := b.Place("B", 0)
+		hop := b.Place("H", 0)
+		b.Transition("T0").From(clients, srv).To(busy, srv).Delay(1).Freq(Const(1.0 / 7))
+		b.Transition("T0.loop").From(clients, srv).To(clients, srv).Delay(1).Freq(Const(6.0 / 7))
+		b.Transition("T1").From(busy).To(hop).Delay(0)
+		b.Transition("T2").From(hop).To(clients).Delay(1).Freq(Const(1.0 / 3)).Resource("lambda")
+		b.Transition("T2.loop").From(hop).To(hop).Delay(1).Freq(Const(2.0 / 3))
+		return b.MustBuild()
+	}
+	a, err := build().Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c, err := build().Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Usage("lambda") != c.Usage("lambda") {
+			t.Fatalf("run %d: usage %v != %v (nondeterministic solve)", i, c.Usage("lambda"), a.Usage("lambda"))
+		}
+		for p := range a.MeanTokens {
+			if a.MeanTokens[p] != c.MeanTokens[p] {
+				t.Fatalf("run %d: MeanTokens[%d] differs", i, p)
+			}
+		}
+	}
+}
+
+// randomNet builds a small random closed net: a ring of places with
+// geometric stages, random extra resource places, and occasionally a
+// zero-delay forwarding hop. Closed rings keep the chain irreducible.
+func randomNet(seed uint64) *Net {
+	src := rng.New(seed)
+	b := NewBuilder()
+	nStages := 2 + src.Intn(3)
+	places := make([]PlaceID, nStages)
+	for i := range places {
+		init := 0
+		if i == 0 {
+			init = 1 + src.Intn(2)
+		}
+		places[i] = b.Place(names[i], init)
+	}
+	var res PlaceID
+	hasRes := src.Intn(2) == 0
+	if hasRes {
+		res = b.Place("Res", 1)
+	}
+	for i := range places {
+		next := places[(i+1)%nStages]
+		mean := float64(2 + src.Intn(8))
+		p := 1 / mean
+		tn := "T" + names[i]
+		useRes := hasRes && src.Intn(2) == 0
+		endIn := []PlaceID{places[i]}
+		endOut := []PlaceID{next}
+		if useRes {
+			endIn = append(endIn, res)
+			endOut = append(endOut, res)
+		}
+		b.Transition(tn).From(endIn...).To(endOut...).Delay(1).Freq(Const(p)).Resource("r" + names[i])
+		b.Transition(tn + ".loop").From(endIn...).To(endIn...).Delay(1).Freq(Const(1 - p))
+	}
+	return b.MustBuild()
+}
+
+var names = []string{"A", "B", "C", "D", "E"}
+
+// Property: on random closed nets, the exact solver and the Monte Carlo
+// simulator agree on throughput within sampling error, and flow balance
+// holds around the ring.
+func TestQuickSolverVsSimulatorOnRandomNets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random-net sweep is slow")
+	}
+	check := func(seed uint64) bool {
+		net := randomNet(seed)
+		sol, err := net.Solve(SolveOptions{})
+		if err != nil || !sol.Converged {
+			return false
+		}
+		// Flow balance: all stage completion rates are equal.
+		var rate0 float64
+		for i := 0; i < net.NumTransitions(); i++ {
+			name := net.TransName(TransID(i))
+			if len(name) == 2 { // "TA", "TB", ...
+				r := sol.FiringRate[i]
+				if rate0 == 0 {
+					rate0 = r
+				} else if math.Abs(r-rate0) > 1e-9*math.Max(1, rate0) {
+					return false
+				}
+			}
+		}
+		if rate0 <= 0 {
+			return false
+		}
+		sim, err := net.Simulate(SimOptions{Seed: seed ^ 0xBEEF, Ticks: 800_000})
+		if err != nil || sim.Dead {
+			return false
+		}
+		simRate := 0.0
+		for i := 0; i < net.NumTransitions(); i++ {
+			if len(net.TransName(TransID(i))) == 2 {
+				simRate = sim.FiringRate[i]
+				break
+			}
+		}
+		return math.Abs(simRate-rate0)/rate0 < 0.08
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Token conservation: in a closed net the time-averaged token count
+// (places plus in-flight firings) equals the initial population.
+func TestQuickTokenConservation(t *testing.T) {
+	check := func(seed uint64) bool {
+		net := randomNet(seed)
+		sol, err := net.Solve(SolveOptions{})
+		if err != nil {
+			return false
+		}
+		var total, initial float64
+		for p := 0; p < net.NumPlaces(); p++ {
+			total += sol.MeanTokens[p]
+			initial += float64(net.places[p].Initial)
+		}
+		for t := 0; t < net.NumTransitions(); t++ {
+			// Each in-flight firing of a stage holds one customer token
+			// (plus possibly the resource token).
+			tr := net.trans[t]
+			total += sol.MeanFiring[t] * float64(len(tr.In))
+		}
+		return math.Abs(total-initial) < 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+package gtpn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// SimOptions tunes the Monte Carlo GTPN simulator.
+type SimOptions struct {
+	// Seed selects the pseudo-random stream.
+	Seed uint64
+	// Ticks is the simulated horizon; 0 means 1,000,000 ticks.
+	Ticks int64
+	// Warmup ticks are excluded from the measures; default Ticks/10.
+	Warmup int64
+	// WarmupSet reports whether Warmup was set explicitly (allowing 0).
+	WarmupSet bool
+}
+
+// SimResult holds time-averaged measures from a simulation run, with the
+// same meaning as the corresponding Solution fields.
+type SimResult struct {
+	Ticks         int64
+	MeanTokens    []float64
+	MeanFiring    []float64
+	FiringRate    []float64
+	ResourceUsage map[string]float64
+	// Dead reports that the net halted (nothing enabled, nothing in
+	// flight) before the horizon, and at which tick.
+	Dead     bool
+	DeadTick int64
+
+	net *Net
+}
+
+// Tokens reports the time-averaged marking of the named place.
+func (r *SimResult) Tokens(name string) float64 {
+	p, ok := r.net.PlaceByName(name)
+	if !ok {
+		panic(fmt.Sprintf("gtpn: unknown place %q", name))
+	}
+	return r.MeanTokens[p]
+}
+
+// Rate reports the measured firings per tick of the named transition.
+func (r *SimResult) Rate(name string) float64 {
+	t, ok := r.net.TransByName(name)
+	if !ok {
+		panic(fmt.Sprintf("gtpn: unknown transition %q", name))
+	}
+	return r.FiringRate[t]
+}
+
+// Usage reports the measured time-averaged usage of a resource tag.
+func (r *SimResult) Usage(resource string) float64 { return r.ResourceUsage[resource] }
+
+// Simulate runs the net forward with sampled conflict resolution. The
+// semantics match Solve exactly; only expectation is replaced by
+// sampling, making Simulate the cross-check the thesis attributes to
+// simulation studies.
+func (n *Net) Simulate(opts SimOptions) (*SimResult, error) {
+	if opts.Ticks <= 0 {
+		opts.Ticks = 1_000_000
+	}
+	if !opts.WarmupSet && opts.Warmup == 0 {
+		opts.Warmup = opts.Ticks / 10
+	}
+	src := rng.New(opts.Seed ^ 0xA5A5A5A5DEADBEEF)
+
+	c := n.newConfig()
+	if err := n.sampleInstant(&c, src); err != nil {
+		return nil, err
+	}
+
+	res := &SimResult{
+		Ticks:         opts.Ticks,
+		MeanTokens:    make([]float64, n.NumPlaces()),
+		MeanFiring:    make([]float64, n.NumTransitions()),
+		FiringRate:    make([]float64, n.NumTransitions()),
+		ResourceUsage: map[string]float64{},
+		net:           n,
+	}
+	fires := make([]int64, n.NumTransitions())
+
+	var now int64
+	var measured float64
+	for now < opts.Ticks {
+		work := c.clone()
+		dt, completed, ok := n.advance(&work)
+		if !ok {
+			res.Dead = true
+			res.DeadTick = now
+			break
+		}
+		// Clamp the sojourn at the horizon for the measures.
+		span := int64(dt)
+		if now+span > opts.Ticks {
+			span = opts.Ticks - now
+		}
+		var mspan float64
+		if end := now + span; end > opts.Warmup {
+			start := now
+			if start < opts.Warmup {
+				start = opts.Warmup
+			}
+			mspan = float64(end - start)
+		}
+		if mspan > 0 {
+			measured += mspan
+			for p, m := range c.marking {
+				res.MeanTokens[p] += mspan * float64(m)
+			}
+			for t := range n.trans {
+				if n.trans[t].Delay == 0 {
+					continue
+				}
+				if cnt := n.inflightTotal(&c, t); cnt > 0 {
+					res.MeanFiring[t] += mspan * float64(cnt)
+				}
+			}
+		}
+		now += int64(dt)
+		if now > opts.Warmup && now <= opts.Ticks {
+			for t, cnt := range completed {
+				fires[t] += int64(cnt)
+			}
+		}
+		c = work
+		if err := n.sampleInstant(&c, src); err != nil {
+			return nil, err
+		}
+		if now > opts.Warmup && now <= opts.Ticks {
+			// Zero-delay firings sampled in the instant at `now` were
+			// recorded by sampleInstant into c via fires0.
+			for t, cnt := range n.lastFires0 {
+				fires[t] += int64(cnt)
+			}
+		}
+	}
+	if measured > 0 {
+		for p := range res.MeanTokens {
+			res.MeanTokens[p] /= measured
+		}
+		for t := range res.MeanFiring {
+			res.MeanFiring[t] /= measured
+			res.FiringRate[t] = float64(fires[t]) / measured
+		}
+	}
+	for t := range n.trans {
+		if r := n.trans[t].Resource; r != "" {
+			res.ResourceUsage[r] += res.MeanFiring[t]
+		}
+	}
+	return res, nil
+}
+
+// sampleInstant is the sampled counterpart of resolveInstant. It records
+// the zero-delay firings it performs in n.lastFires0.
+func (n *Net) sampleInstant(c *config, src *rng.Source) error {
+	if n.lastFires0 == nil {
+		n.lastFires0 = map[int]int{}
+	}
+	for k := range n.lastFires0 {
+		delete(n.lastFires0, k)
+	}
+	for steps := 0; ; steps++ {
+		if steps > maxResolutionSteps {
+			return fmt.Errorf("gtpn: resolution did not stabilize after %d steps (zero-delay cycle?)", maxResolutionSteps)
+		}
+		v := view{n, c}
+		var total float64
+		var cands []int
+		var weights []float64
+		for t := range n.trans {
+			if !n.enabled(c, t) {
+				continue
+			}
+			w := n.trans[t].Freq(v)
+			if w > 0 {
+				cands = append(cands, t)
+				weights = append(weights, w)
+				total += w
+			}
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		x := src.Float64() * total
+		pick := cands[len(cands)-1]
+		for i, w := range weights {
+			if x < w {
+				pick = cands[i]
+				break
+			}
+			x -= w
+		}
+		tr := &n.trans[pick]
+		for _, pm := range n.inList[pick] {
+			c.marking[pm.p] -= pm.m
+		}
+		if tr.Delay == 0 {
+			for p, m := range n.outCount[pick] {
+				c.marking[p] += m
+			}
+			n.lastFires0[pick]++
+		} else {
+			c.firing[n.firingOffset[pick]+tr.Delay-1]++
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package gtpn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SolveOptions tunes the analytical solver.
+type SolveOptions struct {
+	// MaxStates bounds the reachability graph; 0 means DefaultMaxStates.
+	MaxStates int
+	// Tolerance is the steady-state convergence tolerance; 0 means 1e-12.
+	Tolerance float64
+	// MaxSweeps bounds Gauss-Seidel sweeps; 0 means 200000.
+	MaxSweeps int
+}
+
+// DefaultMaxStates is the default reachability-graph size bound.
+const DefaultMaxStates = 2_000_000
+
+// Solution holds the exact steady-state measures of a net.
+type Solution struct {
+	// States is the number of reachable tangible states.
+	States int
+	// DeadStates counts reachable states with nothing enabled and nothing
+	// in flight (the net halts there).
+	DeadStates int
+	// MeanTokens[p] is the time-averaged marking of place p.
+	MeanTokens []float64
+	// MeanFiring[t] is the time-averaged number of in-flight firings of
+	// transition t. For a transition with Delay 1 this equals its firing
+	// rate per tick.
+	MeanFiring []float64
+	// FiringRate[t] is the long-run number of firings of transition t
+	// completed per tick (valid for zero-delay transitions too).
+	FiringRate []float64
+	// ResourceUsage maps each resource tag to the time-averaged number of
+	// in-flight firings of transitions carrying it: the "resource usage
+	// estimate" of the GTPN analyzer.
+	ResourceUsage map[string]float64
+	// Converged reports whether the steady-state iteration met tolerance.
+	Converged bool
+	// Residual is the final steady-state balance residual.
+	Residual float64
+
+	net *Net
+}
+
+// Tokens reports the time-averaged marking of the named place.
+func (s *Solution) Tokens(name string) float64 {
+	p, ok := s.net.PlaceByName(name)
+	if !ok {
+		panic(fmt.Sprintf("gtpn: unknown place %q", name))
+	}
+	return s.MeanTokens[p]
+}
+
+// Rate reports the long-run firings per tick of the named transition.
+func (s *Solution) Rate(name string) float64 {
+	t, ok := s.net.TransByName(name)
+	if !ok {
+		panic(fmt.Sprintf("gtpn: unknown transition %q", name))
+	}
+	return s.FiringRate[t]
+}
+
+// Usage reports the time-averaged usage of a resource tag (0 if the tag
+// is absent from the net).
+func (s *Solution) Usage(resource string) float64 {
+	return s.ResourceUsage[resource]
+}
+
+// stateRec is one tangible state of the embedded Markov chain.
+type stateRec struct {
+	cfg  config
+	dt   float64 // sojourn ticks (1 for dead states, which self-loop)
+	dead bool
+	succ []int
+	prob []float64
+	// comp[t] is the expected number of completions of transition t
+	// attributed to the step out of this state (delayed completions at
+	// the end of the sojourn plus zero-delay firings in the subsequent
+	// resolution instant).
+	comp map[int]float64
+}
+
+// Solve builds the reachability graph of the net's embedded Markov chain
+// and computes its exact steady state.
+func (n *Net) Solve(opts SolveOptions) (*Solution, error) {
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = DefaultMaxStates
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-12
+	}
+	if opts.MaxSweeps <= 0 {
+		opts.MaxSweeps = 200000
+	}
+
+	states, init, err := n.buildGraph(opts.MaxStates)
+	if err != nil {
+		return nil, err
+	}
+	pi, converged, residual := solveStationary(states, init, opts)
+	return n.measures(states, pi, converged, residual), nil
+}
+
+// buildGraph explores the tangible state space. init is the distribution
+// over states after resolving the initial instant.
+func (n *Net) buildGraph(maxStates int) ([]*stateRec, map[int]float64, error) {
+	index := map[string]int{}
+	var states []*stateRec
+
+	intern := func(c config) (int, bool) {
+		k := c.key()
+		if i, ok := index[k]; ok {
+			return i, false
+		}
+		i := len(states)
+		index[k] = i
+		states = append(states, &stateRec{cfg: c})
+		return i, true
+	}
+
+	outcomes, err := n.resolveInstant(n.newConfig(), 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	init := map[int]float64{}
+	var frontier []int
+	for _, o := range outcomes {
+		i, fresh := intern(o.cfg)
+		init[i] += o.prob
+		if fresh {
+			frontier = append(frontier, i)
+		}
+	}
+
+	for len(frontier) > 0 {
+		i := frontier[0]
+		frontier = frontier[1:]
+		st := states[i]
+		work := st.cfg.clone()
+		dt, completed, ok := n.advance(&work)
+		if !ok {
+			// Dead state: nothing in flight. It is absorbing; model it as
+			// a unit-time self-loop so time averages remain defined.
+			st.dead = true
+			st.dt = 1
+			st.succ = []int{i}
+			st.prob = []float64{1}
+			st.comp = map[int]float64{}
+			continue
+		}
+		st.dt = float64(dt)
+		st.comp = map[int]float64{}
+		for t, c := range completed {
+			st.comp[t] += float64(c)
+		}
+		outs, err := n.resolveInstant(work, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, o := range outs {
+			mergeScaled(st.comp, o.fired0, o.prob)
+			j, fresh := intern(o.cfg)
+			st.succ = append(st.succ, j)
+			st.prob = append(st.prob, o.prob)
+			if fresh {
+				frontier = append(frontier, j)
+				if len(states) > maxStates {
+					return nil, nil, fmt.Errorf("gtpn: state space exceeds %d states", maxStates)
+				}
+			}
+		}
+	}
+	return states, init, nil
+}
+
+// measures converts the stationary distribution into time-averaged
+// observables.
+func (n *Net) measures(states []*stateRec, pi []float64, converged bool, residual float64) *Solution {
+	sol := &Solution{
+		States:        len(states),
+		MeanTokens:    make([]float64, n.NumPlaces()),
+		MeanFiring:    make([]float64, n.NumTransitions()),
+		FiringRate:    make([]float64, n.NumTransitions()),
+		ResourceUsage: map[string]float64{},
+		Converged:     converged,
+		Residual:      residual,
+		net:           n,
+	}
+	var totalTime float64
+	for i, st := range states {
+		totalTime += pi[i] * st.dt
+		if st.dead {
+			sol.DeadStates++
+		}
+	}
+	if totalTime <= 0 {
+		return sol
+	}
+	for i, st := range states {
+		w := pi[i] * st.dt / totalTime
+		if w == 0 {
+			continue
+		}
+		for p, m := range st.cfg.marking {
+			sol.MeanTokens[p] += w * float64(m)
+		}
+		for t := range n.trans {
+			if n.trans[t].Delay == 0 {
+				continue
+			}
+			if c := n.inflightTotal(&st.cfg, t); c > 0 {
+				sol.MeanFiring[t] += w * float64(c)
+			}
+		}
+		for t, c := range st.comp {
+			sol.FiringRate[t] += pi[i] * c / totalTime
+		}
+	}
+	for t := range n.trans {
+		if r := n.trans[t].Resource; r != "" {
+			sol.ResourceUsage[r] += sol.MeanFiring[t]
+			if n.trans[t].Delay == 0 {
+				// Zero-delay transitions occupy no time; count their rate
+				// so a resource on an immediate transition still reports
+				// a meaningful (per-tick) figure.
+				sol.ResourceUsage[r] += 0
+			}
+		}
+	}
+	return sol
+}
+
+// TopStates is a debugging helper: it re-solves nothing but formats the
+// largest steady-state components. Kept unexported-free for cmd use.
+func (s *Solution) String() string {
+	keys := make([]string, 0, len(s.ResourceUsage))
+	for k := range s.ResourceUsage {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := fmt.Sprintf("gtpn.Solution{states: %d, dead: %d, converged: %v", s.States, s.DeadStates, s.Converged)
+	for _, k := range keys {
+		out += fmt.Sprintf(", %s: %.6g", k, s.ResourceUsage[k])
+	}
+	return out + "}"
+}

@@ -1,0 +1,379 @@
+package gtpn
+
+import "math"
+
+// solveStationary computes the long-run distribution of the embedded
+// chain started from init. The chain may be reducible (nets that halt
+// have absorbing dead states), so the computation proceeds in three
+// steps: find the terminal strongly connected classes, compute the
+// probability of absorption into each from init, and solve the stationary
+// distribution within each class; the result is the absorption-weighted
+// mixture. For the irreducible closed nets produced by the thesis models
+// this reduces to a single per-class solve.
+func solveStationary(states []*stateRec, init map[int]float64, opts SolveOptions) (pi []float64, converged bool, residual float64) {
+	ns := len(states)
+	pi = make([]float64, ns)
+	if ns == 0 {
+		return pi, true, 0
+	}
+	comp, terminal := terminalClasses(states)
+
+	// Classes and membership lists.
+	nclasses := 0
+	for _, c := range comp {
+		if c+1 > nclasses {
+			nclasses = c + 1
+		}
+	}
+	members := make([][]int, nclasses)
+	for i, c := range comp {
+		members[c] = append(members[c], i)
+	}
+	var termClasses []int
+	for c := 0; c < nclasses; c++ {
+		if terminal[c] {
+			termClasses = append(termClasses, c)
+		}
+	}
+
+	// Absorption probability into each terminal class.
+	absorb := absorptionMass(states, init, comp, terminal, termClasses, opts)
+
+	converged = true
+	for k, c := range termClasses {
+		mass := absorb[k]
+		if mass <= 0 {
+			continue
+		}
+		local, ok, res := classStationary(states, members[c], opts)
+		if !ok {
+			converged = false
+		}
+		if res > residual {
+			residual = res
+		}
+		for idx, i := range members[c] {
+			pi[i] = mass * local[idx]
+		}
+	}
+	return pi, converged, residual
+}
+
+// terminalClasses runs Tarjan's SCC algorithm (iteratively) and reports
+// the class of each state plus which classes are terminal (no edges
+// leaving the class).
+func terminalClasses(states []*stateRec) (comp []int, terminal []bool) {
+	ns := len(states)
+	comp = make([]int, ns)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, ns)
+	low := make([]int, ns)
+	onStack := make([]bool, ns)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var nextIndex, nclasses int
+
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < ns; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		call := []frame{{root, 0}}
+		index[root] = nextIndex
+		low[root] = nextIndex
+		nextIndex++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei < len(states[v].succ) {
+				w := states[v].succ[f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = nextIndex
+					low[w] = nextIndex
+					nextIndex++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nclasses
+					if w == v {
+						break
+					}
+				}
+				nclasses++
+			}
+		}
+	}
+
+	terminal = make([]bool, nclasses)
+	for i := range terminal {
+		terminal[i] = true
+	}
+	for i, st := range states {
+		for _, j := range st.succ {
+			if comp[j] != comp[i] {
+				terminal[comp[i]] = false
+			}
+		}
+	}
+	return comp, terminal
+}
+
+// absorptionMass computes, for each terminal class, the probability that
+// the chain started from init is eventually absorbed there.
+func absorbInto(states []*stateRec, comp []int, terminal []bool, class int, opts SolveOptions) []float64 {
+	ns := len(states)
+	h := make([]float64, ns)
+	transient := make([]int, 0)
+	for i := range states {
+		switch {
+		case comp[i] == class:
+			h[i] = 1
+		case terminal[comp[i]]:
+			h[i] = 0
+		default:
+			transient = append(transient, i)
+		}
+	}
+	if len(transient) == 0 {
+		return h
+	}
+	// Gauss-Seidel on h(i) = sum_j P(i,j) h(j) over transient states.
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		var delta float64
+		for _, i := range transient {
+			st := states[i]
+			var sum, selfP float64
+			for k, j := range st.succ {
+				if j == i {
+					selfP += st.prob[k]
+					continue
+				}
+				sum += st.prob[k] * h[j]
+			}
+			var v float64
+			if d := 1 - selfP; d > 1e-300 {
+				v = sum / d
+			}
+			if dd := math.Abs(v - h[i]); dd > delta {
+				delta = dd
+			}
+			h[i] = v
+		}
+		if delta < opts.Tolerance {
+			break
+		}
+	}
+	return h
+}
+
+func absorptionMass(states []*stateRec, init map[int]float64, comp []int, terminal []bool, termClasses []int, opts SolveOptions) []float64 {
+	out := make([]float64, len(termClasses))
+	if len(termClasses) == 1 {
+		// Everything is absorbed into the unique terminal class.
+		out[0] = 1
+		return out
+	}
+	for k, c := range termClasses {
+		h := absorbInto(states, comp, terminal, c, opts)
+		var mass float64
+		for i, p := range init {
+			mass += p * h[i]
+		}
+		out[k] = mass
+	}
+	// Normalize against numerical drift.
+	var tot float64
+	for _, m := range out {
+		tot += m
+	}
+	if tot > 0 {
+		for k := range out {
+			out[k] /= tot
+		}
+	}
+	return out
+}
+
+// classStationary solves pi = pi P restricted to one terminal class
+// (irreducible by construction). Small classes are solved directly;
+// larger ones by Gauss-Seidel from a uniform start with a damped power
+// iteration fallback.
+func classStationary(states []*stateRec, members []int, opts SolveOptions) (pi []float64, converged bool, residual float64) {
+	m := len(members)
+	if m == 1 {
+		return []float64{1}, true, 0
+	}
+	idx := make(map[int]int, m)
+	for k, i := range members {
+		idx[i] = k
+	}
+	type edge struct {
+		from int
+		p    float64
+	}
+	in := make([][]edge, m)
+	selfP := make([]float64, m)
+	for k, i := range members {
+		st := states[i]
+		for e, j := range st.succ {
+			kj, ok := idx[j]
+			if !ok {
+				continue // cannot happen in a terminal class
+			}
+			if kj == k {
+				selfP[k] += st.prob[e]
+			} else {
+				in[kj] = append(in[kj], edge{k, st.prob[e]})
+			}
+		}
+	}
+
+	if m <= 512 {
+		if pi := denseClassSolve(states, members, idx); pi != nil {
+			return pi, true, 0
+		}
+	}
+
+	pi = make([]float64, m)
+	for k := range pi {
+		pi[k] = 1 / float64(m)
+	}
+	resid := func() float64 {
+		var r float64
+		for k := 0; k < m; k++ {
+			var sum float64
+			for _, e := range in[k] {
+				sum += pi[e.from] * e.p
+			}
+			sum += pi[k] * selfP[k]
+			if d := math.Abs(sum - pi[k]); d > r {
+				r = d
+			}
+		}
+		return r
+	}
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		for k := 0; k < m; k++ {
+			var sum float64
+			for _, e := range in[k] {
+				sum += pi[e.from] * e.p
+			}
+			if d := 1 - selfP[k]; d > 1e-300 {
+				pi[k] = sum / d
+			}
+		}
+		var tot float64
+		for _, v := range pi {
+			tot += v
+		}
+		if tot <= 0 {
+			break
+		}
+		for k := range pi {
+			pi[k] /= tot
+		}
+		if sweep%8 == 7 || sweep == opts.MaxSweeps-1 {
+			if r := resid(); r < opts.Tolerance {
+				return pi, true, r
+			}
+		}
+	}
+	return pi, false, resid()
+}
+
+// denseClassSolve solves the balance equations of one class by Gaussian
+// elimination; returns nil on numerical failure.
+func denseClassSolve(states []*stateRec, members []int, idx map[int]int) []float64 {
+	m := len(members)
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m+1)
+	}
+	for k, i := range members {
+		st := states[i]
+		for e, j := range st.succ {
+			kj, ok := idx[j]
+			if !ok {
+				continue
+			}
+			a[kj][k] += st.prob[e]
+		}
+	}
+	for k := 0; k < m; k++ {
+		a[k][k] -= 1
+	}
+	for k := 0; k < m; k++ {
+		a[m-1][k] = 1
+	}
+	a[m-1][m] = 1
+
+	for col := 0; col < m; col++ {
+		piv := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-14 {
+			return nil
+		}
+		a[col], a[piv] = a[piv], a[col]
+		inv := 1 / a[col][col]
+		for r := 0; r < m; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col] * inv
+			for c := col; c <= m; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	pi := make([]float64, m)
+	var tot float64
+	for k := 0; k < m; k++ {
+		pi[k] = a[k][m] / a[k][k]
+		if pi[k] < 0 && pi[k] > -1e-9 {
+			pi[k] = 0
+		}
+		if pi[k] < 0 {
+			return nil
+		}
+		tot += pi[k]
+	}
+	if tot <= 0 {
+		return nil
+	}
+	for k := range pi {
+		pi[k] /= tot
+	}
+	return pi
+}

@@ -1,0 +1,81 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/network"
+)
+
+// Cluster is a distributed system (Figure 1.1): kernels on nodes that
+// share no memory, connected by a token ring, with message exchange as
+// the only inter-node mechanism. The cluster also hosts the service-name
+// registry that stands in for a name server.
+type Cluster struct {
+	eng     *des.Engine
+	ring    *network.Ring
+	kernels []*Kernel
+	names   map[string]ServiceRef
+}
+
+// NewCluster creates n nodes with identical configuration on one ring.
+func NewCluster(eng *des.Engine, n int, cfg Config) *Cluster {
+	c := &Cluster{eng: eng, ring: network.NewRing(eng), names: map[string]ServiceRef{}}
+	for i := 0; i < n; i++ {
+		ifc := c.ring.Attach()
+		c.kernels = append(c.kernels, newNode(eng, cfg, i, ifc, c))
+	}
+	return c
+}
+
+// Kernel returns node i's kernel.
+func (c *Cluster) Kernel(i int) *Kernel { return c.kernels[i] }
+
+// Nodes reports the number of nodes.
+func (c *Cluster) Nodes() int { return len(c.kernels) }
+
+// Ring exposes the interconnect for statistics.
+func (c *Cluster) Ring() *network.Ring { return c.ring }
+
+// Shutdown terminates every node's task goroutines.
+func (c *Cluster) Shutdown() {
+	for _, k := range c.kernels {
+		k.Shutdown()
+	}
+}
+
+// Advertise publishes a service under a cluster-wide name. In a full
+// system this is a name-server conversation; the registry keeps the
+// reproduction focused on the IPC path the thesis measures.
+func (t *Task) Advertise(name string, ref ServiceRef) {
+	if t.k.registry == nil {
+		// Single-node kernel: keep a local registry on demand.
+		t.k.ensureLocalNames()[name] = ref
+		return
+	}
+	t.k.registry.names[name] = ref
+}
+
+// Lookup resolves a cluster-wide service name.
+func (t *Task) Lookup(name string) (ServiceRef, bool) {
+	var names map[string]ServiceRef
+	if t.k.registry != nil {
+		names = t.k.registry.names
+	} else {
+		names = t.k.ensureLocalNames()
+	}
+	ref, ok := names[name]
+	return ref, ok
+}
+
+func (k *Kernel) ensureLocalNames() map[string]ServiceRef {
+	if k.localNames == nil {
+		k.localNames = map[string]ServiceRef{}
+	}
+	return k.localNames
+}
+
+// String describes the cluster briefly.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster{%d nodes}", len(c.kernels))
+}

@@ -1,0 +1,51 @@
+package kernel
+
+import "repro/internal/des"
+
+// Costs parameterizes the processing time of each kernel activity, in
+// engine ticks (nanoseconds). The fields correspond one-to-one to the
+// activity rows of the chapter 6 breakdown tables (6.4, 6.6, 6.9, 6.11,
+// 6.14, 6.16, 6.19, 6.21); package timing provides the per-architecture
+// values measured from the 925 implementation. The zero value runs the
+// kernel with free communication, which the functional tests and the
+// example programs use.
+type Costs struct {
+	// Host-side activities.
+	SyscallSend    int64 // enter kernel, validate, post send
+	SyscallReceive int64 // enter kernel, validate, post receive
+	SyscallReply   int64 // enter kernel, validate, post reply
+	RestartTask    int64 // dispatch a ready task on a host
+
+	// Communication-processing activities (message coprocessor when the
+	// node has one, otherwise the host).
+	ProcessSend    int64 // kernel buffering, control-block work for send
+	ProcessReceive int64 // control-block work for receive
+	Match          int64 // match client with server (local rendezvous)
+	ProcessReply   int64 // control-block work for reply
+	MatchRemote    int64 // network interrupt: match arriving request
+	CleanupClient  int64 // network interrupt: complete remote round trip
+
+	// Network interface engagement per packet.
+	DMAOut int64
+	DMAIn  int64
+	// Checksum is the per-packet checksum cost, charged with each DMA
+	// engagement when the unreliable-network option is used (§4.6 lists
+	// it among the recovery costs the thesis factored out).
+	Checksum int64
+
+	// CopyPerByte is the kernel-buffer copy cost per byte; the 925
+	// measures 220 us for 40 bytes on the 68000 (§4.9). It is charged as
+	// part of ProcessSend/ProcessReply in the table-driven cost sets, so
+	// it defaults to zero there; the profiling kernels use it directly.
+	CopyPerByte int64
+}
+
+// FreeCosts returns a zero cost table: every kernel activity is
+// instantaneous. Functional tests and semantics-only examples use it.
+func FreeCosts() Costs { return Costs{} }
+
+// Microseconds is a convenience for building cost tables from the
+// thesis's microsecond figures (which include fractional tenths).
+func Microseconds(us float64) int64 {
+	return int64(us * float64(des.Microsecond))
+}

@@ -1,0 +1,100 @@
+package kernel
+
+// An "event" in 925 is a message arrival at a service, a completion
+// notice for an outstanding non-blocking send, or a device interrupt
+// (which Activate turns into a message arrival); "a task can wait for a
+// group of events [and] is restarted when any one of the events in the
+// group is satisfied" (§4.2.1). WaitAny is that group wait.
+
+// Occurrence reports which event of a group fired.
+type Occurrence struct {
+	// Msg is the delivered message when a service arrival fired.
+	Msg *Message
+	// Completed is the finished send when a completion notice fired.
+	Completed *Pending
+}
+
+// WaitAny blocks until a message arrives on one of the offered services
+// or one of the outstanding sends completes, whichever happens first.
+// Either slice may be empty (but not both).
+func (t *Task) WaitAny(svcs []ServiceRef, pendings []*Pending) (*Occurrence, error) {
+	if len(svcs) == 0 && len(pendings) == 0 {
+		return nil, ErrBadService
+	}
+	resolved := make([]*Service, len(svcs))
+	for i, ref := range svcs {
+		s, err := t.k.localService(ref)
+		if err != nil {
+			return nil, err
+		}
+		if !t.offered[ref.ID] {
+			return nil, ErrNotOffered
+		}
+		resolved[i] = s
+	}
+	// A completion that already happened satisfies the wait immediately,
+	// like 925's completion-status polling.
+	for _, p := range pendings {
+		if p.done {
+			return &Occurrence{Completed: p}, nil
+		}
+	}
+
+	t.inMsg = nil
+	t.state = stateCommunicating
+	t.park(request{kind: reqYieldHost, d: t.k.cfg.Costs.SyscallReceive, after: func() {
+		t.k.postWaitAny(t, resolved, pendings)
+	}})
+
+	// Clear the completion registrations before anything else can fire.
+	for _, p := range pendings {
+		p.waiter = false
+	}
+	if m := t.inMsg; m != nil {
+		t.inMsg = nil
+		if m.svc != nil && m.svc.handler != nil {
+			m.svc.handler(t, m)
+			if m.NeedsReply && !m.replied {
+				_ = t.Reply(m, nil)
+			}
+		}
+		return &Occurrence{Msg: m}, nil
+	}
+	for _, p := range pendings {
+		if p.done {
+			return &Occurrence{Completed: p}, nil
+		}
+	}
+	return nil, ErrBadService
+}
+
+// postWaitAny is the communication-processing half of WaitAny.
+func (k *Kernel) postWaitAny(t *Task, svcs []*Service, pendings []*Pending) {
+	k.commRun(priTask, k.cfg.Costs.ProcessReceive, func() {
+		for _, s := range svcs {
+			if len(s.queue) > 0 {
+				m := s.queue[0]
+				s.queue = s.queue[1:]
+				k.noteDequeued(m)
+				k.commRun(priTask, k.matchCost(m), func() {
+					k.completeDelivery(t, m)
+				})
+				return
+			}
+		}
+		for _, p := range pendings {
+			if p.done {
+				k.makeReady(t)
+				return
+			}
+		}
+		t.state = stateStopped
+		t.waitingOn = svcs
+		for _, s := range svcs {
+			s.waiters = append(s.waiters, t)
+		}
+		for _, p := range pendings {
+			p.waiter = true
+		}
+	})
+}

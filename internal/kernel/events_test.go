@@ -1,0 +1,182 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// WaitAny wakes on whichever event fires first: here, a message arrival
+// beats a slow send completion.
+func TestWaitAnyMessageFirst(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	var got *Occurrence
+	k.Spawn("slow-server", func(ts *Task) {
+		svc := ts.CreateService("slow")
+		ts.Advertise("slow", svc)
+		_ = ts.Offer(svc)
+		m, err := ts.Receive(svc)
+		if err != nil {
+			return
+		}
+		ts.Compute(50 * des.Millisecond) // reply comes late
+		_ = ts.Reply(m, []byte("late"))
+	})
+	k.Spawn("waiter", func(ts *Task) {
+		inbox := ts.CreateService("inbox")
+		ts.Advertise("inbox", inbox)
+		_ = ts.Offer(inbox)
+		slow, ok := ts.Lookup("slow")
+		for !ok {
+			ts.Yield()
+			slow, ok = ts.Lookup("slow")
+		}
+		p, err := ts.SendAsync(slow, []byte("ping"), nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		occ, err := ts.WaitAny([]ServiceRef{inbox}, []*Pending{p})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = occ
+		// The late completion must still be collectable afterwards.
+		if reply, err := p.Wait(); err != nil || string(reply[:4]) != "late" {
+			t.Errorf("late completion: %q, %v", reply, err)
+		}
+	})
+	k.Spawn("poker", func(ts *Task) {
+		ref, ok := ts.Lookup("inbox")
+		for !ok {
+			ts.Yield()
+			ref, ok = ts.Lookup("inbox")
+		}
+		ts.Compute(des.Millisecond)
+		_ = ts.Send(ref, []byte("poke"))
+	})
+	eng.Run(des.Second)
+	if got == nil || got.Msg == nil || got.Completed != nil {
+		t.Fatalf("occurrence = %+v, want the inbox message", got)
+	}
+}
+
+// WaitAny wakes on a completion when no message arrives.
+func TestWaitAnyCompletionFirst(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	var got *Occurrence
+	k.Spawn("echo", func(ts *Task) {
+		svc := ts.CreateService("echo")
+		ts.Advertise("echo", svc)
+		_ = ts.Offer(svc)
+		m, err := ts.Receive(svc)
+		if err != nil {
+			return
+		}
+		_ = ts.Reply(m, []byte("pong"))
+	})
+	k.Spawn("waiter", func(ts *Task) {
+		quiet := ts.CreateService("quiet") // never receives anything
+		ts.Advertise("quiet", quiet)
+		_ = ts.Offer(quiet)
+		echo, ok := ts.Lookup("echo")
+		for !ok {
+			ts.Yield()
+			echo, ok = ts.Lookup("echo")
+		}
+		p, err := ts.SendAsync(echo, []byte("ping"), nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		occ, err := ts.WaitAny([]ServiceRef{quiet}, []*Pending{p})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = occ
+	})
+	eng.Run(des.Second)
+	if got == nil || got.Completed == nil || got.Msg != nil {
+		t.Fatalf("occurrence = %+v, want the completion", got)
+	}
+	if string(got.Completed.reply[:4]) != "pong" {
+		t.Fatalf("completion reply = %q", got.Completed.reply[:4])
+	}
+}
+
+// An already-done completion satisfies WaitAny without blocking.
+func TestWaitAnyImmediateCompletion(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	k.Spawn("echo", func(ts *Task) {
+		svc := ts.CreateService("echo")
+		ts.Advertise("echo", svc)
+		_ = ts.Offer(svc)
+		for {
+			m, err := ts.Receive(svc)
+			if err != nil {
+				return
+			}
+			_ = ts.Reply(m, nil)
+		}
+	})
+	k.Spawn("waiter", func(ts *Task) {
+		echo, ok := ts.Lookup("echo")
+		for !ok {
+			ts.Yield()
+			echo, ok = ts.Lookup("echo")
+		}
+		p, _ := ts.SendAsync(echo, nil, nil)
+		if _, err := p.Wait(); err != nil { // collect it fully first
+			t.Error(err)
+			return
+		}
+		occ, err := ts.WaitAny(nil, []*Pending{p})
+		if err != nil || occ.Completed != p {
+			t.Errorf("immediate completion: %+v, %v", occ, err)
+		}
+	})
+	eng.Run(des.Second)
+}
+
+func TestWaitAnyValidation(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	k.Spawn("task", func(ts *Task) {
+		if _, err := ts.WaitAny(nil, nil); !errors.Is(err, ErrBadService) {
+			t.Errorf("empty group: %v", err)
+		}
+		svc := ts.CreateService("mine")
+		// Not offered yet.
+		if _, err := ts.WaitAny([]ServiceRef{svc}, nil); !errors.Is(err, ErrNotOffered) {
+			t.Errorf("unoffered: %v", err)
+		}
+	})
+	eng.Run(des.Second)
+}
+
+// A device interrupt satisfies a WaitAny group through its activate
+// message, completing the §4.2.1 trio of event kinds.
+func TestWaitAnyInterruptEvent(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	var sawIntr bool
+	k.Spawn("driver", func(ts *Task) {
+		intrSvc := ts.CreateService("intr")
+		_ = ts.Offer(intrSvc)
+		ts.InstallHandler(9, func(c *IntrContext) {
+			_ = c.Activate(intrSvc, []byte("tick"))
+		})
+		occ, err := ts.WaitAny([]ServiceRef{intrSvc}, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sawIntr = occ.Msg != nil && occ.Msg.Interrupt
+	})
+	eng.At(des.Millisecond, func() { k.RaiseInterrupt(9) })
+	eng.Run(des.Second)
+	if !sawIntr {
+		t.Fatal("interrupt did not satisfy the event group")
+	}
+}

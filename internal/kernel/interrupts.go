@@ -1,0 +1,59 @@
+package kernel
+
+// IntrContext is the restricted environment an interrupt handler runs
+// in: Activate is "the only system call that is allowed in an interrupt
+// handler" (§4.2.2).
+type IntrContext struct {
+	k   *Kernel
+	irq int
+}
+
+// IRQ reports which interrupt fired.
+func (c *IntrContext) IRQ() int { return c.irq }
+
+// Activate sends a message to the given (local) interrupt service,
+// signaling the occurrence of the interrupt to the task that offered it.
+// The message coprocessor performs the processing associated with
+// activate (§4.7); the message is delivered as a no-reply datagram marked
+// Interrupt.
+func (c *IntrContext) Activate(ref ServiceRef, data []byte) error {
+	if len(data) > MessageSize {
+		return ErrMessageTooBig
+	}
+	k := c.k
+	s, err := k.localService(ref)
+	if err != nil {
+		return err
+	}
+	payload := padMessage(data)
+	k.commRun(priIntr, k.cfg.Costs.ProcessSend, func() {
+		if _, ok := k.services[s.id]; !ok {
+			return
+		}
+		k.allocBuffer(func() {
+			m := &Message{Data: payload, svc: s, Interrupt: true}
+			k.deliver(s, m, true)
+		})
+	})
+	return nil
+}
+
+// InstallHandler registers fn as the handler for device interrupt irq.
+// The handler executes in the context of the installing task when the
+// device interrupts; it performs the time-critical work and may only
+// call Activate.
+func (t *Task) InstallHandler(irq int, fn func(*IntrContext)) {
+	t.k.handlers[irq] = fn
+}
+
+// RaiseInterrupt is the device side: it invokes the installed handler
+// (if any) immediately at interrupt level and reports whether a handler
+// ran. Devices modeled with the des engine call this from their events.
+func (k *Kernel) RaiseInterrupt(irq int) bool {
+	h, ok := k.handlers[irq]
+	if !ok {
+		return false
+	}
+	h(&IntrContext{k: k, irq: irq})
+	return true
+}

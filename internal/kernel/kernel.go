@@ -1,0 +1,328 @@
+// Package kernel implements a message-based operating system kernel with
+// the IPC semantics of the 925 system (chapter 4): tasks communicating
+// through services with fixed-size 40-byte messages, no-wait and
+// remote-invocation sends, blocking receive with offer/inquire, reply,
+// memory references with access rights for bulk data movement, device
+// interrupts mapped into the client-server paradigm via activate, and
+// FCFS event-driven scheduling.
+//
+// The kernel runs on a discrete-event engine and is parameterized by the
+// node organization the thesis compares: the number of host processors,
+// whether a dedicated message coprocessor executes the communication
+// half of the kernel (the chapter 4 software partition), and the
+// processing cost of each kernel activity (package timing supplies the
+// measured per-architecture values). With zero costs it is a purely
+// functional message-passing kernel, which the examples use; with the
+// measured costs it is the "experimental implementation" side of the
+// chapter 6 model validation.
+//
+// Tasks are ordinary Go functions run on goroutines; their system calls
+// block the goroutine while the simulated kernel performs the
+// corresponding work in simulated time. Exactly one goroutine is runnable
+// at any instant (the engine hands control to a task and waits for it to
+// park), so kernel state needs no locking and runs are deterministic.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/list"
+	"repro/internal/network"
+)
+
+// MessageSize is the fixed size of a 925 message in bytes.
+const MessageSize = 40
+
+// Config describes one node's organization.
+type Config struct {
+	// Hosts is the number of processors executing tasks; default 1.
+	Hosts int
+	// Coprocessor dedicates a message coprocessor to communication
+	// processing (architectures II-IV); without it the host executes the
+	// IPC kernel too (architecture I).
+	Coprocessor bool
+	// Costs is the activity cost table; the zero value is free.
+	Costs Costs
+	// KernelBuffers bounds the message buffer pool; default 64. Senders
+	// block while the pool is empty (§3.2.3 process control).
+	KernelBuffers int
+	// RetransmitAfter, when positive, enables the §4.6 recovery costs the
+	// thesis factored out: unanswered remote requests are retransmitted
+	// every RetransmitAfter ticks and servers deduplicate requests.
+	// Required when the ring's DropRate is nonzero.
+	RetransmitAfter int64
+}
+
+// Kernel is the message-based operating system of one node.
+type Kernel struct {
+	eng  *des.Engine
+	cfg  Config
+	node int
+
+	hosts    []*des.Resource
+	hostFree []bool
+	comm     *des.Resource // communication processor (MP or the host)
+
+	compList list.List[*Task] // the computation list (a §5.1 list of TCBs)
+
+	tasks    []*Task
+	services map[int]*Service
+	nextSvc  int
+	nextConv int
+
+	freeBuffers int
+	bufferWait  []func() // grants blocked on the buffer pool, FCFS
+
+	// conversations outstanding from this node to remote servers.
+	conv map[int]*Pending
+
+	ifc         *network.Interface
+	ioOut, ioIn *des.Resource // network interface DMA engines
+	registry    *Cluster
+
+	handlers   map[int]func(*IntrContext)
+	localNames map[string]ServiceRef
+
+	// seenRemote deduplicates remote requests when retransmission is on.
+	seenRemote map[uint64]*remoteConv
+
+	// Stats
+	RoundTrips  int64 // completed remote-invocation rendezvous (as client node)
+	LocalSends  int64
+	RemoteSends int64
+	Retransmits int64 // request packets re-sent after timeout
+
+	// Message-path statistics (§3.3's third measurement technique,
+	// applied to this kernel): time messages spend queued on services
+	// waiting for a receiver.
+	queuedMsgs     int64
+	queueWaitTicks int64
+
+	dead bool
+}
+
+// Priorities on the communication processor: network interrupts are
+// serviced ahead of task-level communication requests (§4.4).
+const (
+	priTask = 0
+	priIntr = 1
+)
+
+// New creates a single-node kernel. Use NewCluster for multi-node
+// systems.
+func New(eng *des.Engine, cfg Config) *Kernel {
+	k := newNode(eng, cfg, 0, nil, nil)
+	return k
+}
+
+func newNode(eng *des.Engine, cfg Config, node int, ifc *network.Interface, cl *Cluster) *Kernel {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 1
+	}
+	if cfg.KernelBuffers <= 0 {
+		cfg.KernelBuffers = 64
+	}
+	k := &Kernel{
+		eng:         eng,
+		cfg:         cfg,
+		node:        node,
+		services:    map[int]*Service{},
+		conv:        map[int]*Pending{},
+		freeBuffers: cfg.KernelBuffers,
+		ifc:         ifc,
+		registry:    cl,
+		handlers:    map[int]func(*IntrContext){},
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		k.hosts = append(k.hosts, des.NewResource(eng, fmt.Sprintf("node%d.host%d", node, i)))
+		k.hostFree = append(k.hostFree, true)
+	}
+	if cfg.Coprocessor {
+		k.comm = des.NewResource(eng, fmt.Sprintf("node%d.mp", node))
+	} else {
+		// Architecture I: the host executes the IPC kernel. Communication
+		// work competes for host 0 through the same resource queue.
+		k.comm = k.hosts[0]
+	}
+	if ifc != nil {
+		ifc.OnArrival = k.onNetworkInterrupt
+		k.ioOut = des.NewResource(eng, fmt.Sprintf("node%d.ioOut", node))
+		k.ioIn = des.NewResource(eng, fmt.Sprintf("node%d.ioIn", node))
+	}
+	return k
+}
+
+// Engine exposes the node's event engine.
+func (k *Kernel) Engine() *des.Engine { return k.eng }
+
+// Node reports this kernel's node id.
+func (k *Kernel) Node() int { return k.node }
+
+// HostUtilization reports the mean utilization across host processors.
+func (k *Kernel) HostUtilization() float64 {
+	var u float64
+	for _, h := range k.hosts {
+		u += h.Utilization()
+	}
+	return u / float64(len(k.hosts))
+}
+
+// CommUtilization reports the communication processor's utilization (for
+// architecture I this is host 0, which also runs tasks).
+func (k *Kernel) CommUtilization() float64 { return k.comm.Utilization() }
+
+// commRun queues one communication-processing activity: duration d on
+// the communication processor at the given priority, then action.
+// Architecture I shares the host between computation and communication;
+// architectures II-IV run this on the MP concurrently with the hosts.
+func (k *Kernel) commRun(pri int, d int64, action func()) {
+	k.comm.Use(pri, d, action)
+}
+
+// hostOccupied marks host h busy/free in the dispatcher's view.
+func (k *Kernel) setHostFree(h int, free bool) { k.hostFree[h] = free }
+
+// makeReady puts a task on the computation list and dispatches. It is
+// idempotent: a task already queued (a WaitAny satisfied by two events
+// in the same window) is not enqueued twice.
+func (k *Kernel) makeReady(t *Task) {
+	if t.state == stateDead || t.state == stateReady {
+		return
+	}
+	t.state = stateReady
+	k.compList.Enqueue(&t.tcb)
+	k.dispatch()
+}
+
+// dispatch assigns ready tasks to free hosts FCFS, charging the restart
+// cost on the host before the task resumes ("to execute a task, the host
+// gets the first member of the computation list and runs it", §5.1).
+func (k *Kernel) dispatch() {
+	for h := 0; h < len(k.hosts) && !k.compList.Empty(); h++ {
+		// Architecture I note: host 0 doubles as the communication
+		// processor; the Resource queue arbitrates between task restarts
+		// and communication work, so dispatch simply requests it.
+		if !k.hostFree[h] {
+			continue
+		}
+		t := k.compList.First().Value
+		k.hostFree[h] = false
+		t.host = h
+		hres := k.hosts[h]
+		hres.Acquire(priTask, func() {
+			k.eng.After(k.cfg.Costs.RestartTask, func() {
+				t.state = stateRunning
+				k.runUntilBlocked(t, hres)
+			})
+		})
+	}
+}
+
+// runUntilBlocked resumes the task goroutine repeatedly while it keeps
+// the host (compute requests and non-blocking syscall segments), and
+// releases the host when the task blocks or exits.
+func (k *Kernel) runUntilBlocked(t *Task, hres *des.Resource) {
+	if t.preempted {
+		// The task was killed mid-activity; its host was released by
+		// Kill and this continuation is stale.
+		t.preempted = false
+		return
+	}
+	for {
+		req := t.step()
+		switch req.kind {
+		case reqNone: // task function returned
+			t.state = stateDead
+			hres.Release()
+			k.setHostFree(t.host, true)
+			k.dispatch()
+			return
+		case reqCompute:
+			k.eng.After(req.d, func() { k.runUntilBlocked(t, hres) })
+			return
+		case reqYieldHost:
+			// A blocking syscall was posted: charge the syscall entry on
+			// the host, then hand the host back and let the
+			// communication processor take over.
+			k.eng.After(req.d, func() {
+				hres.Release()
+				k.setHostFree(t.host, true)
+				req.after()
+				k.dispatch()
+			})
+			return
+		case reqSyscallInline:
+			// A non-blocking syscall: charge its host cost, run its
+			// action, and continue the task on the same host.
+			k.eng.After(req.d, func() {
+				if req.after != nil {
+					req.after()
+				}
+				k.runUntilBlocked(t, hres)
+			})
+			return
+		default:
+			panic("kernel: unknown request from task")
+		}
+	}
+}
+
+// allocBuffer secures a kernel buffer and then calls grant; when the
+// pool is dry the grant queues FCFS until a buffer frees (§3.2.3: senders
+// block on temporary shortage of kernel resources).
+func (k *Kernel) allocBuffer(grant func()) {
+	if k.freeBuffers > 0 {
+		k.freeBuffers--
+		grant()
+		return
+	}
+	k.bufferWait = append(k.bufferWait, grant)
+}
+
+// freeBuffer returns a kernel buffer to the pool, waking one waiting
+// sender (FCFS).
+func (k *Kernel) freeBuffer() {
+	if len(k.bufferWait) > 0 {
+		grant := k.bufferWait[0]
+		k.bufferWait = k.bufferWait[1:]
+		grant()
+		return
+	}
+	k.freeBuffers++
+}
+
+// FreeBuffers reports the current size of the kernel buffer pool.
+func (k *Kernel) FreeBuffers() int { return k.freeBuffers }
+
+// noteDequeued accumulates the message-path statistics for a message
+// leaving a service queue.
+func (k *Kernel) noteDequeued(m *Message) {
+	if !m.wasQueued {
+		return
+	}
+	k.queuedMsgs++
+	k.queueWaitTicks += k.eng.Now() - m.queuedAt
+	m.wasQueued = false
+}
+
+// MeanQueueResidence reports the mean time (in ticks) messages spent on
+// service queues before a receive matched them, and how many messages
+// waited at all. Messages delivered straight to a waiting server never
+// touch a queue and are excluded, exactly as the thesis's message-path
+// profiling distinguishes queueing points.
+func (k *Kernel) MeanQueueResidence() (mean float64, queued int64) {
+	if k.queuedMsgs == 0 {
+		return 0, 0
+	}
+	return float64(k.queueWaitTicks) / float64(k.queuedMsgs), k.queuedMsgs
+}
+
+// Shutdown terminates all task goroutines; the kernel is unusable
+// afterwards. Tests call it to avoid leaking goroutines.
+func (k *Kernel) Shutdown() {
+	k.dead = true
+	for _, t := range k.tasks {
+		t.kill()
+	}
+}

@@ -1,0 +1,533 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// newTestKernel builds a single-node kernel with cleanup.
+func newTestKernel(t *testing.T, cfg Config) (*des.Engine, *Kernel) {
+	t.Helper()
+	eng := des.New(1)
+	k := New(eng, cfg)
+	t.Cleanup(k.Shutdown)
+	return eng, k
+}
+
+func TestLocalRoundTrip(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	var got []byte
+	var served []byte
+
+	k.Spawn("server", func(ts *Task) {
+		svc := ts.CreateService("echo")
+		ts.Advertise("echo", svc)
+		if err := ts.Offer(svc); err != nil {
+			t.Error(err)
+			return
+		}
+		m, err := ts.Receive(svc)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		served = m.Data
+		if err := ts.Reply(m, append([]byte("re: "), m.Data[:5]...)); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Spawn("client", func(tc *Task) {
+		ref, ok := tc.Lookup("echo")
+		for !ok {
+			tc.Yield()
+			ref, ok = tc.Lookup("echo")
+		}
+		reply, err := tc.Call(ref, []byte("hello"), nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = reply
+	})
+	eng.Run(des.Second)
+
+	if !bytes.HasPrefix(served, []byte("hello")) || len(served) != MessageSize {
+		t.Fatalf("server saw %q (len %d)", served, len(served))
+	}
+	if !bytes.HasPrefix(got, []byte("re: hello")) {
+		t.Fatalf("client got %q", got)
+	}
+	if k.RoundTrips != 1 || k.LocalSends != 1 {
+		t.Fatalf("RoundTrips=%d LocalSends=%d", k.RoundTrips, k.LocalSends)
+	}
+}
+
+func TestNoWaitSendDatagram(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	var got *Message
+	k.Spawn("recv", func(ts *Task) {
+		svc := ts.CreateService("log")
+		ts.Advertise("log", svc)
+		_ = ts.Offer(svc)
+		m, err := ts.Receive(svc)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = m
+		if err := ts.Reply(m, nil); !errors.Is(err, ErrNoReply) {
+			t.Errorf("reply to datagram: %v", err)
+		}
+	})
+	k.Spawn("send", func(ts *Task) {
+		ref, ok := ts.Lookup("log")
+		for !ok {
+			ts.Yield()
+			ref, ok = ts.Lookup("log")
+		}
+		if err := ts.Send(ref, []byte("event")); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run(des.Second)
+	if got == nil || got.NeedsReply {
+		t.Fatalf("datagram not delivered correctly: %+v", got)
+	}
+	if k.FreeBuffers() != 64 {
+		t.Fatalf("buffer leaked: %d free, want 64", k.FreeBuffers())
+	}
+}
+
+func TestReceiveAnyAndInquire(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	var firstFrom string
+	k.Spawn("server", func(ts *Task) {
+		a := ts.CreateService("a")
+		b := ts.CreateService("b")
+		ts.Advertise("a", a)
+		ts.Advertise("b", b)
+		_ = ts.Offer(a)
+		_ = ts.Offer(b)
+		if any, err := ts.Inquire(a, b); err != nil || any {
+			t.Errorf("Inquire before send = %v, %v", any, err)
+		}
+		m, err := ts.ReceiveAny(a, b)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		firstFrom = m.svc.Name()
+	})
+	k.Spawn("client", func(ts *Task) {
+		b, ok := ts.Lookup("b")
+		for !ok {
+			ts.Yield()
+			b, ok = ts.Lookup("b")
+		}
+		_ = ts.Send(b, []byte("to b"))
+	})
+	eng.Run(des.Second)
+	if firstFrom != "b" {
+		t.Fatalf("ReceiveAny matched service %q, want b", firstFrom)
+	}
+}
+
+func TestOfferRequired(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	var recvErr, inqErr error
+	k.Spawn("server", func(ts *Task) {
+		svc := ts.CreateService("s")
+		_, recvErr = ts.Receive(svc)
+		_, inqErr = ts.Inquire(svc)
+	})
+	eng.Run(des.Second)
+	if !errors.Is(recvErr, ErrNotOffered) || !errors.Is(inqErr, ErrNotOffered) {
+		t.Fatalf("errs = %v, %v; want ErrNotOffered", recvErr, inqErr)
+	}
+}
+
+func TestValidityChecks(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	big := make([]byte, MessageSize+1)
+	k.Spawn("task", func(ts *Task) {
+		svc := ts.CreateService("s")
+		if err := ts.Send(svc, big); !errors.Is(err, ErrMessageTooBig) {
+			t.Errorf("big send: %v", err)
+		}
+		if _, err := ts.Call(ServiceRef{Node: 0, ID: 999}, nil, nil); !errors.Is(err, ErrBadService) {
+			t.Errorf("bad service: %v", err)
+		}
+		if _, err := ts.Call(ServiceRef{Node: 9, ID: 0}, nil, nil); !errors.Is(err, ErrBadService) {
+			t.Errorf("bad node: %v", err)
+		}
+		if err := ts.DestroyService(svc); err != nil {
+			t.Error(err)
+		}
+		if err := ts.Offer(svc); !errors.Is(err, ErrBadService) {
+			t.Errorf("offer destroyed: %v", err)
+		}
+	})
+	eng.Run(des.Second)
+}
+
+// The Figure 4.2 scenario: an editor sends a 40-byte request enclosing a
+// memory reference; the file server moves data directly between its own
+// state and the editor's buffer, then replies, which revokes the rights.
+func TestMemoryReferenceMove(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	page := []byte("the quick brown fox jumps over the lazy dog")
+	var afterReplyErr error
+
+	k.Spawn("fileserver", func(ts *Task) {
+		svc := ts.CreateService("fs")
+		ts.Advertise("fs", svc)
+		_ = ts.Offer(svc)
+		m, err := ts.Receive(svc)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Write the page into the editor's buffer.
+		if err := ts.MoveTo(m, 0, page); err != nil {
+			t.Error(err)
+			return
+		}
+		// Read it back through the same reference.
+		back, err := ts.MoveFrom(m, 4, 5)
+		if err != nil || string(back) != "quick" {
+			t.Errorf("MoveFrom = %q, %v", back, err)
+		}
+		// A move beyond the segment is rejected.
+		if _, err := ts.MoveFrom(m, 0, 5000); !errors.Is(err, ErrRights) {
+			t.Errorf("oversized move: %v", err)
+		}
+		if err := ts.Reply(m, []byte("done")); err != nil {
+			t.Error(err)
+		}
+		// Rights are erased after reply.
+		_, afterReplyErr = ts.MoveFrom(m, 0, 1)
+	})
+	k.Spawn("editor", func(ts *Task) {
+		ref, ok := ts.Lookup("fs")
+		for !ok {
+			ts.Yield()
+			ref, ok = ts.Lookup("fs")
+		}
+		mr := ts.NewMemoryRef(0x100, 4096, RightRead|RightWrite)
+		if _, err := ts.Call(ref, []byte("get page 7"), mr); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := ts.Mem[0x100 : 0x100+len(page)]; !bytes.Equal(got, page) {
+			t.Errorf("editor buffer = %q", got)
+		}
+	})
+	eng.Run(des.Second)
+	if !errors.Is(afterReplyErr, ErrRights) {
+		t.Fatalf("move after reply: %v, want ErrRights", afterReplyErr)
+	}
+}
+
+func TestMemoryRefRightsDirection(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	k.Spawn("server", func(ts *Task) {
+		svc := ts.CreateService("s")
+		ts.Advertise("s", svc)
+		_ = ts.Offer(svc)
+		m, _ := ts.Receive(svc)
+		if _, err := ts.MoveFrom(m, 0, 4); err != nil {
+			t.Errorf("read with read right: %v", err)
+		}
+		if err := ts.MoveTo(m, 0, []byte("x")); !errors.Is(err, ErrRights) {
+			t.Errorf("write without write right: %v", err)
+		}
+		_ = ts.Reply(m, nil)
+	})
+	k.Spawn("client", func(ts *Task) {
+		ref, ok := ts.Lookup("s")
+		for !ok {
+			ts.Yield()
+			ref, ok = ts.Lookup("s")
+		}
+		mr := ts.NewMemoryRef(0, 64, RightRead)
+		_, _ = ts.Call(ref, nil, mr)
+	})
+	eng.Run(des.Second)
+}
+
+// Kernel buffering blocks senders when the pool is dry and wakes them
+// FCFS when buffers free (§3.2.3).
+func TestBufferExhaustionBlocksSender(t *testing.T) {
+	eng, k := newTestKernel(t, Config{KernelBuffers: 1})
+	var deliveries int
+	k.Spawn("server", func(ts *Task) {
+		svc := ts.CreateService("s")
+		ts.Advertise("s", svc)
+		_ = ts.Offer(svc)
+		// Stay away long enough that both datagrams are posted before the
+		// first receive: the second must wait for the buffer.
+		ts.Compute(100 * des.Microsecond)
+		for i := 0; i < 2; i++ {
+			if _, err := ts.Receive(svc); err != nil {
+				t.Error(err)
+				return
+			}
+			deliveries++
+		}
+	})
+	k.Spawn("clientA", func(ts *Task) {
+		ref, ok := ts.Lookup("s")
+		for !ok {
+			ts.Yield()
+			ref, ok = ts.Lookup("s")
+		}
+		_ = ts.Send(ref, []byte("one"))
+		_ = ts.Send(ref, []byte("two"))
+	})
+	eng.Run(des.Second)
+	if deliveries != 2 {
+		t.Fatalf("deliveries = %d, want 2", deliveries)
+	}
+	if k.FreeBuffers() != 1 {
+		t.Fatalf("FreeBuffers = %d, want 1", k.FreeBuffers())
+	}
+}
+
+func TestRemoteRoundTrip(t *testing.T) {
+	eng := des.New(1)
+	cl := NewCluster(eng, 2, Config{Coprocessor: true})
+	t.Cleanup(cl.Shutdown)
+
+	var got []byte
+	cl.Kernel(1).Spawn("server", func(ts *Task) {
+		svc := ts.CreateService("remote-echo")
+		ts.Advertise("remote-echo", svc)
+		_ = ts.Offer(svc)
+		for {
+			m, err := ts.Receive(svc)
+			if err != nil {
+				return
+			}
+			_ = ts.Reply(m, append([]byte("ok "), m.Data[:3]...))
+		}
+	})
+	cl.Kernel(0).Spawn("client", func(ts *Task) {
+		ref, ok := ts.Lookup("remote-echo")
+		for !ok {
+			ts.Yield()
+			ref, ok = ts.Lookup("remote-echo")
+		}
+		if ref.Node != 1 {
+			t.Errorf("service resolved to node %d", ref.Node)
+		}
+		reply, err := ts.Call(ref, []byte("abc"), nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = reply
+	})
+	eng.Run(des.Second)
+
+	if !bytes.HasPrefix(got, []byte("ok abc")) {
+		t.Fatalf("reply = %q", got)
+	}
+	// Exactly two packets per round trip (§4.6).
+	if cl.Ring().Sent != 2 {
+		t.Fatalf("packets = %d, want 2", cl.Ring().Sent)
+	}
+	if cl.Kernel(0).RoundTrips != 1 || cl.Kernel(0).RemoteSends != 1 {
+		t.Fatalf("client node stats: %d trips, %d remote sends",
+			cl.Kernel(0).RoundTrips, cl.Kernel(0).RemoteSends)
+	}
+}
+
+func TestRemoteMemoryRefRejected(t *testing.T) {
+	eng := des.New(1)
+	cl := NewCluster(eng, 2, Config{})
+	t.Cleanup(cl.Shutdown)
+	var err error
+	done := make(chan struct{})
+	cl.Kernel(0).Spawn("client", func(ts *Task) {
+		defer close(done)
+		mr := ts.NewMemoryRef(0, 16, RightRead)
+		_, err = ts.SendAsync(ServiceRef{Node: 1, ID: 0}, nil, mr)
+	})
+	eng.Run(des.Second)
+	<-done
+	if !errors.Is(err, ErrRemoteMove) {
+		t.Fatalf("remote memory ref: %v", err)
+	}
+}
+
+// Device interrupts map into the IPC paradigm: the handler runs at
+// interrupt level and activates the interrupt service; the driver task
+// receives the interrupt message (§4.2.2).
+func TestInterruptActivate(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	const diskIRQ = 3
+	var gotIntr *Message
+	k.Spawn("disk-driver", func(ts *Task) {
+		svc := ts.CreateService("disk-intr")
+		_ = ts.Offer(svc)
+		ts.InstallHandler(diskIRQ, func(c *IntrContext) {
+			if c.IRQ() != diskIRQ {
+				t.Errorf("IRQ = %d", c.IRQ())
+			}
+			_ = c.Activate(svc, []byte("sector ready"))
+		})
+		m, err := ts.Receive(svc)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		gotIntr = m
+	})
+	eng.At(10*des.Microsecond, func() {
+		if !k.RaiseInterrupt(diskIRQ) {
+			t.Error("no handler installed")
+		}
+	})
+	eng.Run(des.Second)
+	if gotIntr == nil || !gotIntr.Interrupt {
+		t.Fatalf("interrupt message = %+v", gotIntr)
+	}
+	if !bytes.HasPrefix(gotIntr.Data, []byte("sector ready")) {
+		t.Fatalf("interrupt data = %q", gotIntr.Data)
+	}
+	if k.RaiseInterrupt(99) {
+		t.Fatal("unknown irq should report no handler")
+	}
+}
+
+// FCFS among equal-priority requests: two clients are served in posting
+// order.
+func TestFCFSServiceOrder(t *testing.T) {
+	eng, k := newTestKernel(t, Config{})
+	var order []string
+	k.Spawn("server", func(ts *Task) {
+		svc := ts.CreateService("s")
+		ts.Advertise("s", svc)
+		_ = ts.Offer(svc)
+		for i := 0; i < 2; i++ {
+			m, err := ts.Receive(svc)
+			if err != nil {
+				return
+			}
+			order = append(order, string(bytes.TrimRight(m.Data, "\x00")))
+			_ = ts.Reply(m, nil)
+		}
+	})
+	client := func(name string, delay int64) {
+		k.Spawn(name, func(ts *Task) {
+			ref, ok := ts.Lookup("s")
+			for !ok {
+				ts.Yield()
+				ref, ok = ts.Lookup("s")
+			}
+			ts.Compute(delay)
+			_, _ = ts.Call(ref, []byte(name), nil)
+		})
+	}
+	client("first", 10*des.Microsecond)
+	client("second", 20*des.Microsecond)
+	eng.Run(des.Second)
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("service order = %v", order)
+	}
+}
+
+// With a coprocessor and nonzero communication costs, the client's
+// observed round-trip time includes exactly the serial communication
+// path.
+func TestTimedRoundTripWithCoprocessor(t *testing.T) {
+	costs := Costs{
+		ProcessSend:  1000 * des.Microsecond,
+		Match:        500 * des.Microsecond,
+		ProcessReply: 250 * des.Microsecond,
+	}
+	eng, k := newTestKernel(t, Config{Hosts: 2, Coprocessor: true, Costs: costs})
+	var start, end int64
+	k.Spawn("server", func(ts *Task) {
+		svc := ts.CreateService("s")
+		ts.Advertise("s", svc)
+		_ = ts.Offer(svc)
+		m, err := ts.Receive(svc)
+		if err != nil {
+			return
+		}
+		_ = ts.Reply(m, nil)
+	})
+	k.Spawn("client", func(ts *Task) {
+		ref, ok := ts.Lookup("s")
+		for !ok {
+			ts.Yield()
+			ref, ok = ts.Lookup("s")
+		}
+		start = ts.Now()
+		_, _ = ts.Call(ref, nil, nil)
+		end = ts.Now()
+	})
+	eng.Run(des.Second)
+	want := costs.ProcessSend + costs.Match + costs.ProcessReply
+	if got := end - start; got != want {
+		t.Fatalf("round trip = %d, want %d", got, want)
+	}
+	if k.CommUtilization() == 0 {
+		t.Fatal("coprocessor utilization not recorded")
+	}
+}
+
+// Architecture I shares the host between computation and communication:
+// the same processor resource serves both, so communication work delays
+// computing tasks.
+func TestUniprocessorSharesHost(t *testing.T) {
+	costs := Costs{ProcessSend: 1000 * des.Microsecond}
+	eng, k := newTestKernel(t, Config{Coprocessor: false, Costs: costs})
+	var computeDone int64
+	k.Spawn("server", func(ts *Task) {
+		svc := ts.CreateService("s")
+		ts.Advertise("s", svc)
+		_ = ts.Offer(svc)
+		m, err := ts.Receive(svc)
+		if err != nil {
+			return
+		}
+		_ = ts.Reply(m, nil)
+	})
+	k.Spawn("client", func(ts *Task) {
+		ref, ok := ts.Lookup("s")
+		for !ok {
+			ts.Yield()
+			ref, ok = ts.Lookup("s")
+		}
+		_, _ = ts.Call(ref, nil, nil)
+		ts.Compute(10 * des.Microsecond)
+		computeDone = ts.Now()
+	})
+	eng.Run(des.Second)
+	// The 1000 us of send processing ran on the host; the client's
+	// trailing compute cannot have finished before it.
+	if computeDone < 1000*des.Microsecond {
+		t.Fatalf("compute finished at %d, before communication processing", computeDone)
+	}
+}
+
+func TestShutdownKillsParkedTasks(t *testing.T) {
+	eng := des.New(1)
+	k := New(eng, Config{})
+	k.Spawn("blocked-forever", func(ts *Task) {
+		svc := ts.CreateService("never")
+		_ = ts.Offer(svc)
+		_, _ = ts.Receive(svc) // never matched
+		t.Error("receive returned after shutdown")
+	})
+	k.Spawn("never-scheduled", func(ts *Task) {
+		ts.Compute(des.Second) // parked mid-compute at shutdown
+	})
+	eng.Run(des.Millisecond)
+	k.Shutdown() // must not hang or run the killed tasks further
+}

@@ -1,0 +1,51 @@
+package kernel
+
+// Kill terminates another task, performing the §5.1 bookkeeping: "when a
+// task is killed by another task, the host dequeues the killed task from
+// the computation list and enqueues the freed task control block on the
+// free-list". The victim's goroutine unwinds; if it was blocked in a
+// receive it is removed from the service waiter lists, and if a host was
+// running it the host is released at the victim's next park. Killing a
+// dead task is a no-op.
+func (k *Kernel) Kill(t *Task) {
+	if t == nil || t.state == stateDead {
+		return
+	}
+	wasRunning := t.state == stateRunning
+	// Dequeue from the computation list (a no-op if it is not there,
+	// exactly like the hardware primitive).
+	k.compList.Dequeue(&t.tcb)
+	// Unhook from any services it was blocked on.
+	k.removeWaiter(t)
+	if wasRunning {
+		// The victim holds a host right now (mid-compute or mid-syscall
+		// entry). Preempt it: release the host immediately, flag the
+		// pending continuation as stale, and unwind the goroutine.
+		t.killed = true
+		t.state = stateDead
+		t.preempted = true
+		k.hosts[t.host].Release()
+		k.setHostFree(t.host, true)
+		t.unwind()
+		k.dispatch()
+		return
+	}
+	t.kill()
+}
+
+// KillTask is the task-level syscall: one task kills another by id on
+// the same node.
+func (t *Task) KillTask(id int) bool {
+	if id < 0 || id >= len(t.k.tasks) || t.k.tasks[id] == t {
+		return false
+	}
+	victim := t.k.tasks[id]
+	if victim.state == stateDead {
+		return false
+	}
+	t.k.Kill(victim)
+	return true
+}
+
+// Alive reports whether the task has not exited or been killed.
+func (t *Task) Alive() bool { return t.state != stateDead }

@@ -1,0 +1,101 @@
+package kernel
+
+// Rights are the access permissions a memory reference grants on the
+// enclosed segment of the sender's address space (§4.2.1: "the access
+// rights (read, write, and/or copy, and size) ... is also specified").
+type Rights uint8
+
+// Access right bits.
+const (
+	RightRead Rights = 1 << iota
+	RightWrite
+	RightCopy
+)
+
+// MemoryRef is a pointer to a segment of the sending task's address
+// space, enclosed in a message so the receiver can move large blocks of
+// data without extra kernel buffering — the Figure 4.2 editor/file-server
+// mechanism. The receiver loses all rights after replying to the message.
+type MemoryRef struct {
+	// Addr and Size delimit the segment within the sender's Mem.
+	Addr, Size int
+	// Rights the receiver is granted on the segment.
+	Rights Rights
+
+	owner *Task
+}
+
+// NewMemoryRef builds a reference into t's address space. It is intended
+// to be enclosed in a SendAsync/Call; validation happens at send time.
+func (t *Task) NewMemoryRef(addr, size int, rights Rights) *MemoryRef {
+	return &MemoryRef{Addr: addr, Size: size, Rights: rights, owner: t}
+}
+
+func (r *MemoryRef) validate(sender *Task) error {
+	if r.owner == nil {
+		r.owner = sender
+	}
+	if r.owner != sender {
+		return ErrRights
+	}
+	if r.Addr < 0 || r.Size < 0 || r.Addr+r.Size > len(sender.Mem) {
+		return ErrRights
+	}
+	return nil
+}
+
+// MoveFrom reads n bytes at offset off within the referenced segment —
+// the 925 "memory move" in the read direction. The kernel checks the
+// access permissions; the sending task's participation is not needed
+// (§3.2.2).
+func (t *Task) MoveFrom(m *Message, off, n int) ([]byte, error) {
+	r, err := t.moveCheck(m, off, n, RightRead|RightCopy)
+	if err != nil {
+		return nil, err
+	}
+	t.chargeMove(n)
+	out := make([]byte, n)
+	copy(out, r.owner.Mem[r.Addr+off:r.Addr+off+n])
+	return out, nil
+}
+
+// MoveTo writes data at offset off within the referenced segment — the
+// memory move in the write direction.
+func (t *Task) MoveTo(m *Message, off int, data []byte) error {
+	r, err := t.moveCheck(m, off, len(data), RightWrite)
+	if err != nil {
+		return err
+	}
+	t.chargeMove(len(data))
+	copy(r.owner.Mem[r.Addr+off:], data)
+	return nil
+}
+
+// moveCheck validates a memory move: the message must hold a reference,
+// the rendezvous must still be open (rights are erased after reply), the
+// move must fit the segment, and the needed right must be granted.
+func (t *Task) moveCheck(m *Message, off, n int, anyOf Rights) (*MemoryRef, error) {
+	r := m.Ref
+	if r == nil || m.replied {
+		return nil, ErrRights
+	}
+	if m.remote || r.owner == nil {
+		return nil, ErrRemoteMove
+	}
+	if r.Rights&anyOf == 0 {
+		return nil, ErrRights
+	}
+	if off < 0 || n < 0 || off+n > r.Size {
+		return nil, ErrRights
+	}
+	return r, nil
+}
+
+// chargeMove blocks the task for the kernel's copy cost; the data
+// movement is a system call executed by the communication processor.
+func (t *Task) chargeMove(n int) {
+	d := t.k.cfg.Costs.CopyPerByte * int64(n)
+	if d > 0 {
+		t.park(request{kind: reqSyscallInline, d: d, after: nil})
+	}
+}

@@ -1,0 +1,270 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// ServiceRef names a service anywhere in the cluster. The thesis
+// addresses messages "to services"; the reference is location-dependent
+// (node + id), with the cluster name registry providing the
+// location-independent lookup.
+type ServiceRef struct {
+	Node int
+	ID   int
+}
+
+func (r ServiceRef) String() string { return fmt.Sprintf("svc(%d:%d)", r.Node, r.ID) }
+
+// Service is a queueing point for messages (§4.2.1): clients send to it,
+// servers that have offered it receive from it.
+type Service struct {
+	id    int
+	name  string
+	node  int
+	owner *Task
+
+	queue   []*Message // buffered messages awaiting a receiver, FCFS
+	waiters []*Task    // servers blocked in receive, FCFS ("delivered to the first server ordered by time")
+	// handler, if set, is invoked in the receiving task's context when a
+	// receive matches; control returns to the receive after the handler
+	// replies (§3.2.5).
+	handler func(*Task, *Message)
+}
+
+// Name reports the service's name.
+func (s *Service) Name() string { return s.name }
+
+// Message is a delivered 925 message: exactly MessageSize bytes of data,
+// optionally enclosing a memory reference into the sender's address
+// space.
+type Message struct {
+	// Data is the fixed-size message body.
+	Data []byte
+	// Ref is the enclosed memory reference, if any; valid until Reply.
+	Ref *MemoryRef
+	// NeedsReply distinguishes remote-invocation sends from no-wait
+	// datagrams.
+	NeedsReply bool
+	// Interrupt marks messages injected by Activate from an interrupt
+	// handler.
+	Interrupt bool
+
+	svc        *Service
+	sender     *Task    // local sender (nil for remote or interrupt messages)
+	pending    *Pending // local reply target
+	remote     bool
+	remoteNode int
+	remoteConv int
+	replied    bool
+	queuedAt   int64 // message-path stamp: when it joined the service queue
+	wasQueued  bool
+}
+
+// postSend runs the communication-processing half of a send system call.
+// p is nil for no-wait sends.
+func (k *Kernel) postSend(sender *Task, ref ServiceRef, payload []byte, memRef *MemoryRef, p *Pending) {
+	if ref.Node != k.node {
+		k.commRun(priTask, k.cfg.Costs.ProcessSend, func() {
+			conv := k.nextConv
+			k.nextConv++
+			if p != nil {
+				k.conv[conv] = p
+			}
+			k.RemoteSends++
+			pkt := &network.Packet{
+				Type:     network.SendPacket,
+				Dst:      ref.Node,
+				Conv:     conv,
+				Service:  ref.ID,
+				Datagram: p == nil,
+				Payload:  payload,
+			}
+			k.ioOut.Use(0, k.cfg.Costs.DMAOut+k.cfg.Costs.Checksum, func() {
+				k.ifc.Transmit(pkt, nil)
+			})
+			if p != nil {
+				k.armRetransmit(conv, pkt)
+			}
+		})
+		return
+	}
+	k.commRun(priTask, k.cfg.Costs.ProcessSend, func() {
+		s, ok := k.services[ref.ID]
+		if !ok {
+			// The service vanished between validation and processing;
+			// fail the send silently like a dropped datagram, completing
+			// any pending wait with an empty reply.
+			if p != nil {
+				p.complete(nil)
+			}
+			return
+		}
+		k.allocBuffer(func() {
+			k.LocalSends++
+			m := &Message{
+				Data:       append([]byte(nil), payload...), // kernel buffering copy
+				Ref:        memRef,
+				NeedsReply: p != nil,
+				svc:        s,
+				sender:     sender,
+				pending:    p,
+			}
+			k.deliver(s, m, true)
+		})
+	})
+}
+
+// deliver hands a buffered message to a waiting server or queues it.
+// chargeMatch controls whether the local match cost applies (network
+// arrivals already paid it inside MatchRemote).
+func (k *Kernel) deliver(s *Service, m *Message, chargeMatch bool) {
+	if len(s.waiters) == 0 {
+		// Message-path profiling stamp (§3.3): the message waits on the
+		// service queue until a receive matches it.
+		m.queuedAt = k.eng.Now()
+		m.wasQueued = true
+		s.queue = append(s.queue, m)
+		return
+	}
+	w := s.waiters[0]
+	k.removeWaiter(w)
+	match := func() {
+		k.completeDelivery(w, m)
+	}
+	if chargeMatch {
+		k.commRun(priTask, k.matchCost(m), match)
+	} else {
+		match()
+	}
+}
+
+// matchCost prices the match step for a message. Messages that arrived
+// from the network already paid for matching inside the interrupt-time
+// MatchRemote processing, so pairing them with a later receive costs
+// nothing extra.
+func (k *Kernel) matchCost(m *Message) int64 {
+	if m.remote {
+		return 0
+	}
+	return k.cfg.Costs.Match
+}
+
+// completeDelivery deposits the message and restarts the receiver; the
+// kernel buffer of a datagram is freed here (delivery complete), while a
+// remote-invocation message holds its buffer until Reply.
+func (k *Kernel) completeDelivery(w *Task, m *Message) {
+	w.inMsg = m
+	if !m.NeedsReply {
+		k.freeBuffer()
+	}
+	k.makeReady(w)
+}
+
+// postReceive runs the communication-processing half of a receive.
+func (k *Kernel) postReceive(t *Task, svcs []*Service) {
+	k.commRun(priTask, k.cfg.Costs.ProcessReceive, func() {
+		for _, s := range svcs {
+			if len(s.queue) > 0 {
+				m := s.queue[0]
+				s.queue = s.queue[1:]
+				k.noteDequeued(m)
+				k.commRun(priTask, k.matchCost(m), func() {
+					k.completeDelivery(t, m)
+				})
+				return
+			}
+		}
+		t.state = stateStopped
+		t.waitingOn = svcs
+		for _, s := range svcs {
+			s.waiters = append(s.waiters, t)
+		}
+	})
+}
+
+// removeWaiter clears the task from every service waiter list it joined.
+func (k *Kernel) removeWaiter(t *Task) {
+	for _, s := range t.waitingOn {
+		for i, w := range s.waiters {
+			if w == t {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				break
+			}
+		}
+	}
+	t.waitingOn = nil
+}
+
+// postReply runs the communication-processing half of a reply.
+func (k *Kernel) postReply(server *Task, m *Message, payload []byte) {
+	k.commRun(priTask, k.cfg.Costs.ProcessReply, func() {
+		k.freeBuffer() // the rendezvous buffer
+		if m.remote {
+			pkt := &network.Packet{
+				Type:    network.ReplyPacket,
+				Dst:     m.remoteNode,
+				Conv:    m.remoteConv,
+				Payload: payload,
+			}
+			k.storeReply(m.remoteNode, m.remoteConv, payload)
+			k.ioOut.Use(0, k.cfg.Costs.DMAOut+k.cfg.Costs.Checksum, func() {
+				k.ifc.Transmit(pkt, nil)
+			})
+		} else if m.pending != nil {
+			m.pending.complete(append([]byte(nil), payload...))
+		}
+		k.makeReady(server)
+	})
+}
+
+// onNetworkInterrupt services a packet arrival: the interface DMAs the
+// packet into a kernel buffer and the communication processor handles it
+// at interrupt priority (§4.4: "network interrupts are serviced by the
+// message coprocessor on a priority basis").
+func (k *Kernel) onNetworkInterrupt() {
+	k.ioIn.Use(0, k.cfg.Costs.DMAIn+k.cfg.Costs.Checksum, func() {
+		pkt := k.ifc.Receive()
+		if pkt == nil {
+			return
+		}
+		switch pkt.Type {
+		case network.SendPacket:
+			k.commRun(priIntr, k.cfg.Costs.MatchRemote+k.cfg.Costs.Checksum, func() {
+				fresh, stored := k.noteRequest(pkt.Src, pkt.Conv)
+				if !fresh {
+					if stored != nil {
+						// Duplicate of a served request: re-send its reply.
+						k.resendStoredReply(pkt.Src, pkt.Conv, stored)
+					}
+					return // duplicate still in service: drop it
+				}
+				s, ok := k.services[pkt.Service]
+				if !ok {
+					return // request to a destroyed service is dropped
+				}
+				k.allocBuffer(func() {
+					m := &Message{
+						Data:       append([]byte(nil), pkt.Payload...),
+						NeedsReply: !pkt.Datagram,
+						svc:        s,
+						remote:     true,
+						remoteNode: pkt.Src,
+						remoteConv: pkt.Conv,
+					}
+					k.deliver(s, m, false)
+				})
+			})
+		case network.ReplyPacket:
+			k.commRun(priIntr, k.cfg.Costs.CleanupClient, func() {
+				p, ok := k.conv[pkt.Conv]
+				if !ok {
+					return
+				}
+				delete(k.conv, pkt.Conv)
+				p.complete(append([]byte(nil), pkt.Payload...))
+			})
+		}
+	})
+}

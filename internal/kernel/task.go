@@ -1,0 +1,462 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/list"
+	"repro/internal/rng"
+)
+
+// Errors returned by task system calls.
+var (
+	// ErrBadService reports an operation on a service that does not exist
+	// (or no longer exists).
+	ErrBadService = errors.New("kernel: no such service")
+	// ErrNotOffered reports a receive on a service the task has not
+	// offered.
+	ErrNotOffered = errors.New("kernel: receive without offer")
+	// ErrMessageTooBig reports send data exceeding the fixed message size.
+	ErrMessageTooBig = errors.New("kernel: message exceeds 40 bytes")
+	// ErrNoReply reports a reply to a no-wait (datagram) message.
+	ErrNoReply = errors.New("kernel: message does not expect a reply")
+	// ErrAlreadyReplied reports a second reply to the same message.
+	ErrAlreadyReplied = errors.New("kernel: message already replied")
+	// ErrRights reports a memory move that the enclosed access rights do
+	// not permit (wrong direction, out of bounds, or after reply).
+	ErrRights = errors.New("kernel: memory reference rights violation")
+	// ErrRemoteMove reports a memory move on a remote rendezvous; like the
+	// thesis implementation, only local moves are supported (§4.2.3).
+	ErrRemoteMove = errors.New("kernel: memory move across nodes not supported")
+)
+
+// errKilled unwinds task goroutines at shutdown.
+var errKilled = errors.New("kernel: task killed")
+
+type taskState int
+
+const (
+	stateNew taskState = iota // spawned, never yet on the computation list
+	stateReady
+	stateRunning
+	stateCommunicating
+	stateStopped
+	stateDead
+)
+
+type reqKind int
+
+const (
+	reqNone reqKind = iota
+	reqCompute
+	reqYieldHost
+	reqSyscallInline
+)
+
+type request struct {
+	kind  reqKind
+	d     int64
+	after func()
+}
+
+// Task is a 925 task: a unit of execution with its own address space.
+// All methods except Name and Node must be called from the task's own
+// function.
+type Task struct {
+	k    *Kernel
+	id   int
+	name string
+	host int
+
+	// Mem is the task's private address space, the target of memory
+	// references enclosed in messages.
+	Mem []byte
+
+	state  taskState
+	resume chan struct{}
+	parked chan struct{}
+	req    request
+	killed bool
+	// preempted marks a running task killed mid-activity: its host was
+	// already released and its pending continuation must do nothing.
+	preempted bool
+	tcb       list.Node[*Task] // this task's entry on the computation list
+
+	offered   map[int]bool
+	inMsg     *Message   // deposited by the kernel before a receive resumes
+	waitingOn []*Service // services this task is blocked receiving on
+}
+
+// Spawn creates a task executing fn with a 64 KB address space and makes
+// it ready. It returns the task for identity purposes; the task's
+// methods are for fn itself.
+func (k *Kernel) Spawn(name string, fn func(*Task)) *Task {
+	t := &Task{
+		k:       k,
+		id:      len(k.tasks),
+		name:    name,
+		Mem:     make([]byte, 64*1024),
+		resume:  make(chan struct{}),
+		parked:  make(chan struct{}),
+		offered: map[int]bool{},
+	}
+	t.tcb.Value = t
+	k.tasks = append(k.tasks, t)
+	go func() {
+		<-t.resume
+		defer func() {
+			if r := recover(); r != nil && r != any(errKilled) {
+				panic(r)
+			}
+			t.req = request{kind: reqNone}
+			t.parked <- struct{}{}
+		}()
+		if t.killed {
+			panic(errKilled)
+		}
+		fn(t)
+	}()
+	k.makeReady(t)
+	return t
+}
+
+// step hands control to the task goroutine and waits for it to park,
+// returning the request it parked with.
+func (t *Task) step() request {
+	t.resume <- struct{}{}
+	<-t.parked
+	return t.req
+}
+
+// park suspends the task goroutine with a request and waits for the
+// kernel to resume it.
+func (t *Task) park(r request) {
+	t.req = r
+	t.parked <- struct{}{}
+	<-t.resume
+	if t.killed {
+		panic(errKilled)
+	}
+}
+
+// kill terminates a parked task goroutine (kernel shutdown).
+func (t *Task) kill() {
+	if t.state == stateDead {
+		return
+	}
+	t.killed = true
+	t.state = stateDead
+	t.unwind()
+}
+
+// unwind forces a parked goroutine through its killed path; it is safe
+// on goroutines that already exited.
+func (t *Task) unwind() {
+	select {
+	case t.resume <- struct{}{}:
+		<-t.parked
+	default:
+		// The task is not parked (never started or already exiting).
+	}
+}
+
+// Name reports the task's name.
+func (t *Task) Name() string { return t.name }
+
+// ID reports the task's id within its node.
+func (t *Task) ID() int { return t.id }
+
+// Node reports the node the task runs on.
+func (t *Task) Node() int { return t.k.node }
+
+// Now reports the current simulated time in ticks.
+func (t *Task) Now() int64 { return t.k.eng.Now() }
+
+// Rand exposes the node's deterministic random source (tasks run one at
+// a time, so sharing it is safe and keeps runs reproducible).
+func (t *Task) Rand() *rng.Source { return t.k.eng.Rand() }
+
+// Compute occupies the host for d ticks of application processing.
+func (t *Task) Compute(d int64) {
+	if d < 0 {
+		panic("kernel: negative compute time")
+	}
+	t.park(request{kind: reqCompute, d: d})
+}
+
+// Yield lets equal-priority ready tasks run (a zero-length compute).
+func (t *Task) Yield() { t.Compute(0) }
+
+// --- Services ------------------------------------------------------------
+
+// CreateService creates a service owned by this task and returns its
+// reference; other tasks send messages to it.
+func (t *Task) CreateService(name string) ServiceRef {
+	return t.CreateServiceWithHandler(name, nil)
+}
+
+// CreateServiceWithHandler creates a service with a receive handler: when
+// the owner posts a receive on the service, the kernel copies the message
+// to the task and invokes the handler in the task's context; control
+// returns to the receive after the handler replies (the 925 handler
+// mechanism of §3.2.5). The handler runs only for the task that posted
+// the receive.
+func (t *Task) CreateServiceWithHandler(name string, handler func(*Task, *Message)) ServiceRef {
+	s := &Service{id: t.k.nextSvc, name: name, node: t.k.node, owner: t, handler: handler}
+	t.k.nextSvc++
+	t.k.services[s.id] = s
+	return ServiceRef{Node: t.k.node, ID: s.id}
+}
+
+// DestroyService removes a service: queued messages are discarded (their
+// buffers freed, any pending local senders completed with an empty
+// reply), and servers blocked receiving on it are restarted with
+// ErrBadService.
+func (t *Task) DestroyService(ref ServiceRef) error {
+	s, err := t.k.localService(ref)
+	if err != nil {
+		return err
+	}
+	for _, m := range s.queue {
+		t.k.freeBuffer()
+		if m.pending != nil && !m.pending.done {
+			m.pending.complete(nil)
+		}
+	}
+	s.queue = nil
+	// Restart stranded receivers; their ReceiveAny sees no message and
+	// returns ErrBadService.
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		t.k.removeWaiter(w)
+		t.k.makeReady(w)
+	}
+	delete(t.k.services, s.id)
+	return nil
+}
+
+// Offer advertises this task's intent to receive messages on the
+// service (§4.2.1); Receive requires a prior Offer.
+func (t *Task) Offer(ref ServiceRef) error {
+	if _, err := t.k.localService(ref); err != nil {
+		return err
+	}
+	t.offered[ref.ID] = true
+	return nil
+}
+
+// Inquire reports without blocking whether any of the offered services
+// has a message waiting (the 925 polling primitive).
+func (t *Task) Inquire(refs ...ServiceRef) (bool, error) {
+	for _, ref := range refs {
+		s, err := t.k.localService(ref)
+		if err != nil {
+			return false, err
+		}
+		if !t.offered[ref.ID] {
+			return false, ErrNotOffered
+		}
+		if len(s.queue) > 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// --- Send ------------------------------------------------------------------
+
+// Pending tracks an outstanding remote-invocation send posted with
+// SendAsync.
+type Pending struct {
+	owner  *Task
+	k      *Kernel
+	done   bool
+	reply  []byte
+	waiter bool // owner parked in Wait
+}
+
+// Send posts a no-wait send (reliable datagram): the message is buffered
+// by the kernel and the task continues without expecting a response.
+func (t *Task) Send(ref ServiceRef, data []byte) error {
+	if len(data) > MessageSize {
+		return ErrMessageTooBig
+	}
+	if err := t.k.checkService(ref); err != nil {
+		return err
+	}
+	payload := padMessage(data)
+	t.park(request{kind: reqSyscallInline, d: t.k.cfg.Costs.SyscallSend, after: func() {
+		t.k.postSend(t, ref, payload, nil, nil)
+	}})
+	return nil
+}
+
+// SendAsync posts a non-blocking remote-invocation send; the returned
+// Pending's Wait collects the reply. ref may enclose a memory reference
+// granting the receiver access to a segment of this task's address
+// space.
+func (t *Task) SendAsync(svc ServiceRef, data []byte, memRef *MemoryRef) (*Pending, error) {
+	if len(data) > MessageSize {
+		return nil, ErrMessageTooBig
+	}
+	if err := t.k.checkService(svc); err != nil {
+		return nil, err
+	}
+	if memRef != nil {
+		if svc.Node != t.k.node {
+			// Like the thesis test-bed, bulk data movement is defined for
+			// local rendezvous only (§4.2.3).
+			return nil, ErrRemoteMove
+		}
+		if err := memRef.validate(t); err != nil {
+			return nil, err
+		}
+	}
+	p := &Pending{owner: t, k: t.k}
+	payload := padMessage(data)
+	t.park(request{kind: reqSyscallInline, d: t.k.cfg.Costs.SyscallSend, after: func() {
+		t.k.postSend(t, svc, payload, memRef, p)
+	}})
+	return p, nil
+}
+
+// Call is the blocking remote-invocation send: send, then wait for the
+// receiver's reply (the workload primitive of §4.8).
+func (t *Task) Call(svc ServiceRef, data []byte, memRef *MemoryRef) ([]byte, error) {
+	p, err := t.SendAsync(svc, data, memRef)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait()
+}
+
+// Done reports without blocking whether the reply has arrived — the
+// completion-status poll of Charlotte-style IPC (§3.2.4: "the sender can
+// either poll the completion status or explicitly wait").
+func (p *Pending) Done() bool { return p.done }
+
+// Wait blocks the posting task until the reply arrives and returns it.
+// It must be called by the task that posted the send.
+func (p *Pending) Wait() ([]byte, error) {
+	if p.done {
+		return p.reply, nil
+	}
+	t := p.owner
+	t.state = stateStopped
+	p.waiter = true
+	t.park(request{kind: reqYieldHost, d: 0, after: func() {}})
+	return p.reply, nil
+}
+
+// complete delivers the reply and restarts the owner if it is waiting
+// (in Wait or in a WaitAny group, whose service registrations are also
+// cleared).
+func (p *Pending) complete(reply []byte) {
+	p.done = true
+	p.reply = reply
+	p.k.RoundTrips++
+	if p.waiter {
+		p.waiter = false
+		p.k.removeWaiter(p.owner)
+		p.k.makeReady(p.owner)
+	}
+}
+
+// --- Receive and reply ------------------------------------------------------
+
+// Receive blocks until a message arrives on the offered service.
+func (t *Task) Receive(ref ServiceRef) (*Message, error) {
+	return t.ReceiveAny(ref)
+}
+
+// ReceiveAny blocks until a message arrives on any of the offered
+// services (the 925 "group of events" wait).
+func (t *Task) ReceiveAny(refs ...ServiceRef) (*Message, error) {
+	if len(refs) == 0 {
+		return nil, ErrBadService
+	}
+	svcs := make([]*Service, len(refs))
+	for i, ref := range refs {
+		s, err := t.k.localService(ref)
+		if err != nil {
+			return nil, err
+		}
+		if !t.offered[ref.ID] {
+			return nil, ErrNotOffered
+		}
+		svcs[i] = s
+	}
+	t.inMsg = nil
+	t.state = stateCommunicating
+	t.park(request{kind: reqYieldHost, d: t.k.cfg.Costs.SyscallReceive, after: func() {
+		t.k.postReceive(t, svcs)
+	}})
+	m := t.inMsg
+	t.inMsg = nil
+	if m == nil {
+		return nil, ErrBadService
+	}
+	if m.svc != nil && m.svc.handler != nil {
+		// Handler upcall: executes in this task's context; control
+		// returns here once it has replied (§3.2.5).
+		m.svc.handler(t, m)
+		if m.NeedsReply && !m.replied {
+			// A handler that forgets to reply would wedge the client;
+			// complete the rendezvous with an empty reply.
+			_ = t.Reply(m, nil)
+		}
+	}
+	return m, nil
+}
+
+// Reply completes a remote-invocation rendezvous, sending data back to
+// the client and revoking any enclosed memory reference.
+func (t *Task) Reply(m *Message, data []byte) error {
+	if !m.NeedsReply {
+		return ErrNoReply
+	}
+	if m.replied {
+		return ErrAlreadyReplied
+	}
+	if len(data) > MessageSize {
+		return ErrMessageTooBig
+	}
+	m.replied = true
+	payload := padMessage(data)
+	t.state = stateCommunicating
+	t.park(request{kind: reqYieldHost, d: t.k.cfg.Costs.SyscallReply, after: func() {
+		t.k.postReply(t, m, payload)
+	}})
+	return nil
+}
+
+func padMessage(data []byte) []byte {
+	out := make([]byte, MessageSize)
+	copy(out, data)
+	return out
+}
+
+func (k *Kernel) localService(ref ServiceRef) (*Service, error) {
+	if ref.Node != k.node {
+		return nil, fmt.Errorf("%w: service %v is on node %d", ErrBadService, ref, ref.Node)
+	}
+	s, ok := k.services[ref.ID]
+	if !ok {
+		return nil, ErrBadService
+	}
+	return s, nil
+}
+
+// checkService validates a send target: a local service must exist; a
+// remote one must name an attached node (the remote kernel validates the
+// id on arrival).
+func (k *Kernel) checkService(ref ServiceRef) error {
+	if ref.Node == k.node {
+		_, err := k.localService(ref)
+		return err
+	}
+	if k.registry == nil || ref.Node < 0 || ref.Node >= len(k.registry.kernels) {
+		return fmt.Errorf("%w: unknown node %d", ErrBadService, ref.Node)
+	}
+	return nil
+}

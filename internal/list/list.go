@@ -1,0 +1,121 @@
+// Package list implements the singly-linked circular lists of control
+// blocks that the thesis kernel keeps in shared memory (§5.1): the
+// computation list, the communication list, and the free lists of task
+// control blocks and kernel buffers.
+//
+// A list is addressed through a single cell ("list") that points at the
+// TAIL element; the tail's next pointer closes the circle back to the
+// first element. Exactly three primitives maintain such lists — Enqueue,
+// First, and Dequeue — and they are the operations the smart bus exposes
+// as atomic transactions (enqueue control block, first control block,
+// dequeue control block). This package is the in-kernel, typed
+// realization; package memory implements the same algorithms over raw
+// 16-bit words for the smart shared memory controller, and the tests
+// cross-check the two.
+package list
+
+// Node is a control block that can be linked into a List. The zero Node
+// is ready to use. A Node must be on at most one list at a time.
+type Node[T any] struct {
+	next  *Node[T]
+	Value T
+}
+
+// List is a singly-linked circular list addressed by its tail pointer.
+// The zero List is empty ("distinguished value" NULL in the thesis).
+type List[T any] struct {
+	tail *Node[T]
+}
+
+// Empty reports whether the list has no elements.
+func (l *List[T]) Empty() bool { return l.tail == nil }
+
+// Len counts the elements (O(n); the kernel never needs it, tests do).
+func (l *List[T]) Len() int {
+	if l.tail == nil {
+		return 0
+	}
+	n := 0
+	for e := l.tail.next; ; e = e.next {
+		n++
+		if e == l.tail {
+			return n
+		}
+	}
+}
+
+// Enqueue appends element to the tail and updates the list to point at
+// the newly enqueued element — the §5.1 Enqueue(element, list) algorithm.
+func (l *List[T]) Enqueue(element *Node[T]) {
+	if l.tail != nil {
+		tail := l.tail
+		first := tail.next
+		element.next = first
+		tail.next = element
+	} else {
+		element.next = element
+	}
+	l.tail = element
+}
+
+// First dequeues and returns the first element, or nil if the list is
+// empty — the §5.1 First(list) algorithm. The list cell is set to the
+// distinguished value (nil) when the last element is removed.
+func (l *List[T]) First() *Node[T] {
+	if l.tail == nil {
+		return nil
+	}
+	tail := l.tail
+	first := tail.next
+	if tail == first {
+		l.tail = nil
+	} else {
+		tail.next = first.next
+	}
+	first.next = nil
+	return first
+}
+
+// Dequeue removes an arbitrary element from the list — the §5.1
+// Dequeue(element, list) algorithm. It reports whether the element was
+// found; removal of an absent element is a no-op, as in the thesis.
+func (l *List[T]) Dequeue(element *Node[T]) bool {
+	if l.tail == nil {
+		return false
+	}
+	tail := l.tail
+	curr := tail
+	for {
+		prev := curr
+		curr = prev.next
+		if curr == element {
+			if curr == prev {
+				l.tail = nil
+			} else {
+				prev.next = element.next
+				if tail == element {
+					l.tail = prev
+				}
+			}
+			element.next = nil
+			return true
+		}
+		if curr == tail {
+			return false
+		}
+	}
+}
+
+// Do calls fn on each element from first to tail without modifying the
+// list.
+func (l *List[T]) Do(fn func(*Node[T])) {
+	if l.tail == nil {
+		return
+	}
+	for e := l.tail.next; ; e = e.next {
+		fn(e)
+		if e == l.tail {
+			return
+		}
+	}
+}

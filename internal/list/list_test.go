@@ -1,0 +1,181 @@
+package list
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEnqueueFirstFIFO(t *testing.T) {
+	var l List[int]
+	nodes := make([]*Node[int], 5)
+	for i := range nodes {
+		nodes[i] = &Node[int]{Value: i}
+		l.Enqueue(nodes[i])
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", l.Len())
+	}
+	for i := 0; i < 5; i++ {
+		e := l.First()
+		if e == nil || e.Value != i {
+			t.Fatalf("First #%d = %v, want %d", i, e, i)
+		}
+	}
+	if !l.Empty() {
+		t.Fatal("list should be empty")
+	}
+	if l.First() != nil {
+		t.Fatal("First on empty list should return nil")
+	}
+}
+
+func TestDequeueMiddleHeadTail(t *testing.T) {
+	mk := func() (*List[int], []*Node[int]) {
+		l := &List[int]{}
+		ns := make([]*Node[int], 4)
+		for i := range ns {
+			ns[i] = &Node[int]{Value: i}
+			l.Enqueue(ns[i])
+		}
+		return l, ns
+	}
+
+	// Middle.
+	l, ns := mk()
+	if !l.Dequeue(ns[2]) {
+		t.Fatal("Dequeue middle failed")
+	}
+	want := []int{0, 1, 3}
+	for _, w := range want {
+		if e := l.First(); e.Value != w {
+			t.Fatalf("after middle dequeue got %d, want %d", e.Value, w)
+		}
+	}
+
+	// Head (first element).
+	l, ns = mk()
+	if !l.Dequeue(ns[0]) {
+		t.Fatal("Dequeue head failed")
+	}
+	for _, w := range []int{1, 2, 3} {
+		if e := l.First(); e.Value != w {
+			t.Fatalf("after head dequeue got %d, want %d", e.Value, w)
+		}
+	}
+
+	// Tail: the list cell must be updated to the new tail.
+	l, ns = mk()
+	if !l.Dequeue(ns[3]) {
+		t.Fatal("Dequeue tail failed")
+	}
+	l.Enqueue(&Node[int]{Value: 9}) // must append after 2, not after 3
+	for _, w := range []int{0, 1, 2, 9} {
+		if e := l.First(); e.Value != w {
+			t.Fatalf("after tail dequeue got %d, want %d", e.Value, w)
+		}
+	}
+}
+
+func TestDequeueSingletonAndAbsent(t *testing.T) {
+	var l List[string]
+	n := &Node[string]{Value: "only"}
+	l.Enqueue(n)
+	other := &Node[string]{Value: "absent"}
+	if l.Dequeue(other) {
+		t.Fatal("Dequeue of absent element should be a no-op")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d after absent dequeue, want 1", l.Len())
+	}
+	if !l.Dequeue(n) {
+		t.Fatal("Dequeue singleton failed")
+	}
+	if !l.Empty() {
+		t.Fatal("list should be empty after singleton dequeue")
+	}
+	if l.Dequeue(n) {
+		t.Fatal("Dequeue on empty list should be a no-op")
+	}
+}
+
+func TestDo(t *testing.T) {
+	var l List[int]
+	for i := 0; i < 3; i++ {
+		l.Enqueue(&Node[int]{Value: i})
+	}
+	var got []int
+	l.Do(func(n *Node[int]) { got = append(got, n.Value) })
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("Do visited %v", got)
+	}
+	var empty List[int]
+	empty.Do(func(*Node[int]) { t.Fatal("Do on empty list must not call fn") })
+}
+
+// Property: against a reference slice model, a random sequence of
+// Enqueue/First/Dequeue operations preserves order and membership.
+func TestQuickAgainstSliceModel(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		var l List[int]
+		var model []*Node[int]
+		pool := make([]*Node[int], 0, 64)
+		for op := 0; op < 400; op++ {
+			switch src.Intn(3) {
+			case 0: // enqueue
+				n := &Node[int]{Value: len(pool)}
+				pool = append(pool, n)
+				l.Enqueue(n)
+				model = append(model, n)
+			case 1: // first
+				e := l.First()
+				if len(model) == 0 {
+					if e != nil {
+						return false
+					}
+				} else {
+					if e != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 2: // dequeue arbitrary (possibly absent)
+				var target *Node[int]
+				if len(pool) > 0 {
+					target = pool[src.Intn(len(pool))]
+				} else {
+					target = &Node[int]{}
+				}
+				found := l.Dequeue(target)
+				idx := -1
+				for i, n := range model {
+					if n == target {
+						idx = i
+						break
+					}
+				}
+				if found != (idx >= 0) {
+					return false
+				}
+				if idx >= 0 {
+					model = append(model[:idx], model[idx+1:]...)
+				}
+			}
+			if l.Len() != len(model) {
+				return false
+			}
+		}
+		// Drain and compare the full order.
+		for _, want := range model {
+			if l.First() != want {
+				return false
+			}
+		}
+		return l.Empty()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

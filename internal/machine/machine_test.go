@@ -1,0 +1,148 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/models"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+const horizon = 3 * des.Second
+
+func runLocal(t *testing.T, arch timing.Arch, n int, x int64) workload.Result {
+	t.Helper()
+	m := NewLocal(arch, Config{Seed: 7})
+	res := m.Run(workload.Params{Conversations: n, ComputeMean: x}, horizon)
+	if res.RoundTrips == 0 {
+		t.Fatalf("arch %v n=%d: no round trips completed", arch, n)
+	}
+	return res
+}
+
+// A single local conversation on architecture II completes in roughly
+// the serial activity sum of Table 6.9.
+func TestLocalRoundTripMagnitude(t *testing.T) {
+	res := runLocal(t, timing.ArchII, 1, 0)
+	// Serial sum of the contention column is 5748 us; host/MP overlap
+	// within the cycle trims it a little.
+	if res.MeanRoundTrip < 4800 || res.MeanRoundTrip > 6000 {
+		t.Fatalf("round trip = %.1f us, want near 5400-5750", res.MeanRoundTrip)
+	}
+}
+
+// The machine reproduces the Figure 6.17(a) ordering at maximum
+// communication load: III > II > I for several conversations, and
+// architecture I is flat in the number of conversations.
+func TestMaxLoadOrdering(t *testing.T) {
+	t1a := runLocal(t, timing.ArchI, 1, 0).Throughput
+	t1b := runLocal(t, timing.ArchI, 3, 0).Throughput
+	if math.Abs(t1b-t1a)/t1a > 0.05 {
+		t.Errorf("arch I throughput should be flat: n=1 %.3g vs n=3 %.3g", t1a, t1b)
+	}
+	t2 := runLocal(t, timing.ArchII, 3, 0).Throughput
+	t3 := runLocal(t, timing.ArchIII, 3, 0).Throughput
+	if !(t2 > t1b) || !(t3 > t2) {
+		t.Errorf("ordering violated: I=%.3g II=%.3g III=%.3g", t1b, t2, t3)
+	}
+}
+
+// Machine-level simulation validates the analytical model (the role of
+// Figure 6.15): throughputs agree within the tolerance the thesis
+// reports for its own validation (3-25%).
+func TestModelValidationLocal(t *testing.T) {
+	for _, n := range []int{1, 2} {
+		for _, x := range []int64{0, 2850 * des.Microsecond} {
+			mres := runLocal(t, timing.ArchII, n, x)
+			model := models.BuildLocal(timing.ArchII, n, 1, float64(x/des.Microsecond))
+			sol, err := model.Solve(models.SolveOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			diff := math.Abs(mres.Throughput-sol.Throughput) / sol.Throughput
+			if diff > 0.25 {
+				t.Errorf("n=%d X=%dus: machine %.4g vs model %.4g (%.0f%% apart)",
+					n, x/des.Microsecond, mres.Throughput, sol.Throughput, diff*100)
+			}
+		}
+	}
+}
+
+// Non-local: a two-node machine completes conversations and matches the
+// iterative model's throughput within the paper's validation band.
+func TestModelValidationNonLocal(t *testing.T) {
+	for _, n := range []int{1, 2} {
+		m := NewNonLocal(timing.ArchII, Config{Seed: 11})
+		mres := m.Run(workload.Params{Conversations: n, ComputeMean: 2850 * des.Microsecond}, horizon)
+		if mres.RoundTrips == 0 {
+			t.Fatalf("n=%d: no round trips", n)
+		}
+		sol, err := models.SolveNonLocal(timing.ArchII, n, 1, 2850, models.SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := math.Abs(mres.Throughput-sol.Throughput) / sol.Throughput
+		if diff > 0.25 {
+			t.Errorf("n=%d: machine %.4g vs model %.4g (%.0f%% apart)",
+				n, mres.Throughput, sol.Throughput, diff*100)
+		}
+	}
+}
+
+// The two-host validation configuration (the 925 test-bed had two hosts
+// per node and an extra network-buffer copy, §6.8) still tracks a
+// two-token-host model.
+func TestValidationConfigurationRuns(t *testing.T) {
+	m := NewNonLocal(timing.ArchII, Config{Hosts: 2, Seed: 3, ExtraCopyPerMessage: 220 * des.Microsecond})
+	res := m.Run(workload.Params{Conversations: 2, ComputeMean: 1140 * des.Microsecond}, horizon)
+	if res.RoundTrips == 0 {
+		t.Fatal("no round trips in validation configuration")
+	}
+}
+
+// More conversations increase throughput on architecture II (pipelining
+// host and MP) under a compute-heavy load.
+func TestThroughputGrowsWithConversations(t *testing.T) {
+	a := runLocal(t, timing.ArchII, 1, 2850*des.Microsecond).Throughput
+	b := runLocal(t, timing.ArchII, 3, 2850*des.Microsecond).Throughput
+	if b <= a*1.2 {
+		t.Errorf("n=3 (%.3g) should clearly beat n=1 (%.3g)", b, a)
+	}
+}
+
+// Architecture IV (partitioned smart bus) runs and lands within a hair
+// of architecture III, matching the §6.9.3 finding that shared memory is
+// not the bottleneck.
+func TestArchIVTracksArchIII(t *testing.T) {
+	r3 := runLocal(t, timing.ArchIII, 2, 1140*des.Microsecond)
+	r4 := runLocal(t, timing.ArchIV, 2, 1140*des.Microsecond)
+	ratio := r4.Throughput / r3.Throughput
+	if ratio < 0.98 || ratio > 1.10 {
+		t.Fatalf("IV/III throughput ratio = %.3f, want ~1", ratio)
+	}
+}
+
+// Validation breadth: architectures I and III non-local machines also
+// track their models (Figure 6.15 ran arch II; the other architectures
+// share the same kernel paths with different cost tables, so this guards
+// the cost plumbing).
+func TestModelValidationOtherArchitectures(t *testing.T) {
+	for _, arch := range []timing.Arch{timing.ArchI, timing.ArchIII} {
+		m := NewNonLocal(arch, Config{Seed: 31})
+		res := m.Run(workload.Params{Conversations: 2, ComputeMean: 1140 * des.Microsecond}, horizon)
+		if res.RoundTrips == 0 {
+			t.Fatalf("arch %v: no round trips", arch)
+		}
+		sol, err := models.SolveNonLocal(arch, 2, 1, 1140, models.SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := math.Abs(res.Throughput-sol.Throughput) / sol.Throughput
+		if diff > 0.25 {
+			t.Errorf("arch %v: machine %.4g vs model %.4g (%.0f%% apart)",
+				arch, res.Throughput, sol.Throughput, diff*100)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+// Package memory implements the smart shared memory of chapter 5 and
+// Appendix A: a 64 KB, 16-bit-word memory module whose microprogrammed
+// controller executes the high-level smart-bus transactions — multiplexed
+// block transfers through an internal tag table, and atomic manipulation
+// of singly-linked circular lists of control blocks.
+//
+// The thesis sizes the module from its 925 implementation ("the size of
+// the memory required to hold these system data structures was under 64K
+// bytes") and gives it a 16-bit multiplexed address/data path, so this
+// package uses 16-bit addresses and words throughout. The controller's
+// defining feature is that block-transfer *requests* are decoupled from
+// the data movement: a request is registered with its address and byte
+// count and answered with a 4-bit tag; data then streams in tagged
+// bursts, so the memory can interleave requests and resume a preempted
+// lower-priority transfer after serving a higher-priority one (§2.6.6
+// conditions (1) and (2)).
+package memory
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Size is the capacity of the shared memory module in bytes.
+const Size = 64 * 1024
+
+// Null is the distinguished value marking an empty list; the thesis
+// pseudo-code calls it NULL. Address 0 is therefore unusable for control
+// blocks, as on the real hardware.
+const Null uint16 = 0
+
+// Memory is the raw storage array of the module.
+type Memory struct {
+	data [Size]byte
+	// Reads/Writes count word accesses for contention accounting.
+	Reads, Writes int64
+}
+
+// New returns a zeroed memory module.
+func New() *Memory { return &Memory{} }
+
+// Byte returns the byte at addr.
+func (m *Memory) Byte(addr uint16) byte {
+	m.Reads++
+	return m.data[addr]
+}
+
+// SetByte stores b at addr.
+func (m *Memory) SetByte(addr uint16, b byte) {
+	m.Writes++
+	m.data[addr] = b
+}
+
+// ReadWord returns the 16-bit word at addr (big-endian, like the
+// Motorola 68000 family the thesis hardware used).
+func (m *Memory) ReadWord(addr uint16) uint16 {
+	m.Reads++
+	hi := m.data[addr]
+	lo := m.data[addr+1] // uint16 arithmetic wraps at the module boundary
+	return uint16(hi)<<8 | uint16(lo)
+}
+
+// WriteWord stores a 16-bit word at addr.
+func (m *Memory) WriteWord(addr uint16, v uint16) {
+	m.Writes++
+	m.data[addr] = byte(v >> 8)
+	m.data[addr+1] = byte(v)
+}
+
+// ReadBlock copies n bytes starting at addr into a fresh slice, without
+// tag-table bookkeeping; used by tests and by the kernel's direct view.
+func (m *Memory) ReadBlock(addr uint16, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.data[addr+uint16(i)]
+	}
+	return out
+}
+
+// WriteBlock copies data into memory starting at addr.
+func (m *Memory) WriteBlock(addr uint16, data []byte) {
+	for i, b := range data {
+		m.data[addr+uint16(i)] = b
+	}
+}
+
+// --- Atomic queue primitives -------------------------------------------
+//
+// A list is addressed by the cell that points at its TAIL; each control
+// block's word 0 is its next pointer. These are the §5.1 algorithms
+// executed by the controller's microcode, and they are what the smart bus
+// exposes as "enqueue control block", "first control block", and
+// "dequeue control block".
+
+// Enqueue atomically appends the control block at element to the list
+// whose tail cell is at listAddr.
+func (m *Memory) Enqueue(listAddr, element uint16) error {
+	if element == Null {
+		return fmt.Errorf("memory: enqueue of NULL element on list %#04x", listAddr)
+	}
+	tail := m.ReadWord(listAddr)
+	if tail != Null {
+		first := m.ReadWord(tail)   // first := tail->next
+		m.WriteWord(element, first) // element->next := first
+		m.WriteWord(tail, element)  // tail->next := element
+	} else {
+		m.WriteWord(element, element) // only member: element->next := element
+	}
+	m.WriteWord(listAddr, element) // element is the new tail
+	return nil
+}
+
+// First atomically dequeues and returns the first control block of the
+// list at listAddr, or Null if the list is empty.
+func (m *Memory) First(listAddr uint16) uint16 {
+	tail := m.ReadWord(listAddr)
+	if tail == Null {
+		return Null
+	}
+	first := m.ReadWord(tail)
+	if tail == first {
+		m.WriteWord(listAddr, Null) // last element removed
+	} else {
+		m.WriteWord(tail, m.ReadWord(first)) // tail->next := first->next
+	}
+	return first
+}
+
+// Dequeue atomically removes an arbitrary control block from the list at
+// listAddr. Removing an absent element is a no-op, reported as false.
+func (m *Memory) Dequeue(listAddr, element uint16) bool {
+	tail := m.ReadWord(listAddr)
+	if tail == Null {
+		return false
+	}
+	curr := tail
+	for {
+		prev := curr
+		curr = m.ReadWord(prev)
+		if curr == element {
+			if curr == prev {
+				m.WriteWord(listAddr, Null)
+			} else {
+				m.WriteWord(prev, m.ReadWord(element))
+				if tail == element {
+					m.WriteWord(listAddr, prev)
+				}
+			}
+			return true
+		}
+		if curr == tail {
+			return false
+		}
+	}
+}
+
+// ListLen walks the list at listAddr; a test and diagnostics helper.
+func (m *Memory) ListLen(listAddr uint16) int {
+	tail := m.ReadWord(listAddr)
+	if tail == Null {
+		return 0
+	}
+	n := 0
+	for e := m.ReadWord(tail); ; e = m.ReadWord(e) {
+		n++
+		if e == tail || n > Size/2 {
+			return n
+		}
+	}
+}
+
+// --- Block-transfer tag table -------------------------------------------
+
+// Dir distinguishes block reads from block writes, as signaled on the
+// command lines of the block transfer request.
+type Dir int
+
+// Block transfer directions.
+const (
+	ReadDir Dir = iota
+	WriteDir
+)
+
+func (d Dir) String() string {
+	if d == ReadDir {
+		return "read"
+	}
+	return "write"
+}
+
+// NumTags is the size of the controller's internal request table; the
+// smart bus carries a 4-bit tag (Table 5.1).
+const NumTags = 16
+
+// Tag identifies an outstanding block-transfer request.
+type Tag int
+
+// Errors returned by the controller, mirroring the §A.5 error analysis.
+var (
+	// ErrTableFull arises only if more than NumTags requests are
+	// outstanding; the thesis environment has one outstanding request
+	// per unit, so trusted kernel code never sees it.
+	ErrTableFull = errors.New("memory: block request table full")
+	// ErrBadTag reports data presented with a tag that has no
+	// outstanding request.
+	ErrBadTag = errors.New("memory: no outstanding request for tag")
+	// ErrZeroCount reports a block request for zero bytes.
+	ErrZeroCount = errors.New("memory: block request with zero count")
+	// ErrOverrun reports more write data than the registered count.
+	ErrOverrun = errors.New("memory: write data past registered count")
+)
+
+type blockReq struct {
+	active bool
+	dir    Dir
+	addr   uint16
+	count  uint16
+	done   uint16 // bytes already transferred
+	owner  int    // requesting unit, for diagnostics/arbitration
+}
+
+// Controller is the microprogrammed smart memory controller: raw storage
+// plus the tag table that multiplexes block transfers.
+type Controller struct {
+	Mem   *Memory
+	table [NumTags]blockReq
+}
+
+// NewController returns a controller over a fresh memory module.
+func NewController() *Controller { return &Controller{Mem: New()} }
+
+// BlockTransfer registers a block request (the four-edge "block
+// transfer" bus transaction) and returns its tag.
+func (c *Controller) BlockTransfer(addr, count uint16, dir Dir, owner int) (Tag, error) {
+	if count == 0 {
+		return 0, ErrZeroCount
+	}
+	for i := range c.table {
+		if !c.table[i].active {
+			c.table[i] = blockReq{active: true, dir: dir, addr: addr, count: count, owner: owner}
+			return Tag(i), nil
+		}
+	}
+	return 0, ErrTableFull
+}
+
+// Pending reports the bytes not yet transferred for a tag, and whether
+// the tag is active. The memory uses this to restart preempted transfers.
+func (c *Controller) Pending(t Tag) (remaining uint16, dir Dir, active bool) {
+	if int(t) < 0 || int(t) >= NumTags || !c.table[t].active {
+		return 0, 0, false
+	}
+	r := c.table[t]
+	return r.count - r.done, r.dir, true
+}
+
+// Owner reports the unit that registered the tag.
+func (c *Controller) Owner(t Tag) int { return c.table[t].owner }
+
+// ReadData streams up to maxWords 16-bit transfers of a registered read
+// request ("block read data"). It returns the bytes moved (the final
+// transfer of an odd-length block carries one byte) and whether the
+// request completed and its tag was retired.
+func (c *Controller) ReadData(t Tag, maxWords int) (data []byte, done bool, err error) {
+	if int(t) < 0 || int(t) >= NumTags || !c.table[t].active {
+		return nil, false, ErrBadTag
+	}
+	r := &c.table[t]
+	if r.dir != ReadDir {
+		return nil, false, fmt.Errorf("memory: tag %d is a write request: %w", t, ErrBadTag)
+	}
+	for w := 0; w < maxWords && r.done < r.count; w++ {
+		n := uint16(2)
+		if r.count-r.done < 2 {
+			n = 1
+		}
+		for i := uint16(0); i < n; i++ {
+			data = append(data, c.Mem.Byte(r.addr+r.done+i))
+		}
+		r.done += n
+	}
+	if r.done == r.count {
+		r.active = false
+		return data, true, nil
+	}
+	return data, false, nil
+}
+
+// WriteData accepts streamed bytes for a registered write request
+// ("block write data"). It reports completion, retiring the tag.
+func (c *Controller) WriteData(t Tag, data []byte) (done bool, err error) {
+	if int(t) < 0 || int(t) >= NumTags || !c.table[t].active {
+		return false, ErrBadTag
+	}
+	r := &c.table[t]
+	if r.dir != WriteDir {
+		return false, fmt.Errorf("memory: tag %d is a read request: %w", t, ErrBadTag)
+	}
+	if int(r.done)+len(data) > int(r.count) {
+		return false, ErrOverrun
+	}
+	for _, b := range data {
+		c.Mem.SetByte(r.addr+r.done, b)
+		r.done++
+	}
+	if r.done == r.count {
+		r.active = false
+		return true, nil
+	}
+	return false, nil
+}
+
+// Abort retires a tag without completing it; startup reset (CLR line)
+// clears the whole table.
+func (c *Controller) Abort(t Tag) {
+	if int(t) >= 0 && int(t) < NumTags {
+		c.table[t].active = false
+	}
+}
+
+// Reset clears the tag table (the bus CLR line at system startup).
+func (c *Controller) Reset() {
+	for i := range c.table {
+		c.table[i] = blockReq{}
+	}
+}
+
+// ActiveTags lists outstanding request tags in ascending order.
+func (c *Controller) ActiveTags() []Tag {
+	var out []Tag
+	for i := range c.table {
+		if c.table[i].active {
+			out = append(out, Tag(i))
+		}
+	}
+	return out
+}

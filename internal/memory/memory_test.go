@@ -1,0 +1,307 @@
+package memory
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/list"
+	"repro/internal/rng"
+)
+
+func TestWordAccess(t *testing.T) {
+	m := New()
+	m.WriteWord(0x1000, 0xBEEF)
+	if got := m.ReadWord(0x1000); got != 0xBEEF {
+		t.Fatalf("ReadWord = %#04x", got)
+	}
+	// Big-endian byte order, as on the 68000.
+	if hi, lo := m.Byte(0x1000), m.Byte(0x1001); hi != 0xBE || lo != 0xEF {
+		t.Fatalf("bytes = %#02x %#02x, want BE EF", hi, lo)
+	}
+}
+
+func TestBlockCopy(t *testing.T) {
+	m := New()
+	data := []byte("forty bytes of message payload, exactly!")
+	m.WriteBlock(0x2000, data)
+	if got := m.ReadBlock(0x2000, len(data)); !bytes.Equal(got, data) {
+		t.Fatalf("ReadBlock = %q", got)
+	}
+}
+
+func TestQueuePrimitivesBasic(t *testing.T) {
+	m := New()
+	const listAddr = 0x0010
+	blocks := []uint16{0x0100, 0x0200, 0x0300}
+	for _, b := range blocks {
+		if err := m.Enqueue(listAddr, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.ListLen(listAddr); n != 3 {
+		t.Fatalf("ListLen = %d, want 3", n)
+	}
+	for _, want := range blocks {
+		if got := m.First(listAddr); got != want {
+			t.Fatalf("First = %#04x, want %#04x", got, want)
+		}
+	}
+	if got := m.First(listAddr); got != Null {
+		t.Fatalf("First on empty = %#04x, want NULL", got)
+	}
+}
+
+func TestDequeueSemantics(t *testing.T) {
+	m := New()
+	const listAddr = 0x0010
+	for _, b := range []uint16{0x0100, 0x0200, 0x0300} {
+		if err := m.Enqueue(listAddr, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Dequeue(listAddr, 0x0200) {
+		t.Fatal("Dequeue middle failed")
+	}
+	if m.Dequeue(listAddr, 0x0999) {
+		t.Fatal("Dequeue of absent element must be a no-op")
+	}
+	// Removing the tail must update the list cell.
+	if !m.Dequeue(listAddr, 0x0300) {
+		t.Fatal("Dequeue tail failed")
+	}
+	if err := m.Enqueue(listAddr, 0x0400); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.First(listAddr); got != 0x0100 {
+		t.Fatalf("First = %#04x, want 0x0100", got)
+	}
+	if got := m.First(listAddr); got != 0x0400 {
+		t.Fatalf("First = %#04x, want 0x0400", got)
+	}
+	if m.Dequeue(listAddr, 0x0100) {
+		t.Fatal("Dequeue on empty list must be a no-op")
+	}
+	if err := m.Enqueue(listAddr, Null); err == nil {
+		t.Fatal("Enqueue of NULL must error")
+	}
+}
+
+// Property: the raw-memory queue primitives agree with the typed list
+// package on random operation sequences — the microcode implements the
+// same algorithms the kernel uses.
+func TestQueueAgreesWithListPackage(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		m := New()
+		const listAddr = 2
+		var typed list.List[uint16]
+		nodes := map[uint16]*list.Node[uint16]{}
+		var addrs []uint16
+		nextAddr := uint16(0x0100)
+		for op := 0; op < 300; op++ {
+			switch src.Intn(3) {
+			case 0:
+				a := nextAddr
+				nextAddr += 0x10
+				if err := m.Enqueue(listAddr, a); err != nil {
+					return false
+				}
+				n := &list.Node[uint16]{Value: a}
+				nodes[a] = n
+				typed.Enqueue(n)
+				addrs = append(addrs, a)
+			case 1:
+				got := m.First(listAddr)
+				want := typed.First()
+				if want == nil {
+					if got != Null {
+						return false
+					}
+				} else if got != want.Value {
+					return false
+				} else {
+					removeAddr(&addrs, got)
+				}
+			case 2:
+				var target uint16 = 0x9999
+				if len(addrs) > 0 && src.Intn(4) != 0 {
+					target = addrs[src.Intn(len(addrs))]
+				}
+				got := m.Dequeue(listAddr, target)
+				var want bool
+				if n, ok := nodes[target]; ok {
+					want = typed.Dequeue(n)
+				}
+				if got != want {
+					return false
+				}
+				if got {
+					removeAddr(&addrs, target)
+				}
+			}
+			if m.ListLen(listAddr) != typed.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func removeAddr(addrs *[]uint16, a uint16) {
+	for i, v := range *addrs {
+		if v == a {
+			*addrs = append((*addrs)[:i], (*addrs)[i+1:]...)
+			return
+		}
+	}
+}
+
+func TestBlockTransferRoundTrip(t *testing.T) {
+	c := NewController()
+	payload := []byte("0123456789abcdefghij") // 20 bytes = 10 word transfers
+
+	wt, err := c.BlockTransfer(0x3000, uint16(len(payload)), WriteDir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.WriteData(wt, payload[:8])
+	if err != nil || done {
+		t.Fatalf("partial write: done=%v err=%v", done, err)
+	}
+	done, err = c.WriteData(wt, payload[8:])
+	if err != nil || !done {
+		t.Fatalf("final write: done=%v err=%v", done, err)
+	}
+
+	rt, err := c.BlockTransfer(0x3000, uint16(len(payload)), ReadDir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for {
+		chunk, done, err := c.ReadData(rt, 3) // 3 word transfers per burst
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, chunk...)
+		if done {
+			break
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read back %q, want %q", got, payload)
+	}
+	if len(c.ActiveTags()) != 0 {
+		t.Fatalf("tags still active: %v", c.ActiveTags())
+	}
+}
+
+func TestOddLengthBlock(t *testing.T) {
+	c := NewController()
+	payload := []byte("seven77") // 7 bytes: 3 word transfers + 1 byte
+	wt, _ := c.BlockTransfer(0x100, 7, WriteDir, 0)
+	if done, err := c.WriteData(wt, payload); err != nil || !done {
+		t.Fatalf("write odd block: done=%v err=%v", done, err)
+	}
+	rt, _ := c.BlockTransfer(0x100, 7, ReadDir, 0)
+	data, done, err := c.ReadData(rt, 4)
+	if err != nil || !done {
+		t.Fatalf("read odd block: done=%v err=%v", done, err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatalf("odd block read %q", data)
+	}
+}
+
+// Preemption: a lower-priority transfer is suspended mid-stream and
+// resumed from its saved (address, remaining) without data loss —
+// condition (2) of §2.6.6.
+func TestMultiplexedTransfersResume(t *testing.T) {
+	c := NewController()
+	a := bytes.Repeat([]byte{0xAA}, 12)
+	b := bytes.Repeat([]byte{0xBB}, 12)
+	c.Mem.WriteBlock(0x1000, a)
+	c.Mem.WriteBlock(0x2000, b)
+
+	low, _ := c.BlockTransfer(0x1000, 12, ReadDir, 1)
+	part1, done, err := c.ReadData(low, 2)
+	if err != nil || done {
+		t.Fatalf("low first burst: %v %v", done, err)
+	}
+	// A higher-priority request arrives and is served to completion.
+	high, _ := c.BlockTransfer(0x2000, 12, ReadDir, 2)
+	var hi []byte
+	for {
+		chunk, d, err := c.ReadData(high, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi = append(hi, chunk...)
+		if d {
+			break
+		}
+	}
+	if !bytes.Equal(hi, b) {
+		t.Fatalf("high-priority data %x", hi)
+	}
+	// Low-priority transfer resumes where it left off.
+	if rem, dir, active := c.Pending(low); !active || rem != 8 || dir != ReadDir {
+		t.Fatalf("Pending(low) = %d %v %v", rem, dir, active)
+	}
+	rest, done, err := c.ReadData(low, 100)
+	if err != nil || !done {
+		t.Fatalf("low resume: %v %v", done, err)
+	}
+	if got := append(part1, rest...); !bytes.Equal(got, a) {
+		t.Fatalf("low data %x", got)
+	}
+}
+
+func TestControllerErrors(t *testing.T) {
+	c := NewController()
+	if _, err := c.BlockTransfer(0, 0, ReadDir, 0); !errors.Is(err, ErrZeroCount) {
+		t.Errorf("zero count: %v", err)
+	}
+	if _, _, err := c.ReadData(5, 1); !errors.Is(err, ErrBadTag) {
+		t.Errorf("bad tag read: %v", err)
+	}
+	if _, err := c.WriteData(5, []byte{1}); !errors.Is(err, ErrBadTag) {
+		t.Errorf("bad tag write: %v", err)
+	}
+	wt, _ := c.BlockTransfer(0x10, 2, WriteDir, 0)
+	if _, err := c.WriteData(wt, []byte{1, 2, 3}); !errors.Is(err, ErrOverrun) {
+		t.Errorf("overrun: %v", err)
+	}
+	// Direction mismatch.
+	if _, _, err := c.ReadData(wt, 1); !errors.Is(err, ErrBadTag) {
+		t.Errorf("direction mismatch: %v", err)
+	}
+	// Table exhaustion.
+	c2 := NewController()
+	for i := 0; i < NumTags; i++ {
+		if _, err := c2.BlockTransfer(0, 4, ReadDir, i); err != nil {
+			t.Fatalf("tag %d: %v", i, err)
+		}
+	}
+	if _, err := c2.BlockTransfer(0, 4, ReadDir, 99); !errors.Is(err, ErrTableFull) {
+		t.Errorf("table full: %v", err)
+	}
+	c2.Reset()
+	if len(c2.ActiveTags()) != 0 {
+		t.Error("Reset must clear the tag table")
+	}
+}
+
+func TestAbortRetiresTag(t *testing.T) {
+	c := NewController()
+	tg, _ := c.BlockTransfer(0, 4, ReadDir, 0)
+	c.Abort(tg)
+	if _, _, active := c.Pending(tg); active {
+		t.Fatal("aborted tag still active")
+	}
+}

@@ -1,0 +1,187 @@
+package microcode
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/memory"
+)
+
+// Adapter presents the microcoded controller behind the same operations
+// as memory.Controller, so the two implementations can be driven with
+// identical sequences and compared bit for bit.
+type Adapter struct {
+	C *Controller
+}
+
+// NewAdapter wraps a fresh microcoded controller.
+func NewAdapter() *Adapter { return &Adapter{C: New()} }
+
+// Enqueue runs the enqueue-control-block micro-routine.
+func (a *Adapter) Enqueue(list, elem uint16) error {
+	if elem == memory.Null {
+		// Trusted kernel code never enqueues NULL (§A.5.2); the
+		// behavioral controller rejects it at the interface and so does
+		// the adapter.
+		return fmt.Errorf("microcode: enqueue of NULL element on list %#04x", list)
+	}
+	_, err := a.C.Exec(bus.CmdEnqueue, []uint16{list, elem})
+	return err
+}
+
+// First runs the first-control-block micro-routine.
+func (a *Adapter) First(list uint16) uint16 {
+	out, err := a.C.Exec(bus.CmdFirst, []uint16{list})
+	if err != nil || len(out) != 1 {
+		panic(fmt.Sprintf("microcode: first returned %v, %v", out, err))
+	}
+	return out[0]
+}
+
+// Dequeue runs the dequeue-control-block micro-routine; it reports
+// whether the element was found.
+func (a *Adapter) Dequeue(list, elem uint16) bool {
+	out, err := a.C.Exec(bus.CmdDequeue, []uint16{list, elem})
+	if err != nil || len(out) != 1 {
+		panic(fmt.Sprintf("microcode: dequeue returned %v, %v", out, err))
+	}
+	return out[0] == 1
+}
+
+// Read runs the simple-read micro-routine.
+func (a *Adapter) Read(addr uint16) uint16 {
+	out, err := a.C.Exec(bus.CmdSimpleRead, []uint16{addr})
+	if err != nil || len(out) != 1 {
+		panic(fmt.Sprintf("microcode: read returned %v, %v", out, err))
+	}
+	return out[0]
+}
+
+// Write runs the write-two-bytes micro-routine.
+func (a *Adapter) Write(addr, word uint16) {
+	if _, err := a.C.Exec(bus.CmdWriteTwoBytes, []uint16{addr, word}); err != nil {
+		panic(err)
+	}
+}
+
+// PokeByte runs the write-byte micro-routine.
+func (a *Adapter) PokeByte(addr uint16, b byte) {
+	if _, err := a.C.Exec(bus.CmdWriteByte, []uint16{addr, uint16(b)}); err != nil {
+		panic(err)
+	}
+}
+
+// BlockTransfer registers a block request and returns the tag.
+func (a *Adapter) BlockTransfer(addr, count uint16, dir memory.Dir) (memory.Tag, error) {
+	if count == 0 {
+		return 0, memory.ErrZeroCount
+	}
+	d := uint16(0)
+	if dir == memory.WriteDir {
+		d = 1
+	}
+	out, err := a.C.Exec(bus.CmdBlockTransfer, []uint16{addr, count, d})
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 1 {
+		return 0, fmt.Errorf("microcode: block transfer returned %v", out)
+	}
+	if out[0] == RespBad {
+		return 0, memory.ErrTableFull
+	}
+	return memory.Tag(out[0]), nil
+}
+
+// ReadData streams up to maxWords transfers of a read request,
+// returning the bytes moved and completion.
+func (a *Adapter) ReadData(t memory.Tag, maxWords int) (data []byte, done bool, err error) {
+	remBefore, _, active := a.C.TagState(t)
+	if !active {
+		return nil, false, memory.ErrBadTag
+	}
+	out, err := a.C.Exec(bus.CmdBlockReadData, []uint16{uint16(t), uint16(maxWords)})
+	if err != nil {
+		return nil, false, err
+	}
+	if len(out) == 0 || out[0] != RespOK {
+		return nil, false, memory.ErrBadTag
+	}
+	rem := int(remBefore)
+	for _, w := range out[1:] {
+		if rem >= 2 {
+			data = append(data, byte(w>>8), byte(w))
+			rem -= 2
+		} else if rem == 1 {
+			data = append(data, byte(w>>8))
+			rem--
+		}
+	}
+	_, _, stillActive := a.C.TagState(t)
+	return data, !stillActive, nil
+}
+
+// WriteData streams bytes into a write request, reporting completion.
+func (a *Adapter) WriteData(t memory.Tag, p []byte) (done bool, err error) {
+	rem, _, active := a.C.TagState(t)
+	if !active {
+		return false, memory.ErrBadTag
+	}
+	if len(p) > int(rem) {
+		// The §A.5 overrun condition; also verified against the
+		// microcode's own detection in the tests.
+		return false, memory.ErrOverrun
+	}
+	if len(p)%2 == 1 && len(p) != int(rem) {
+		// The bus streams 16-bit words; a burst may only be odd when it
+		// carries the final byte of an odd-length block (§5.3.1: "both
+		// master and slave know the length of a block, [so] they can
+		// recover gracefully from an odd-length block").
+		return false, fmt.Errorf("microcode: odd-length burst before end of block")
+	}
+	var words []uint16
+	for i := 0; i < len(p); {
+		if i+1 < len(p) {
+			words = append(words, uint16(p[i])<<8|uint16(p[i+1]))
+			i += 2
+		} else {
+			words = append(words, uint16(p[i]))
+			i++
+		}
+	}
+	ops := append([]uint16{uint16(t), uint16(len(words))}, words...)
+	out, err := a.C.Exec(bus.CmdBlockWriteData, ops)
+	if err != nil {
+		return false, err
+	}
+	if len(out) == 0 || out[0] != RespOK {
+		return false, memory.ErrBadTag
+	}
+	if len(out) > 1 && out[1] == RespOverrun {
+		return false, memory.ErrOverrun
+	}
+	_, _, stillActive := a.C.TagState(t)
+	return !stillActive, nil
+}
+
+// --- bus.Backend ------------------------------------------------------------
+//
+// The adapter satisfies the smart bus's Backend interface, so the full
+// bus stack (arbitration, grants, streaming) can execute every
+// transaction through the actual microcode.
+
+// ReadWord is the simple-read transaction for the bus backend.
+func (a *Adapter) ReadWord(addr uint16) uint16 { return a.Read(addr) }
+
+// WriteWord is the write-two-bytes transaction for the bus backend.
+func (a *Adapter) WriteWord(addr, v uint16) { a.Write(addr, v) }
+
+// SetByte is the write-byte transaction for the bus backend.
+func (a *Adapter) SetByte(addr uint16, b byte) { a.PokeByte(addr, b) }
+
+// RegisterBlock registers a block request; the owner is a diagnostics
+// concept of the behavioral controller that the microcode does not
+// track.
+func (a *Adapter) RegisterBlock(addr, count uint16, dir memory.Dir, _ int) (memory.Tag, error) {
+	return a.BlockTransfer(addr, count, dir)
+}

@@ -1,0 +1,98 @@
+package microcode
+
+import "fmt"
+
+// asm is a micro-assembler: it accumulates instructions and resolves
+// labels to branch targets at Assemble time. Mnemonics compose the
+// horizontal fields, so one instruction can combine an ALU transfer, a
+// memory cycle addressed by the ALU result, a bus action, and a branch.
+type asm struct {
+	prog   []Micro
+	labels map[string]int
+	entry  map[string]int // routine entry points, by name
+}
+
+func newAsm() *asm {
+	return &asm{labels: map[string]int{}, entry: map[string]int{}}
+}
+
+// label defines a branch target at the current location.
+func (a *asm) label(name string) {
+	if _, dup := a.labels[name]; dup {
+		panic("microcode: duplicate label " + name)
+	}
+	a.labels[name] = len(a.prog)
+}
+
+// routine defines a mapping-PROM entry point (also usable as a label).
+func (a *asm) routine(name string) {
+	a.entry[name] = len(a.prog)
+	a.label(name)
+}
+
+func (a *asm) emit(m Micro) {
+	a.prog = append(a.prog, m)
+}
+
+// --- field builders ---------------------------------------------------------
+
+// op starts an instruction computing op(srcA, srcB).
+func op(o ALUOp, srcA, srcB Reg) Micro { return Micro{ALU: o, SrcA: srcA, SrcB: srcB} }
+
+// opi starts an instruction computing op(srcA, imm).
+func opi(o ALUOp, srcA Reg, imm uint8) Micro {
+	if !o.usesB() {
+		panic("microcode: immediate on an op without a B operand")
+	}
+	return Micro{ALU: o, SrcA: srcA, SrcB: RZero, Imm: imm}
+}
+
+// pass yields src unchanged.
+func pass(src Reg) Micro { return op(APassA, src, RZero) }
+
+// imm yields the constant.
+func imm(v uint8) Micro { return opi(APassB, RZero, v) }
+
+// to routes the ALU result to a register.
+func (m Micro) to(dst Reg) Micro { m.Dest = dst; return m }
+
+// mem attaches a memory cycle addressed by the ALU result.
+func (m Micro) mem(o MemOp) Micro { m.Mem = o; return m }
+
+// emitBus puts the ALU result on the A/D lines.
+func (m Micro) emitBus() Micro { m.Bus = BEmit; return m }
+
+// br attaches a conditional branch on the ALU zero flag.
+func (m Micro) br(c Cond, label string) Micro { m.Cond = c; m.label = label; return m }
+
+// done ends the routine: branch back to MAIN (address 0).
+func (m Micro) done() Micro { m.Cond = CAlways; m.label = rMain; return m }
+
+// latch pops the next bus operand into dst (the whole instruction).
+func latch(dst Reg) Micro { return Micro{Bus: BLatch, Dest: dst} }
+
+// Assemble resolves labels, validates field sharing, and returns the
+// program with its entry points.
+func (a *asm) Assemble() ([]Micro, map[string]int, error) {
+	prog := append([]Micro(nil), a.prog...)
+	for i := range prog {
+		m := &prog[i]
+		if m.label != "" {
+			t, ok := a.labels[m.label]
+			if !ok {
+				return nil, nil, fmt.Errorf("microcode: undefined label %q at %d", m.label, i)
+			}
+			if t >= 1<<7 {
+				return nil, nil, fmt.Errorf("microcode: branch target %d exceeds the 7-bit field", t)
+			}
+			if m.usesImmOperand() {
+				return nil, nil, fmt.Errorf("microcode: instruction %d needs Imm as both operand and target", i)
+			}
+			m.Imm = uint8(t)
+			m.label = ""
+		} else if m.Cond != CNever {
+			return nil, nil, fmt.Errorf("microcode: instruction %d branches without a target", i)
+		}
+	}
+	return prog, a.entry, nil
+}

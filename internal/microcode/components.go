@@ -1,0 +1,49 @@
+package microcode
+
+// Component is one row of the data-path chip inventory in the spirit of
+// Table A.1. The thesis reports the data path fits one chip of roughly
+// 6000 active components and the sequencer one of roughly 1000; the
+// original table's line items are not preserved in the available text,
+// so this inventory is reconstructed from the Figure A.2 data path this
+// package implements, sized with era-typical gate complexities.
+type Component struct {
+	Unit   string
+	Count  int
+	Detail string
+}
+
+// DataPathComponents inventories the data-path chip (Table A.1
+// reconstruction); the counts sum to roughly 6000 active components.
+func DataPathComponents() []Component {
+	return []Component{
+		{"Register file", 1536, "12 x 16-bit registers, 8 transistors/bit"},
+		{"Tag table RAM", 2048, "16 entries x 4 x 16 bits, 2 per bit (static cell share)"},
+		{"ALU", 960, "16-bit adder/logic, ~60 per bit slice"},
+		{"Source/destination multiplexers", 640, "two 16-way 16-bit muxes"},
+		{"Memory address/data latches", 256, "MAR + MDR"},
+		{"Bus interface latches", 256, "A/D in/out, TG, CM"},
+		{"Zero detect and condition logic", 64, ""},
+		{"Control decode", 240, "micro-instruction field decoders"},
+	}
+}
+
+// SequencerComponents inventories the sequencer chip (~1000 active
+// components per §5.5).
+func SequencerComponents() []Component {
+	return []Component{
+		{"Micro-PC and incrementer", 160, "7-bit counter + adder"},
+		{"Branch mux and condition select", 96, ""},
+		{"Control store interface", 480, "40-bit pipeline register + drivers"},
+		{"Dispatch logic", 120, "command compare chain"},
+		{"Clock and handshake FSM", 150, "IS/IK edges, AR/ANC"},
+	}
+}
+
+// TotalComponents sums an inventory.
+func TotalComponents(cs []Component) int {
+	n := 0
+	for _, c := range cs {
+		n += c.Count
+	}
+	return n
+}

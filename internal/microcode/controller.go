@@ -1,0 +1,230 @@
+package microcode
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/memory"
+)
+
+// Errors surfaced by the microcoded controller's interpreter.
+var (
+	// ErrOperands reports a transaction starved of operand words — a bus
+	// protocol violation the physical controller would time out on.
+	ErrOperands = errors.New("microcode: operand underrun")
+	// ErrRunaway reports a routine exceeding the cycle budget — a
+	// microprogram bug, caught instead of hanging the simulation.
+	ErrRunaway = errors.New("microcode: micro-routine exceeded cycle budget")
+)
+
+// maxCyclesPerExec bounds one transaction's micro-cycles. The longest
+// legitimate routine is a full-memory dequeue scan (~5 cycles per
+// element over 32Ki elements).
+const maxCyclesPerExec = 1 << 20
+
+// tagEntry is one row of the controller's internal request table.
+type tagEntry struct {
+	addr, count, done, flags uint16
+}
+
+const (
+	flagActive uint16 = 1 << 0
+	flagWrite  uint16 = 1 << 1
+)
+
+// Controller is the microprogrammed smart memory controller: the data
+// path registers, the tag table, the micro-sequencer, and the assembled
+// microprogram, over a raw memory module.
+type Controller struct {
+	Mem   *memory.Memory
+	prog  []Micro
+	entry map[string]int
+
+	regs [numRegs]uint16
+	tags [memory.NumTags]tagEntry
+
+	// Cycles accumulates micro-cycles across transactions; LastCycles is
+	// the previous transaction's count.
+	Cycles     int64
+	LastCycles int
+}
+
+// New builds a controller with a fresh memory module. The microprogram
+// is assembled once per controller.
+func New() *Controller {
+	prog, entry, err := buildProgram()
+	if err != nil {
+		panic(err) // the program is static; failure is a build bug
+	}
+	return &Controller{Mem: memory.New(), prog: prog, entry: entry}
+}
+
+// Program exposes the assembled microprogram (for size accounting and
+// the microcode listing).
+func (c *Controller) Program() []Micro { return c.prog }
+
+// MicrocodeBits reports the total size of the control store, the figure
+// the thesis bounds at "under 3000 bits of micro-code".
+func (c *Controller) MicrocodeBits() int { return len(c.prog) * BitsPerInstruction }
+
+// EntryPoint resolves the mapping-PROM entry for a command; unknown
+// commands map to the error epilogue.
+func (c *Controller) EntryPoint(cmd bus.Command) int {
+	if name, ok := commandEntry[cmd]; ok {
+		return c.entry[name]
+	}
+	return c.entry["EMITBAD"]
+}
+
+// Exec runs one bus transaction: the sequencer dispatches through the
+// mapping PROM to the command's routine, the operand words are consumed
+// from the (modeled) A/D lines, and the emitted response words are
+// returned. Control returning to MAIN (address 0) ends the transaction.
+func (c *Controller) Exec(cmd bus.Command, operands []uint16) ([]uint16, error) {
+	in := operands
+	var out []uint16
+	pc := c.EntryPoint(cmd)
+	cycles := 0
+	for {
+		if cycles >= maxCyclesPerExec {
+			return out, ErrRunaway
+		}
+		if pc <= 0 || pc >= len(c.prog) {
+			return out, fmt.Errorf("microcode: PC %d out of program", pc)
+		}
+		m := c.prog[pc]
+		cycles++
+
+		var result uint16
+		var zero bool
+		if m.Bus == BLatch {
+			if len(in) == 0 {
+				return out, ErrOperands
+			}
+			c.write(m.Dest, in[0])
+			in = in[1:]
+			pc++
+			continue
+		}
+
+		av := c.read(m.SrcA)
+		var bv uint16
+		if m.ALU.usesB() {
+			if m.SrcB == RZero {
+				bv = uint16(m.Imm)
+			} else {
+				bv = c.read(m.SrcB)
+			}
+		}
+		switch m.ALU {
+		case APassA:
+			result = av
+		case APassB:
+			result = bv
+		case AAdd:
+			result = av + bv
+		case ASub:
+			result = av - bv
+		case AInc:
+			result = av + 1
+		case ADec:
+			result = av - 1
+		case AAnd:
+			result = av & bv
+		}
+		zero = result == 0
+		if m.Dest != RZero {
+			c.write(m.Dest, result)
+		}
+		if m.Bus == BEmit {
+			out = append(out, result)
+		}
+
+		// The memory cycle addresses straight off the ALU result.
+		switch m.Mem {
+		case MRead:
+			c.regs[RMDR] = c.Mem.ReadWord(result)
+		case MWrite:
+			c.Mem.WriteWord(result, c.regs[RMDR])
+		case MWriteByte:
+			c.Mem.SetByte(result, byte(c.regs[RMDR]))
+		}
+
+		next := pc + 1
+		switch m.Cond {
+		case CAlways:
+			next = int(m.Imm)
+		case CZero:
+			if zero {
+				next = int(m.Imm)
+			}
+		case CNotZero:
+			if !zero {
+				next = int(m.Imm)
+			}
+		}
+		if next == 0 {
+			break // back to the MAIN idle loop: transaction complete
+		}
+		pc = next
+	}
+	c.Cycles += int64(cycles)
+	c.LastCycles = cycles
+	return out, nil
+}
+
+// read resolves a register, including the tag-table views indexed by the
+// Tag register.
+func (c *Controller) read(r Reg) uint16 {
+	switch r {
+	case RZero:
+		return 0
+	case RTAddr:
+		return c.tagEntry().addr
+	case RTCount:
+		return c.tagEntry().count
+	case RTDone:
+		return c.tagEntry().done
+	case RTFlags:
+		return c.tagEntry().flags
+	default:
+		return c.regs[r]
+	}
+}
+
+func (c *Controller) write(r Reg, v uint16) {
+	switch r {
+	case RZero:
+		// Writes to the constant source are dropped, like a real
+		// read-only bus source.
+	case RTAddr:
+		c.tagEntry().addr = v
+	case RTCount:
+		c.tagEntry().count = v
+	case RTDone:
+		c.tagEntry().done = v
+	case RTFlags:
+		c.tagEntry().flags = v
+	default:
+		c.regs[r] = v
+	}
+}
+
+func (c *Controller) tagEntry() *tagEntry {
+	return &c.tags[c.regs[RTag]&(memory.NumTags-1)]
+}
+
+// TagState reports an entry of the request table (for the bus adapter
+// and tests).
+func (c *Controller) TagState(t memory.Tag) (remaining uint16, dir memory.Dir, active bool) {
+	e := c.tags[int(t)&(memory.NumTags-1)]
+	if e.flags&flagActive == 0 {
+		return 0, 0, false
+	}
+	d := memory.ReadDir
+	if e.flags&flagWrite != 0 {
+		d = memory.WriteDir
+	}
+	return e.count - e.done, d, true
+}

@@ -1,0 +1,282 @@
+package microcode
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bus"
+	"repro/internal/memory"
+	"repro/internal/rng"
+)
+
+// The control store fits the thesis's budget: under 3000 bits of
+// microcode (§5.5), within a 128-word store.
+func TestMicrocodeFitsBudget(t *testing.T) {
+	c := New()
+	bits := c.MicrocodeBits()
+	if bits >= 3000 {
+		t.Fatalf("microprogram is %d bits (%d instructions x %d); thesis budget is under 3000",
+			bits, len(c.Program()), BitsPerInstruction)
+	}
+	if len(c.Program()) > 128 {
+		t.Fatalf("program has %d instructions; sequencer PC is 7 bits", len(c.Program()))
+	}
+	t.Logf("microprogram: %d instructions, %d bits", len(c.Program()), bits)
+}
+
+// Every instruction encodes into the declared width and round-trips the
+// fields that the width claims to carry.
+func TestInstructionEncoding(t *testing.T) {
+	c := New()
+	seen := map[uint32]bool{}
+	for i, m := range c.Program() {
+		v := m.Encode()
+		if uint64(v) >= 1<<BitsPerInstruction {
+			t.Fatalf("instruction %d encodes beyond %d bits", i, BitsPerInstruction)
+		}
+		seen[v] = true
+		if m.String() == "" {
+			t.Fatalf("instruction %d has empty disassembly", i)
+		}
+	}
+	if len(seen) < 10 {
+		t.Fatalf("suspiciously few distinct encodings: %d", len(seen))
+	}
+}
+
+// Queue micro-routines against the behavioral controller, operation by
+// operation, with identical final memory images.
+func TestQueueRoutinesDifferential(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		ref := memory.New()
+		mc := NewAdapter()
+		const listAddr = 0x0010
+		var live []uint16
+		next := uint16(0x0100)
+		for op := 0; op < 200; op++ {
+			switch src.Intn(3) {
+			case 0:
+				e := next
+				next += 0x10
+				refErr := ref.Enqueue(listAddr, e)
+				mcErr := mc.Enqueue(listAddr, e)
+				if (refErr == nil) != (mcErr == nil) {
+					return false
+				}
+				live = append(live, e)
+			case 1:
+				if ref.First(listAddr) != mc.First(listAddr) {
+					return false
+				}
+				if len(live) > 0 {
+					live = live[1:]
+				}
+			case 2:
+				target := uint16(0x0999)
+				if len(live) > 0 && src.Intn(4) != 0 {
+					target = live[src.Intn(len(live))]
+				}
+				if ref.Dequeue(listAddr, target) != mc.Dequeue(listAddr, target) {
+					return false
+				}
+				for i, v := range live {
+					if v == target {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			}
+			if ref.ListLen(listAddr) != mc.C.Mem.ListLen(listAddr) {
+				return false
+			}
+		}
+		// Whole-memory comparison.
+		return bytes.Equal(ref.ReadBlock(0, 0x1000), mc.C.Mem.ReadBlock(0, 0x1000))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Block transfers against the behavioral controller: random block sizes
+// (odd and even), random burst sizes, reads and writes.
+func TestBlockRoutinesDifferential(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		ref := memory.NewController()
+		mc := NewAdapter()
+		for round := 0; round < 12; round++ {
+			n := 1 + src.Intn(50)
+			addr := uint16(0x1000 + src.Intn(0x4000))
+			data := make([]byte, n)
+			for i := range data {
+				data[i] = byte(src.Uint64())
+			}
+
+			// Write the block through both controllers in random word
+			// bursts.
+			rt, err1 := ref.BlockTransfer(addr, uint16(n), memory.WriteDir, 0)
+			mt, err2 := mc.BlockTransfer(addr, uint16(n), memory.WriteDir)
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			rem := data
+			for len(rem) > 0 {
+				burst := 2 * (1 + src.Intn(3)) // word-aligned bursts
+				if burst > len(rem) {
+					burst = len(rem)
+				}
+				chunk := rem[:burst]
+				rem = rem[burst:]
+				d1, e1 := ref.WriteData(rt, chunk)
+				d2, e2 := mc.WriteData(mt, chunk)
+				if d1 != d2 || (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			}
+
+			// Read it back through both in random bursts.
+			rt, _ = ref.BlockTransfer(addr, uint16(n), memory.ReadDir, 0)
+			mt, _ = mc.BlockTransfer(addr, uint16(n), memory.ReadDir)
+			var got1, got2 []byte
+			for {
+				words := 1 + src.Intn(4)
+				c1, d1, e1 := ref.ReadData(rt, words)
+				c2, d2, e2 := mc.ReadData(mt, words)
+				if (e1 == nil) != (e2 == nil) || d1 != d2 || !bytes.Equal(c1, c2) {
+					return false
+				}
+				got1 = append(got1, c1...)
+				got2 = append(got2, c2...)
+				if d1 {
+					break
+				}
+			}
+			if !bytes.Equal(got1, data) || !bytes.Equal(got2, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimpleReadWriteRoutines(t *testing.T) {
+	mc := NewAdapter()
+	mc.Write(0x2000, 0xCAFE)
+	if got := mc.Read(0x2000); got != 0xCAFE {
+		t.Fatalf("read back %#04x", got)
+	}
+	mc.PokeByte(0x2002, 0x5A)
+	if got := mc.C.Mem.Byte(0x2002); got != 0x5A {
+		t.Fatalf("byte = %#02x", got)
+	}
+}
+
+// §A.5 error conditions handled inside the microcode.
+func TestErrorConditions(t *testing.T) {
+	mc := NewAdapter()
+
+	// Table full after 16 outstanding requests.
+	for i := 0; i < memory.NumTags; i++ {
+		if _, err := mc.BlockTransfer(0, 4, memory.ReadDir); err != nil {
+			t.Fatalf("tag %d: %v", i, err)
+		}
+	}
+	if _, err := mc.BlockTransfer(0, 4, memory.ReadDir); !errors.Is(err, memory.ErrTableFull) {
+		t.Fatalf("table full: %v", err)
+	}
+
+	mc2 := NewAdapter()
+	// Data with an unregistered tag.
+	if _, _, err := mc2.ReadData(7, 1); !errors.Is(err, memory.ErrBadTag) {
+		t.Fatalf("bad tag read: %v", err)
+	}
+	if _, err := mc2.WriteData(7, []byte{1}); !errors.Is(err, memory.ErrBadTag) {
+		t.Fatalf("bad tag write: %v", err)
+	}
+	// Direction mismatch detected by the microcode's flag check.
+	wt, _ := mc2.BlockTransfer(0x100, 4, memory.WriteDir)
+	if out, err := mc2.C.Exec(bus.CmdBlockReadData, []uint16{uint16(wt), 1}); err != nil || out[0] != RespBad {
+		t.Fatalf("direction mismatch: out=%v err=%v", out, err)
+	}
+	// Overrun detected by the microcode itself (bypassing the adapter's
+	// pre-check).
+	st, _ := mc2.BlockTransfer(0x200, 2, memory.WriteDir)
+	out, err := mc2.C.Exec(bus.CmdBlockWriteData, []uint16{uint16(st), 2, 0x1111, 0x2222})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != RespOK || out[1] != RespOverrun {
+		t.Fatalf("overrun response = %v", out)
+	}
+	// Zero count rejected at the request interface.
+	if _, err := mc2.BlockTransfer(0, 0, memory.ReadDir); !errors.Is(err, memory.ErrZeroCount) {
+		t.Fatalf("zero count: %v", err)
+	}
+	// Unknown command falls through the dispatch chain.
+	if out, err := mc2.C.Exec(bus.Command(0xF), nil); err != nil || len(out) != 1 || out[0] != RespBad {
+		t.Fatalf("bad command: out=%v err=%v", out, err)
+	}
+	// NULL enqueue rejected.
+	if err := mc2.Enqueue(0x10, memory.Null); err == nil {
+		t.Fatal("NULL enqueue must fail")
+	}
+}
+
+func TestOperandUnderrun(t *testing.T) {
+	c := New()
+	if _, err := c.Exec(bus.CmdEnqueue, []uint16{0x10}); !errors.Is(err, ErrOperands) {
+		t.Fatalf("underrun: %v", err)
+	}
+}
+
+// Cycle accounting: the queue routines take a handful of micro-cycles —
+// the hardware speed advantage Table 6.1 banks on (the software versions
+// cost ~60 us on the MP).
+func TestCycleCounts(t *testing.T) {
+	mc := NewAdapter()
+	if err := mc.Enqueue(0x10, 0x100); err != nil {
+		t.Fatal(err)
+	}
+	if mc.C.LastCycles == 0 || mc.C.LastCycles > 40 {
+		t.Fatalf("enqueue took %d micro-cycles; expected a couple dozen at most", mc.C.LastCycles)
+	}
+	mc.First(0x10)
+	if mc.C.LastCycles > 40 {
+		t.Fatalf("first took %d micro-cycles", mc.C.LastCycles)
+	}
+	if mc.C.Cycles == 0 {
+		t.Fatal("cycle accumulator not advancing")
+	}
+}
+
+// The dequeue scan is bounded even on adversarial input: a long list
+// without the element terminates at the tail.
+func TestDequeueScanTerminates(t *testing.T) {
+	mc := NewAdapter()
+	for i := 0; i < 200; i++ {
+		if err := mc.Enqueue(0x10, uint16(0x1000+i*0x10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mc.Dequeue(0x10, 0x0BAD) {
+		t.Fatal("absent element reported found")
+	}
+}
+
+func TestComponentInventories(t *testing.T) {
+	dp := TotalComponents(DataPathComponents())
+	if dp < 5000 || dp > 7000 {
+		t.Fatalf("data path components = %d, thesis says roughly 6000", dp)
+	}
+	seq := TotalComponents(SequencerComponents())
+	if seq < 800 || seq > 1200 {
+		t.Fatalf("sequencer components = %d, thesis says roughly 1000", seq)
+	}
+}

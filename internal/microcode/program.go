@@ -1,0 +1,238 @@
+package microcode
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/memory"
+)
+
+// routine entry names. The command-to-entry mapping is held in a mapping
+// PROM beside the control store (as in AMD 2910-class sequencers), so
+// the dispatch costs no control-store bits; MAIN is the idle loop at
+// address 0 that every routine branches back to.
+const (
+	rMain      = "MAIN"
+	rRead      = "READ"
+	rBlockXfer = "BT"
+	rReadData  = "BRD"
+	rWriteData = "BWD"
+	rEnqueue   = "ENQ"
+	rDequeue   = "DEQ"
+	rFirst     = "FIRST"
+	rWriteWord = "WW"
+	rWriteByte = "WB"
+)
+
+// Sentinel response words (status protocol on the A/D lines). They fit
+// the 7-bit immediate field and stay clear of the 4-bit tag namespace.
+const (
+	// RespBad is returned for an exhausted request table, an
+	// unregistered or direction-mismatched tag, or an unknown command
+	// (§A.5).
+	RespBad uint16 = 0x7F
+	// RespOverrun trails a block-write response that received data past
+	// the registered count (§A.5.1).
+	RespOverrun uint16 = 0x7E
+	// RespOK leads a successful data-phase response.
+	RespOK uint16 = 0x0000
+)
+
+// commandEntry is the mapping-PROM content: bus command to routine name.
+var commandEntry = map[bus.Command]string{
+	bus.CmdSimpleRead:     rRead,
+	bus.CmdBlockTransfer:  rBlockXfer,
+	bus.CmdBlockReadData:  rReadData,
+	bus.CmdBlockWriteData: rWriteData,
+	bus.CmdEnqueue:        rEnqueue,
+	bus.CmdDequeue:        rDequeue,
+	bus.CmdFirst:          rFirst,
+	bus.CmdWriteTwoBytes:  rWriteWord,
+	bus.CmdWriteByte:      rWriteByte,
+}
+
+// buildProgram assembles the controller microprogram: the §A.4
+// micro-routines over the Figure A.2 data path.
+func buildProgram() ([]Micro, map[string]int, error) {
+	a := newAsm()
+
+	// MAIN (A.4.1): the idle loop. The physical controller spins here
+	// waiting for IS; the sequencer model treats a branch to MAIN as
+	// transaction completion. One instruction keeps address 0 meaningful.
+	a.routine(rMain)
+	a.emit(pass(RZero).br(CAlways, rMain))
+
+	// Shared epilogues: status word out, back to MAIN. The Imm field is
+	// shared with the branch target, so the constants 0 and 1 come off
+	// the ALU (pass zero; increment zero) and the sentinel emitters fall
+	// through to an explicit return. EMITBAD is also the mapping PROM's
+	// default entry for unknown commands (§A.5.3).
+	a.label("EMIT0")
+	a.emit(pass(RZero).emitBus().done())
+	a.label("EMIT1")
+	a.emit(op(AInc, RZero, RZero).emitBus().done())
+	a.label("EMITOVR")
+	a.emit(imm(uint8(RespOverrun)).emitBus())
+	a.emit(pass(RZero).done())
+	a.routine("EMITBAD")
+	a.emit(imm(uint8(RespBad)).emitBus())
+	a.emit(pass(RZero).done())
+
+	// READ (A.4.8): simple word read. Address from the bus, data back.
+	a.routine(rRead)
+	a.emit(latch(RTmp))
+	a.emit(pass(RTmp).mem(MRead))
+	a.emit(pass(RMDR).emitBus().done())
+
+	// WRITE two bytes / one byte (A.4.8).
+	a.routine(rWriteWord)
+	a.emit(latch(RTmp))
+	a.emit(latch(RMDR))
+	a.emit(pass(RTmp).mem(MWrite).done())
+
+	a.routine(rWriteByte)
+	a.emit(latch(RTmp))
+	a.emit(latch(RMDR))
+	a.emit(pass(RTmp).mem(MWriteByte).done())
+
+	// ENQUEUE CONTROL BLOCK (A.4.5): the §5.1 Enqueue algorithm.
+	a.routine(rEnqueue)
+	a.emit(latch(RList))
+	a.emit(latch(RElem))
+	a.emit(pass(RList).mem(MRead))                   // MDR := M[list] (tail)
+	a.emit(pass(RMDR).to(RTail).br(CZero, "ENQ_MT")) // tail := MDR; empty?
+	a.emit(pass(RTail).mem(MRead))                   // MDR := tail->next (first)
+	a.emit(pass(RElem).mem(MWrite))                  // elem->next := first (MDR holds it)
+	a.emit(pass(RElem).to(RMDR))
+	a.emit(pass(RTail).mem(MWrite)) // tail->next := elem
+	a.label("ENQ_TL")
+	a.emit(pass(RElem).to(RMDR))
+	a.emit(pass(RList).mem(MWrite).done()) // list := elem
+	a.label("ENQ_MT")
+	a.emit(pass(RElem).to(RMDR))
+	a.emit(pass(RElem).mem(MWrite).br(CAlways, "ENQ_TL")) // elem->next := elem
+
+	// FIRST CONTROL BLOCK (A.4.6): dequeue the head, return it (or 0).
+	a.routine(rFirst)
+	a.emit(latch(RList))
+	a.emit(pass(RList).mem(MRead))
+	a.emit(pass(RMDR).to(RTail).br(CZero, "EMIT0")) // empty: return NULL
+	a.emit(pass(RTail).mem(MRead))                  // MDR := tail->next
+	a.emit(pass(RMDR).to(RFirst))                   // first := MDR
+	a.emit(op(ASub, RTail, RFirst).br(CZero, "F_LAST"))
+	a.emit(pass(RFirst).mem(MRead))                      // MDR := first->next
+	a.emit(pass(RTail).mem(MWrite).br(CAlways, "F_OUT")) // tail->next := first->next
+	a.label("F_LAST")
+	a.emit(imm(0).to(RMDR))
+	a.emit(pass(RList).mem(MWrite)) // list := NULL
+	a.label("F_OUT")
+	a.emit(pass(RFirst).emitBus().done())
+
+	// DEQUEUE CONTROL BLOCK (A.4.7): remove an arbitrary element;
+	// success status 1, absent element status 0 (a no-op).
+	a.routine(rDequeue)
+	a.emit(latch(RList))
+	a.emit(latch(RElem))
+	a.emit(pass(RList).mem(MRead))
+	a.emit(pass(RMDR).to(RTail).br(CZero, "EMIT0"))
+	a.emit(pass(RTail).to(RCurr))
+	a.label("D_LOOP")
+	a.emit(pass(RCurr).to(RPrev))
+	a.emit(pass(RPrev).mem(MRead)) // MDR := prev->next
+	a.emit(pass(RMDR).to(RCurr))
+	a.emit(op(ASub, RCurr, RElem).br(CZero, "D_FOUND"))
+	a.emit(op(ASub, RCurr, RTail).br(CNotZero, "D_LOOP"))
+	a.emit(pass(RZero).br(CAlways, "EMIT0")) // wrapped to the tail: not found
+	a.label("D_FOUND")
+	a.emit(op(ASub, RCurr, RPrev).br(CZero, "D_ONE"))
+	a.emit(pass(RElem).mem(MRead))  // MDR := elem->next
+	a.emit(pass(RPrev).mem(MWrite)) // prev->next := elem->next
+	a.emit(op(ASub, RTail, RElem).br(CNotZero, "EMIT1"))
+	a.emit(pass(RPrev).to(RMDR))
+	a.emit(pass(RList).mem(MWrite).br(CAlways, "EMIT1")) // tail removed: list := prev
+	a.label("D_ONE")
+	a.emit(imm(0).to(RMDR))
+	a.emit(pass(RList).mem(MWrite).br(CAlways, "EMIT1")) // singleton: list := NULL
+
+	// BLOCK TRANSFER (A.4.2): claim a free tag-table entry for
+	// (address, count, direction) and return the tag.
+	a.routine(rBlockXfer)
+	a.emit(latch(RTmp))  // block address
+	a.emit(latch(RCnt))  // byte count
+	a.emit(latch(RCurr)) // direction: 0 read, 1 write
+	a.emit(imm(0).to(RTag))
+	a.emit(imm(uint8(memory.NumTags)).to(RFirst)) // table size for the scan bound
+	a.label("BT_SCAN")
+	// A free entry has flags == 0 (retirement clears the whole word).
+	a.emit(pass(RTFlags).br(CZero, "BT_CLAIM"))
+	a.emit(op(AInc, RTag, RZero).to(RTag))
+	a.emit(op(ASub, RTag, RFirst).br(CNotZero, "BT_SCAN"))
+	a.emit(pass(RZero).br(CAlways, "EMITBAD")) // table full (§A.5.1)
+	a.label("BT_CLAIM")
+	a.emit(pass(RTmp).to(RTAddr))
+	a.emit(pass(RCnt).to(RTCount))
+	a.emit(pass(RZero).to(RTDone))
+	a.emit(op(AAdd, RCurr, RCurr).to(RCurr)) // direction << 1
+	a.emit(op(AInc, RCurr, RZero).to(RCurr)) // | active
+	a.emit(pass(RCurr).to(RTFlags))
+	a.emit(pass(RTag).emitBus().done())
+
+	// BLOCK READ DATA (A.4.3): stream up to a burst of words; retire the
+	// tag when the block completes.
+	a.routine(rReadData)
+	a.emit(latch(RTag))
+	a.emit(latch(RCnt)) // burst word limit
+	// An active read request has flags == 1 exactly.
+	a.emit(op(ADec, RTFlags, RZero).br(CNotZero, "EMITBAD"))
+	a.emit(pass(RZero).emitBus()) // status: OK
+	a.label("BRD_LOOP")
+	a.emit(pass(RCnt).br(CZero, "BRD_END"))
+	a.emit(op(ASub, RTCount, RTDone).to(RTmp).br(CZero, "BRD_END"))
+	a.emit(op(AAdd, RTAddr, RTDone).mem(MRead)) // MDR := M[addr+done]
+	a.emit(pass(RMDR).emitBus())
+	a.emit(op(ADec, RTmp, RZero).br(CZero, "BRD_ONE")) // one byte remained?
+	a.emit(op(AInc, RTDone, RZero).to(RTDone))
+	a.label("BRD_ONE")
+	a.emit(op(AInc, RTDone, RZero).to(RTDone))
+	a.emit(op(ADec, RCnt, RZero).to(RCnt).br(CAlways, "BRD_LOOP"))
+	a.label("BRD_END")
+	a.emit(op(ASub, RTCount, RTDone).br(CNotZero, rMain))
+	a.emit(pass(RZero).to(RTFlags).done()) // block complete: retire tag
+
+	// BLOCK WRITE DATA (A.4.4): accept a burst of words; data past the
+	// count is an overrun error.
+	a.routine(rWriteData)
+	a.emit(latch(RTag))
+	a.emit(latch(RCnt)) // number of incoming words
+	// An active write request has flags == 3 exactly.
+	a.emit(imm(3).to(RFirst))
+	a.emit(op(ASub, RTFlags, RFirst).br(CNotZero, "EMITBAD"))
+	a.emit(pass(RZero).emitBus()) // status: OK
+	a.label("BWD_LOOP")
+	a.emit(pass(RCnt).br(CZero, "BWD_END"))
+	a.emit(op(ASub, RTCount, RTDone).to(RTmp).br(CZero, "EMITOVR"))
+	a.emit(latch(RMDR))
+	a.emit(op(ADec, RTmp, RZero).br(CZero, "BWD_ONE")) // final odd byte?
+	a.emit(op(AAdd, RTAddr, RTDone).mem(MWrite))
+	a.emit(op(AInc, RTDone, RZero).to(RTDone))
+	a.emit(pass(RZero).br(CAlways, "BWD_STEP"))
+	a.label("BWD_ONE")
+	a.emit(op(AAdd, RTAddr, RTDone).mem(MWriteByte))
+	a.label("BWD_STEP")
+	a.emit(op(AInc, RTDone, RZero).to(RTDone))
+	a.emit(op(ADec, RCnt, RZero).to(RCnt).br(CAlways, "BWD_LOOP"))
+	a.label("BWD_END")
+	a.emit(op(ASub, RTCount, RTDone).br(CNotZero, rMain))
+	a.emit(pass(RZero).to(RTFlags).done())
+
+	prog, entry, err := a.Assemble()
+	if err != nil {
+		return nil, nil, err
+	}
+	for cmd, name := range commandEntry {
+		if _, ok := entry[name]; !ok {
+			return nil, nil, fmt.Errorf("microcode: no routine for command %v", cmd)
+		}
+	}
+	return prog, entry, nil
+}

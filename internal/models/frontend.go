@@ -1,0 +1,176 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/gtpn"
+	"repro/internal/timing"
+)
+
+// This file models the architecture the thesis argues *against*: a
+// network front-end processor in the style of the Woodside/ABLE
+// proposals surveyed in §2.4 and criticized in §1.2. The front-end
+// off-loads only the communication-protocol part of the network path —
+// fielding packets and driving the interfaces — while every operating
+// system function of message passing (validity checking, control-block
+// manipulation, kernel buffering, short-term scheduling) stays on the
+// host. The thesis's two objections are directly measurable against this
+// model: a front-end gives no assistance for local messages at all, and
+// even for non-local messages it off-loads only the minority of the
+// processing.
+
+// FrontEndOffload is the fraction of the network-interrupt-path
+// processing (arrival fielding, packet bookkeeping) that the front-end
+// absorbs; the remainder is the IPC-kernel work that must still run on
+// the host. Unix's Table 3.5 breakdown puts protocol processing
+// (TCP+IP+checksum+interrupt fielding) at roughly half the non-local
+// path, and a message-based kernel with IPC-mirroring packets (§4.6) has
+// even less protocol to shed, so half is a generous default.
+const FrontEndOffload = 0.5
+
+// BuildFrontEndClient is the non-local client-node net for the
+// front-end architecture: architecture I's net, with the offloaded share
+// of each network-interrupt activity moved onto a front-end processor
+// that runs concurrently with the host.
+func buildFrontEndClient(n, hosts int, sd, offload float64) (*gtpn.Net, string) {
+	p := timing.ClientParamsFor(timing.ArchI)
+	nb := newNetBuilder()
+	b := nb.b
+
+	clients := b.Place("Clients", n)
+	host := b.Place("Host", hosts)
+	fe := b.Place("FE", 1)
+	ioOut := b.Place("IoOut", 1)
+	ioIn := b.Place("IoIn", 1)
+	netIntr := b.Place("NetIntr", 0)
+
+	cleanupID := gtpn.TransID(-1)
+	gate := func(v gtpn.View) bool {
+		if v.Tokens(netIntr) > 0 {
+			return false
+		}
+		if cleanupID >= 0 && v.Firing(cleanupID) > 0 {
+			return false
+		}
+		return true
+	}
+
+	// The whole send path is host work, as in architecture I.
+	pktOut := b.Place("PktOut", 0)
+	nb.stage("TSendProc", clients, host, true, p.CommSend, gate, pktOut)
+
+	srvWait := b.Place("ServerWait", 0)
+	nb.stage("TDMAOut", pktOut, ioOut, true, p.DMAOut, nil, srvWait)
+	pktIn := b.Place("PktIn", 0)
+	nb.stage("TServer", srvWait, 0, false, sd, nil, pktIn)
+	// The front-end fields the inbound packet, so the DMA is no longer
+	// host-gated...
+	feWork := b.Place("FEWork", 0)
+	nb.stage("TDMAIn", pktIn, ioIn, true, p.DMAIn, nil, feWork)
+	// ...and absorbs its share of the interrupt processing...
+	nb.stage("TFECleanup", feWork, fe, true, offload*p.CommCleanup, nil, netIntr)
+	// ...but the IPC half of the cleanup still interrupts the host.
+	nb.stage("TCleanup", netIntr, host, true, (1-offload)*p.CommCleanup, nil, clients)
+
+	net := b.MustBuild()
+	id, _ := net.TransByName("TCleanup")
+	cleanupID = id
+	return net, "TCleanup"
+}
+
+// buildFrontEndServer is the corresponding server-node net.
+func buildFrontEndServer(n, hosts int, cd, x, offload float64) (net *gtpn.Net, arrival string, boxPlaces, boxTrans []string) {
+	p := timing.ServerParamsFor(timing.ArchI)
+	nb := newNetBuilder()
+	b := nb.b
+
+	servers := b.Place("Servers", n)
+	host := b.Place("Host", hosts)
+	fe := b.Place("FE", 1)
+	reqIntr := b.Place("ReqIntr", 0)
+
+	matchID := gtpn.TransID(-1)
+	gate := func(v gtpn.View) bool {
+		if v.Tokens(reqIntr) > 0 {
+			return false
+		}
+		if matchID >= 0 && v.Firing(matchID) > 0 {
+			return false
+		}
+		return true
+	}
+
+	clientWait := b.Place("ClientWait", 0)
+	nb.stage("TRecvProc", servers, host, true, p.CommRecv, gate, clientWait)
+	feQueue := b.Place("FEQueue", 0)
+	nb.stage("TArrive", clientWait, 0, false, cd, nil, feQueue)
+	// The front-end fields the arriving request...
+	nb.stage("TFEMatch", feQueue, fe, true, offload*p.CommMatch, nil, reqIntr)
+	// ...but matching it with the waiting server is host IPC work.
+	srvReady := b.Place("SrvReady", 0)
+	nb.stage("TMatch", reqIntr, host, true, (1-offload)*p.CommMatch, nil, srvReady)
+	nb.stage("TCompute", srvReady, host, true, p.HostCompute+x, gate, servers)
+
+	net = b.MustBuild()
+	id, _ := net.TransByName("TMatch")
+	matchID = id
+	boxPlaces = []string{"FEQueue", "ReqIntr", "SrvReady"}
+	boxTrans = []string{"TFEMatch", "TFEMatch.loop", "TMatch", "TMatch.loop", "TCompute", "TCompute.loop"}
+	return net, "TArrive", boxPlaces, boxTrans
+}
+
+// SolveFrontEnd runs the §6.6.3 iteration for the front-end
+// architecture's non-local model. Its local model is architecture I
+// verbatim (a front-end gives local messages no assistance).
+func SolveFrontEnd(n, hosts int, xUS, offload float64, opts SolveOptions) (NonLocalResult, error) {
+	if offload <= 0 || offload >= 1 {
+		offload = FrontEndOffload
+	}
+	sp := timing.ServerParamsFor(timing.ArchI)
+	sd := sp.CommRecv + sp.CommMatch + sp.HostCompute + xUS + sp.DMAIn + sp.DMAOut
+	sc := sp.CommRecv
+
+	const (
+		maxIter = 60
+		relTol  = 1e-3
+	)
+	var res NonLocalResult
+	for iter := 1; iter <= maxIter; iter++ {
+		cnet, cleanup := buildFrontEndClient(n, hosts, sd, offload)
+		csol, err := cnet.Solve(opts.gtpnOpts())
+		if err != nil {
+			return res, fmt.Errorf("models: front-end client model: %w", err)
+		}
+		lam := csol.Rate(cleanup)
+		if lam <= 0 {
+			return res, fmt.Errorf("models: front-end client model produced zero throughput")
+		}
+		t := float64(n) / lam
+		cd := maxFloat(t-sd-sc, 1)
+
+		snet, arrival, boxP, boxT := buildFrontEndServer(n, hosts, cd, xUS, offload)
+		ssol, err := snet.Solve(opts.gtpnOpts())
+		if err != nil {
+			return res, fmt.Errorf("models: front-end server model: %w", err)
+		}
+		lamS := ssol.Rate(arrival)
+		if lamS <= 0 {
+			return res, fmt.Errorf("models: front-end server model produced zero arrival rate")
+		}
+		sdNew := ssol.Population(boxP, boxT)/lamS + sp.DMAIn + sp.DMAOut
+
+		res = NonLocalResult{
+			Throughput: lam, RoundTrip: t, Sd: sdNew, Cd: cd, Iterations: iter,
+			ClientStates: csol.States, ServerStates: ssol.States,
+		}
+		diff := sdNew - sd
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff/sd < relTol {
+			return res, nil
+		}
+		sd = (sd + sdNew) / 2
+	}
+	return res, fmt.Errorf("models: front-end iteration did not converge")
+}

@@ -1,0 +1,86 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/timing"
+)
+
+// The front-end ablation lands where the thesis says it must: under a
+// realistic load it helps non-local conversations less than a full
+// message coprocessor, and it cannot help local ones at all (its local
+// model is architecture I verbatim).
+func TestFrontEndBetweenArchIAndArchII(t *testing.T) {
+	const n, x = 2, 2850
+	r1, err := SolveNonLocal(timing.ArchI, n, 1, x, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := SolveFrontEnd(n, 1, x, FrontEndOffload, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SolveNonLocal(timing.ArchII, n, 1, x, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fe.Throughput > r1.Throughput) {
+		t.Errorf("front-end (%.4g) should beat plain uniprocessor (%.4g) non-locally",
+			fe.Throughput, r1.Throughput)
+	}
+	if !(fe.Throughput < r2.Throughput) {
+		t.Errorf("front-end (%.4g) should trail the full message coprocessor (%.4g)",
+			fe.Throughput, r2.Throughput)
+	}
+}
+
+// More offload helps, monotonically.
+func TestFrontEndOffloadMonotone(t *testing.T) {
+	prev := 0.0
+	for _, off := range []float64{0.25, 0.5, 0.75} {
+		res, err := SolveFrontEnd(2, 1, 2850, off, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Throughput <= prev {
+			t.Errorf("offload %.2f: throughput %.4g not above %.4g", off, res.Throughput, prev)
+		}
+		prev = res.Throughput
+	}
+}
+
+// An out-of-range offload falls back to the default.
+func TestFrontEndOffloadDefault(t *testing.T) {
+	a, err := SolveFrontEnd(1, 1, 1140, -1, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveFrontEnd(1, 1, 1140, FrontEndOffload, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput {
+		t.Fatalf("default offload mismatch: %v vs %v", a.Throughput, b.Throughput)
+	}
+}
+
+// The chapter 7 direction: with more hosts behind one MP, the smart bus
+// (architecture III) gains over architecture II because the MP is the
+// saturating resource and its primitives got cheaper.
+func TestMultiHostAdvantageGrows(t *testing.T) {
+	ratio := func(hosts int) float64 {
+		n := 2 * hosts
+		r2, err := BuildLocal(timing.ArchII, n, hosts, 2850).Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r3, err := BuildLocal(timing.ArchIII, n, hosts, 2850).Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r3.Throughput / r2.Throughput
+	}
+	if r1, r2 := ratio(1), ratio(2); r2 < r1 {
+		t.Errorf("III/II advantage should not shrink with more hosts: %v -> %v", r1, r2)
+	}
+}

@@ -1,0 +1,208 @@
+// Package models encodes the chapter 6 GTPN performance models: the
+// local-conversation nets of Figures 6.9 and 6.12, the non-local
+// client/server net pair of Figures 6.10/6.11 and 6.13/6.14 with the
+// §6.6.3 iterative fixed-point solution, and the §6.6.2 shared-memory
+// contention sub-model of Figure 6.8.
+//
+// Stage means come from package timing (the transition tables 6.5
+// through 6.23). Time is modeled in 1-microsecond ticks, and every large
+// constant service time is represented by a geometrically distributed
+// one with the same mean — the thesis's Figure 6.7 device for keeping
+// the embedded Markov chain tractable.
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gtpn"
+	"repro/internal/timing"
+)
+
+// netBuilder wraps gtpn.Builder with the geometric service-stage idiom
+// shared by all chapter 6 nets.
+type netBuilder struct {
+	b *gtpn.Builder
+}
+
+func newNetBuilder() *netBuilder { return &netBuilder{b: gtpn.NewBuilder()} }
+
+// gateFunc inhibits a stage in states where it must not progress (the
+// "(NetIntr = 0) & ~Ti & ~Tj -> f, 0" expressions).
+type gateFunc func(v gtpn.View) bool
+
+// stage adds a geometric service stage named name: tokens in `in` are
+// served (one per resource token per tick) with mean service time m
+// microseconds; a completed token moves to the outs places and the
+// resource token returns. res < 0 builds a pure delay with no resource
+// (the surrogate S_d/C_d stages). gate, when non-nil, freezes the stage.
+// The completion transition is named "name" (rate = stage throughput);
+// the continuation is "name.loop". It returns the completion TransID.
+func (nb *netBuilder) stage(name string, in gtpn.PlaceID, res gtpn.PlaceID, hasRes bool, m float64, gate gateFunc, outs ...gtpn.PlaceID) {
+	if m < 1 {
+		panic(fmt.Sprintf("models: stage %s mean %.3f below one tick", name, m))
+	}
+	p := 1 / m
+	freq := func(f float64) gtpn.FreqFunc {
+		if gate == nil {
+			return gtpn.Const(f)
+		}
+		return func(v gtpn.View) float64 {
+			if gate(v) {
+				return f
+			}
+			return 0
+		}
+	}
+	endIn := []gtpn.PlaceID{in}
+	endOut := append([]gtpn.PlaceID{}, outs...)
+	loopIn := []gtpn.PlaceID{in}
+	loopOut := []gtpn.PlaceID{in}
+	if hasRes {
+		endIn = append(endIn, res)
+		endOut = append(endOut, res)
+		loopIn = append(loopIn, res)
+		loopOut = append(loopOut, res)
+	}
+	nb.b.Transition(name).From(endIn...).To(endOut...).Delay(1).Freq(freq(p))
+	if p < 1 {
+		nb.b.Transition(name + ".loop").From(loopIn...).To(loopOut...).Delay(1).Freq(freq(1 - p))
+	}
+}
+
+// SolveOptions bundles solver tuning shared by the model entry points.
+type SolveOptions struct {
+	// MaxStates bounds each net's reachability graph (default 400k).
+	MaxStates int
+}
+
+func (o SolveOptions) gtpnOpts() gtpn.SolveOptions {
+	ms := o.MaxStates
+	if ms <= 0 {
+		ms = 400_000
+	}
+	return gtpn.SolveOptions{MaxStates: ms}
+}
+
+// LocalResult reports the solved local-conversation model.
+type LocalResult struct {
+	// Throughput is completed conversations per microsecond.
+	Throughput float64
+	// RoundTrip is the mean per-conversation cycle time in microseconds
+	// (Little's law: N / Throughput).
+	RoundTrip float64
+	// States is the size of the reachability graph.
+	States int
+}
+
+// LocalModel is the Figure 6.9/6.12 local-conversation net for one
+// architecture.
+type LocalModel struct {
+	Net    *gtpn.Net
+	Params timing.LocalParams
+	N      int
+	X      float64
+}
+
+// BuildLocal constructs the local-conversation model: n simultaneous
+// conversations, hosts host processors, and xUS microseconds of mean
+// server computation per conversation (the workload parameters of §6.3).
+func BuildLocal(arch timing.Arch, n, hosts int, xUS float64) *LocalModel {
+	p := timing.LocalParamsFor(arch)
+	nb := newNetBuilder()
+	b := nb.b
+
+	clients := b.Place("Clients", n)
+	servers := b.Place("Servers", n)
+	host := b.Place("Host", hosts)
+	comm := host
+	if !p.Shared {
+		comm = b.Place("MP", 1)
+	}
+
+	// Client path: host stage, then send processing, into SentC.
+	sentC := b.Place("SentC", 0)
+	if p.CommSend > 0 {
+		sendQ := b.Place("SendQ", 0)
+		nb.stage("THostClient", clients, host, true, p.HostClient, nil, sendQ)
+		nb.stage("TSend", sendQ, comm, true, p.CommSend, nil, sentC)
+	} else {
+		nb.stage("THostClient", clients, host, true, p.HostClient, nil, sentC)
+	}
+
+	// Server path: host stage, then receive processing, into RcvdS.
+	rcvdS := b.Place("RcvdS", 0)
+	if p.CommRecv > 0 {
+		recvQ := b.Place("RecvQ", 0)
+		nb.stage("THostServer", servers, host, true, p.HostServer, nil, recvQ)
+		nb.stage("TRecv", recvQ, comm, true, p.CommRecv, nil, rcvdS)
+	} else {
+		nb.stage("THostServer", servers, host, true, p.HostServer, nil, rcvdS)
+	}
+
+	// Rendezvous: match on the communication processor.
+	srvReady := b.Place("SrvReady", 0)
+	nb.b.Transition("TMatch").From(sentC, rcvdS, comm).To(srvReady, comm).
+		Delay(1).Freq(gtpn.Const(1 / p.CommMatch))
+	nb.b.Transition("TMatch.loop").From(sentC, rcvdS, comm).To(sentC, rcvdS, comm).
+		Delay(1).Freq(gtpn.Const(1 - 1/p.CommMatch))
+
+	// Compute + reply syscall on the host; reply processing on the MP
+	// completes the conversation, returning both tokens.
+	computeMean := p.HostCompute + xUS
+	if p.CommReply > 0 {
+		replyQ := b.Place("ReplyQ", 0)
+		nb.stage("TCompute", srvReady, host, true, computeMean, nil, replyQ)
+		nb.stage("TReply", replyQ, comm, true, p.CommReply, nil, clients, servers)
+	} else {
+		nb.stage("TCompute", srvReady, host, true, computeMean, nil, clients, servers)
+	}
+
+	return &LocalModel{Net: b.MustBuild(), Params: p, N: n, X: xUS}
+}
+
+// doneTransition names the transition whose completions mark the end of a
+// conversation in the local net.
+func (m *LocalModel) doneTransition() string {
+	if m.Params.CommReply > 0 {
+		return "TReply"
+	}
+	return "TCompute"
+}
+
+// Solve computes the exact steady state of the local model.
+func (m *LocalModel) Solve(opts SolveOptions) (LocalResult, error) {
+	sol, err := m.Net.Solve(opts.gtpnOpts())
+	if err != nil {
+		return LocalResult{}, err
+	}
+	if !sol.Converged {
+		return LocalResult{}, fmt.Errorf("models: local model (arch %v, n=%d) did not converge (residual %g)", m.Params.Arch, m.N, sol.Residual)
+	}
+	lam := sol.Rate(m.doneTransition())
+	res := LocalResult{Throughput: lam, States: sol.States}
+	if lam > 0 {
+		res.RoundTrip = float64(m.N) / lam
+	}
+	return res, nil
+}
+
+// Simulate cross-checks the local model by Monte Carlo.
+func (m *LocalModel) Simulate(seed uint64, ticks int64) (LocalResult, error) {
+	sim, err := m.Net.Simulate(gtpn.SimOptions{Seed: seed, Ticks: ticks})
+	if err != nil {
+		return LocalResult{}, err
+	}
+	if sim.Dead {
+		return LocalResult{}, fmt.Errorf("models: local simulation deadlocked at tick %d", sim.DeadTick)
+	}
+	lam := sim.Rate(m.doneTransition())
+	res := LocalResult{Throughput: lam}
+	if lam > 0 {
+		res.RoundTrip = float64(m.N) / lam
+	}
+	return res, nil
+}
+
+// maxFloat is a tiny helper for iteration guards.
+func maxFloat(a, b float64) float64 { return math.Max(a, b) }

@@ -1,0 +1,162 @@
+// Package network simulates the local area network of the thesis
+// test-bed: a reliable token ring (the 925 implementation used a 4 Mb/s
+// ring "similar to the IBM token ring") carrying packets that mirror the
+// IPC calls of the kernel. Per §4.6, the network handling code assumes a
+// reliable network: there are no low-level acknowledgements, checksums,
+// retransmissions, or timeouts, and a round trip costs exactly two
+// packets — one for the send message and one for the reply message.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// PacketType mirrors the kernel IPC calls carried on the wire (§4.6).
+type PacketType int
+
+// Packet types exchanged between message coprocessors.
+const (
+	// SendPacket carries a client's send message to the server's node.
+	SendPacket PacketType = iota
+	// ReplyPacket carries the server's reply back to the client's node.
+	ReplyPacket
+)
+
+func (t PacketType) String() string {
+	switch t {
+	case SendPacket:
+		return "send"
+	case ReplyPacket:
+		return "reply"
+	default:
+		return "invalid"
+	}
+}
+
+// HeaderBytes is the per-packet framing overhead charged on the wire.
+const HeaderBytes = 16
+
+// DefaultBitsPerSecond is the 4 Mb/s token ring of the 925 test-bed.
+const DefaultBitsPerSecond int64 = 4_000_000
+
+// Packet is one network message. Endpoint fields address kernel entities
+// at the destination node; the network treats them as opaque.
+type Packet struct {
+	Type    PacketType
+	Src     int // source node
+	Dst     int // destination node
+	Conv    int // conversation id, correlating send and reply
+	Service int // destination service (SendPacket)
+	Task    int // client task to restart (ReplyPacket)
+	// Datagram marks a no-wait send that expects no reply.
+	Datagram bool
+	Payload  []byte
+}
+
+// Ring is a single shared token-ring medium: one transmitter holds the
+// token at a time; waiting transmitters are served FIFO.
+type Ring struct {
+	eng        *des.Engine
+	medium     *des.Resource
+	nodes      []*Interface
+	BitsPerSec int64
+
+	// DropRate, when positive, makes the ring unreliable: each packet is
+	// lost in transit with this probability. The thesis assumes a
+	// reliable network (§4.6) but notes the cost of recovery "can be
+	// easily factored in"; the kernel's retransmission option exercises
+	// exactly that.
+	DropRate float64
+
+	// Sent and Delivered count packets; Dropped counts losses.
+	Sent, Delivered, Dropped int64
+}
+
+// NewRing creates a ring with the given engine and default speed.
+func NewRing(eng *des.Engine) *Ring {
+	return &Ring{eng: eng, medium: des.NewResource(eng, "ring"), BitsPerSec: DefaultBitsPerSecond}
+}
+
+// Attach adds a node interface to the ring and returns it. Node ids are
+// assigned densely in attach order.
+func (r *Ring) Attach() *Interface {
+	ifc := &Interface{ring: r, node: len(r.nodes)}
+	r.nodes = append(r.nodes, ifc)
+	return ifc
+}
+
+// Nodes reports the number of attached interfaces.
+func (r *Ring) Nodes() int { return len(r.nodes) }
+
+// wireTicks is the token-holding time for a packet.
+func (r *Ring) wireTicks(p *Packet) int64 {
+	bits := int64(len(p.Payload)+HeaderBytes) * 8
+	return bits * des.Second / r.BitsPerSec
+}
+
+// Interface is one node's network attachment. Arriving packets queue in
+// the interface's receive buffers and raise the OnArrival interrupt.
+type Interface struct {
+	ring *Ring
+	node int
+	rq   []*Packet
+	// OnArrival, if set, is invoked (as the device interrupt) each time a
+	// packet lands in the receive queue.
+	OnArrival func()
+	// Overruns counts packets that arrived with the receive queue full.
+	Overruns int64
+	// RecvBuffers bounds the receive queue; 0 means unbounded.
+	RecvBuffers int
+}
+
+// Node reports this interface's node id.
+func (i *Interface) Node() int { return i.node }
+
+// Transmit queues the packet for the medium and delivers it to the
+// destination after the wire time; done (optional) fires at the sender
+// when transmission completes.
+func (i *Interface) Transmit(p *Packet, done func()) {
+	if p.Dst < 0 || p.Dst >= len(i.ring.nodes) {
+		panic(fmt.Sprintf("network: transmit to unknown node %d", p.Dst))
+	}
+	p.Src = i.node
+	i.ring.Sent++
+	i.ring.medium.Use(0, i.ring.wireTicks(p), func() {
+		if i.ring.DropRate > 0 && i.ring.eng.Rand().Float64() < i.ring.DropRate {
+			i.ring.Dropped++
+			if done != nil {
+				done() // the sender saw a normal transmission
+			}
+			return
+		}
+		dst := i.ring.nodes[p.Dst]
+		if dst.RecvBuffers > 0 && len(dst.rq) >= dst.RecvBuffers {
+			dst.Overruns++
+		} else {
+			dst.rq = append(dst.rq, p)
+			i.ring.Delivered++
+			if dst.OnArrival != nil {
+				dst.OnArrival()
+			}
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Receive removes and returns the oldest pending packet, or nil.
+func (i *Interface) Receive() *Packet {
+	if len(i.rq) == 0 {
+		return nil
+	}
+	p := i.rq[0]
+	copy(i.rq, i.rq[1:])
+	i.rq = i.rq[:len(i.rq)-1]
+	return p
+}
+
+// PendingPackets reports the receive-queue depth.
+func (i *Interface) PendingPackets() int { return len(i.rq) }

@@ -1,0 +1,131 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestDeliveryAndWireTime(t *testing.T) {
+	eng := des.New(1)
+	r := NewRing(eng)
+	a := r.Attach()
+	b := r.Attach()
+	if r.Nodes() != 2 || a.Node() != 0 || b.Node() != 1 {
+		t.Fatal("attach bookkeeping wrong")
+	}
+
+	gotIntr := false
+	b.OnArrival = func() { gotIntr = true }
+
+	payload := make([]byte, 40)
+	var sentAt int64
+	a.Transmit(&Packet{Type: SendPacket, Dst: 1, Payload: payload}, func() { sentAt = eng.Now() })
+	eng.Run(des.Second)
+
+	// (40+16) bytes * 8 bits at 4 Mb/s = 112 microseconds.
+	want := int64(56*8) * des.Second / DefaultBitsPerSecond
+	if sentAt != want {
+		t.Fatalf("wire time = %d ticks, want %d", sentAt, want)
+	}
+	if !gotIntr {
+		t.Fatal("no arrival interrupt")
+	}
+	p := b.Receive()
+	if p == nil || p.Type != SendPacket || p.Src != 0 {
+		t.Fatalf("received %+v", p)
+	}
+	if b.Receive() != nil {
+		t.Fatal("queue should be empty")
+	}
+	if r.Sent != 1 || r.Delivered != 1 {
+		t.Fatalf("Sent=%d Delivered=%d", r.Sent, r.Delivered)
+	}
+}
+
+// The medium serializes: two simultaneous transmissions complete back to
+// back, not in parallel.
+func TestMediumSerializes(t *testing.T) {
+	eng := des.New(1)
+	r := NewRing(eng)
+	a := r.Attach()
+	b := r.Attach()
+	_ = r.Attach() // node 2, the receiver
+
+	var doneA, doneB int64
+	pl := make([]byte, 84) // (84+16)*8 bits = 200 us at 4 Mb/s
+	a.Transmit(&Packet{Dst: 2, Payload: pl}, func() { doneA = eng.Now() })
+	b.Transmit(&Packet{Dst: 2, Payload: pl}, func() { doneB = eng.Now() })
+	eng.Run(des.Second)
+
+	per := int64(100*8) * des.Second / DefaultBitsPerSecond
+	if doneA != per || doneB != 2*per {
+		t.Fatalf("doneA=%d doneB=%d, want %d and %d", doneA, doneB, per, 2*per)
+	}
+}
+
+func TestReceiveBufferOverrun(t *testing.T) {
+	eng := des.New(1)
+	r := NewRing(eng)
+	a := r.Attach()
+	b := r.Attach()
+	b.RecvBuffers = 1
+
+	a.Transmit(&Packet{Dst: 1}, nil)
+	a.Transmit(&Packet{Dst: 1}, nil)
+	eng.Run(des.Second)
+	if b.PendingPackets() != 1 || b.Overruns != 1 {
+		t.Fatalf("pending=%d overruns=%d, want 1/1", b.PendingPackets(), b.Overruns)
+	}
+}
+
+func TestTransmitToUnknownNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unknown destination")
+		}
+	}()
+	eng := des.New(1)
+	r := NewRing(eng)
+	a := r.Attach()
+	a.Transmit(&Packet{Dst: 5}, nil)
+}
+
+func TestPacketTypeString(t *testing.T) {
+	if SendPacket.String() != "send" || ReplyPacket.String() != "reply" {
+		t.Fatal("packet type names wrong")
+	}
+	if PacketType(9).String() != "invalid" {
+		t.Fatal("invalid packet type name wrong")
+	}
+}
+
+func TestRoundTripIsTwoPackets(t *testing.T) {
+	eng := des.New(1)
+	r := NewRing(eng)
+	client := r.Attach()
+	server := r.Attach()
+
+	server.OnArrival = func() {
+		p := server.Receive()
+		if p.Type != SendPacket {
+			t.Errorf("server got %v", p.Type)
+		}
+		server.Transmit(&Packet{Type: ReplyPacket, Dst: p.Src, Conv: p.Conv}, nil)
+	}
+	gotReply := false
+	client.OnArrival = func() {
+		p := client.Receive()
+		if p.Type == ReplyPacket && p.Conv == 42 {
+			gotReply = true
+		}
+	}
+	client.Transmit(&Packet{Type: SendPacket, Dst: 1, Conv: 42}, nil)
+	eng.Run(des.Second)
+	if !gotReply {
+		t.Fatal("round trip failed")
+	}
+	if r.Sent != 2 {
+		t.Fatalf("round trip used %d packets, want exactly 2 (§4.6)", r.Sent)
+	}
+}

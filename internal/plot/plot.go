@@ -1,0 +1,214 @@
+// Package plot renders simple ASCII line charts for the figure
+// experiments: throughput versus offered load or conversations, drawn as
+// terminal graphics the way the thesis's figures plot them. It is
+// deliberately small — fixed-size canvas, one rune per series, linear
+// axes — because its job is to make curve shapes (who wins, where
+// crossovers fall) visible in cmd output and EXPERIMENTS.md.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune
+}
+
+// Chart is a fixed-size ASCII canvas with linear axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot-area dimensions in characters;
+	// defaults 64x20.
+	Width, Height int
+	series        []Series
+}
+
+// DefaultMarkers cycles when a series has no marker.
+var DefaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Add appends a series; X and Y must be equal length.
+func (c *Chart) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+	}
+	if len(s.X) == 0 {
+		return fmt.Errorf("plot: series %q is empty", s.Name)
+	}
+	if s.Marker == 0 {
+		s.Marker = DefaultMarkers[len(c.series)%len(DefaultMarkers)]
+	}
+	c.series = append(c.series, s)
+	return nil
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	if len(c.series) == 0 {
+		return "(empty chart)\n"
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	// Anchor the y axis at zero for rate-like plots and pad the top.
+	if ymin > 0 {
+		ymin = 0
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	ymax += (ymax - ymin) * 0.05
+
+	canvas := make([][]rune, h)
+	for r := range canvas {
+		canvas[r] = []rune(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		f := (x - xmin) / (xmax - xmin)
+		i := int(math.Round(f * float64(w-1)))
+		return clamp(i, 0, w-1)
+	}
+	row := func(y float64) int {
+		f := (y - ymin) / (ymax - ymin)
+		i := int(math.Round(f * float64(h-1)))
+		return clamp(h-1-i, 0, h-1)
+	}
+
+	for _, s := range c.series {
+		// Line segments between consecutive points, then markers on top.
+		for i := 1; i < len(s.X); i++ {
+			drawLine(canvas, col(s.X[i-1]), row(s.Y[i-1]), col(s.X[i]), row(s.Y[i]), '.')
+		}
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			canvas[row(s.Y[i])][col(s.X[i])] = s.Marker
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = pad(yTop, margin)
+		case h - 1:
+			label = pad(yBot, margin)
+		case h / 2:
+			if c.YLabel != "" {
+				mid := fmt.Sprintf("%.4g", ymin+(ymax-ymin)*0.5)
+				label = pad(mid, margin)
+			}
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(canvas[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	xl := fmt.Sprintf("%.4g", xmin)
+	xr := fmt.Sprintf("%.4g", xmax)
+	gap := w - len(xl) - len(xr)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", margin), xl, strings.Repeat(" ", gap), xr)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s   x: %s   y: %s\n", strings.Repeat(" ", margin), c.XLabel, c.YLabel)
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "%s   %c %s\n", strings.Repeat(" ", margin), s.Marker, s.Name)
+	}
+	return b.String()
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return strings.Repeat(" ", n-len(s)) + s
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// drawLine rasterizes with Bresenham, only over blank cells so markers
+// and earlier lines stay visible.
+func drawLine(canvas [][]rune, x0, y0, x1, y1 int, ch rune) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := sign(x1 - x0)
+	sy := sign(y1 - y0)
+	err := dx + dy
+	for {
+		if canvas[y0][x0] == ' ' {
+			canvas[y0][x0] = ch
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,77 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	var c Chart
+	c.Title = "throughput vs load"
+	c.XLabel = "offered load"
+	c.YLabel = "trips/s"
+	if err := c.Add(Series{Name: "arch I", X: []float64{0, 0.5, 1}, Y: []float64{10, 10, 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Series{Name: "arch II", X: []float64{0, 0.5, 1}, Y: []float64{5, 12, 20}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	for _, want := range []string{"throughput vs load", "arch I", "arch II", "offered load", "trips/s", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + 20 rows + axis + x labels + label line + 2 legend lines.
+	if len(lines) != 1+20+1+1+1+2 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestMarkersAtExtremes(t *testing.T) {
+	var c Chart
+	c.Width, c.Height = 21, 7
+	_ = c.Add(Series{Name: "s", X: []float64{0, 10}, Y: []float64{0, 100}})
+	out := c.Render()
+	rows := strings.Split(out, "\n")
+	// Highest point is in the top plot row, lowest in the bottom row.
+	if !strings.Contains(rows[0], "*") {
+		t.Errorf("top row missing max marker:\n%s", out)
+	}
+	if !strings.Contains(rows[6], "*") {
+		t.Errorf("bottom row missing min marker:\n%s", out)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	var c Chart
+	if err := c.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := c.Add(Series{Name: "empty"}); err == nil {
+		t.Error("empty series accepted")
+	}
+	if out := c.Render(); out != "(empty chart)\n" {
+		t.Errorf("empty chart rendered %q", out)
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	var c Chart
+	_ = c.Add(Series{Name: "flat", X: []float64{5}, Y: []float64{3}})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestLineConnectsPoints(t *testing.T) {
+	var c Chart
+	c.Width, c.Height = 41, 11
+	_ = c.Add(Series{Name: "ramp", X: []float64{0, 1}, Y: []float64{0, 1}})
+	out := c.Render()
+	if strings.Count(out, ".") < 10 {
+		t.Errorf("diagonal line not rasterized:\n%s", out)
+	}
+}

@@ -1,0 +1,231 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimerWrapCorrection(t *testing.T) {
+	tm := &Timer{}
+	tm.Advance(TimerPeriod - 10)
+	entry := tm.Read()
+	tm.Advance(25) // crosses the wrap
+	exit := tm.Read()
+	if got := Elapsed(entry, exit); got != 25 {
+		t.Fatalf("Elapsed across wrap = %d, want 25", got)
+	}
+}
+
+// Property: for any duration under one period, wrap correction recovers
+// it exactly regardless of the timer's phase.
+func TestElapsedQuick(t *testing.T) {
+	check := func(startRaw, durRaw uint32) bool {
+		tm := &Timer{now: int64(startRaw % (7 * TimerPeriod))}
+		dur := int64(durRaw % (TimerPeriod - 1))
+		entry := tm.Read()
+		tm.Advance(dur)
+		return Elapsed(entry, tm.Read()) == dur
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilerAccumulatesAndCorrects(t *testing.T) {
+	tm := &Timer{}
+	p := NewProfiler(tm)
+	p.ProbeOverhead = 4 // 2 us on entry, 2 on exit
+	for i := 0; i < 10; i++ {
+		p.Enter("proc")
+		tm.Advance(100)
+		p.Exit("proc")
+	}
+	stats := p.Analyze()
+	if len(stats) != 1 || stats[0].Count != 10 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Elapsed includes the probe-pair cost (4 us per visit), which
+	// Analyze subtracts.
+	if stats[0].Elapsed != 1000 {
+		t.Fatalf("corrected elapsed = %d, want 1000", stats[0].Elapsed)
+	}
+	if stats[0].PerCall != 100 {
+		t.Fatalf("per call = %v, want 100", stats[0].PerCall)
+	}
+}
+
+func TestProfilerMisuse(t *testing.T) {
+	tm := &Timer{}
+	p := NewProfiler(tm)
+	t.Run("recursive enter", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		p.Enter("a")
+		p.Enter("a")
+	})
+	t.Run("exit without enter", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		NewProfiler(tm).Exit("nope")
+	})
+}
+
+func TestCPUProbe(t *testing.T) {
+	tm := &Timer{}
+	var c CPUProbe
+	c.Start(tm)
+	tm.Advance(321)
+	if got := c.Stop(); got != 321 {
+		t.Fatalf("CPUProbe = %d", got)
+	}
+}
+
+func TestPathProfilerBetween(t *testing.T) {
+	tm := &Timer{}
+	pp := NewPathProfiler(tm)
+	pp.Stamp(0, "queued")
+	tm.Advance(50)
+	pp.Stamp(0, "dequeued")
+	pp.Stamp(1, "queued")
+	tm.Advance(150)
+	pp.Stamp(1, "dequeued")
+	if got := pp.Between("queued", "dequeued"); got != 100 {
+		t.Fatalf("Between = %v, want 100", got)
+	}
+	if got := pp.Between("a", "b"); got != 0 {
+		t.Fatalf("Between with no stamps = %v", got)
+	}
+}
+
+// The instrumented kernel runs recover the published chapter 3
+// breakdowns: per-activity percentages within half a percentage point
+// and the round trip within one percent (the probe correction works).
+func TestKernelRunsReproduceTables(t *testing.T) {
+	for _, sys := range AllSystems() {
+		sys := sys
+		t.Run(sys.System, func(t *testing.T) {
+			m := KernelRun(sys, 200, 2)
+			if math.Abs(m.RoundTripUS-sys.RoundTripUS)/sys.RoundTripUS > 0.01 {
+				t.Errorf("round trip = %.1f us, want %.1f (Table %s)",
+					m.RoundTripUS, sys.RoundTripUS, sys.Table)
+			}
+			byName := map[string]MeasuredRow{}
+			for _, r := range m.Rows {
+				byName[r.Name] = r
+			}
+			var sumTimes float64
+			for _, a := range sys.Activities {
+				sumTimes += a.TimeUS
+			}
+			for _, a := range sys.Activities {
+				r, ok := byName[a.Name]
+				if !ok {
+					t.Fatalf("activity %q not measured", a.Name)
+				}
+				// Exact against the table's time column...
+				if want := 100 * a.TimeUS / sumTimes; math.Abs(r.Percent-want) > 0.1 {
+					t.Errorf("%s: measured %.2f%%, times imply %.2f%%", a.Name, r.Percent, want)
+				}
+				// ...and within the paper's rounding of its own percent
+				// column (Table 3.5's percentages sum to 100 while its
+				// times sum to 6820 of 6800, so exact agreement is
+				// impossible).
+				if math.Abs(r.Percent-a.Percent) > 1.0 {
+					t.Errorf("%s: measured %.1f%%, table says %.1f%%", a.Name, r.Percent, a.Percent)
+				}
+			}
+			if m.QueueDelayUS <= 0 {
+				t.Error("message-path profiler measured no queueing delay")
+			}
+		})
+	}
+}
+
+// Charlotte's 20 ms round trips wrap the 65.5 ms-period timer roughly
+// every three rounds; the run above already exercises this, but check a
+// long activity against the wrap directly.
+func TestLongRunCrossesManyWraps(t *testing.T) {
+	sys := Charlotte()
+	m := KernelRun(sys, 1000, 0) // 20 seconds of simulated kernel time
+	if math.Abs(m.RoundTripUS-sys.RoundTripUS) > 1 {
+		t.Fatalf("round trip drifted across wraps: %.2f", m.RoundTripUS)
+	}
+}
+
+// §3.4/§3.6 inferences encoded as checks on the published data.
+func TestChapter3Inferences(t *testing.T) {
+	// Fixed overheads reported in §3.4.
+	if got := FixedOverheadUS(Charlotte()); got != 19400 {
+		t.Errorf("Charlotte fixed overhead = %v, want 19400", got)
+	}
+	if got := FixedOverheadUS(Jasmin()); got != 612 {
+		t.Errorf("Jasmin fixed overhead = %v, want 612", got)
+	}
+	if got := FixedOverheadUS(Sys925()); got != 4760 {
+		t.Errorf("925 fixed overhead = %v, want 4760", got)
+	}
+	// Copy time is under 20% of the round trip for small messages in
+	// every profiled system (§3.6).
+	for _, sys := range AllSystems() {
+		if frac := sys.CopyTimeUS / sys.RoundTripUS; frac >= 0.20 {
+			t.Errorf("%s: copy fraction %.2f, §3.6 says < 0.20", sys.System, frac)
+		}
+	}
+	// The percentages in each table sum to ~100.
+	for _, sys := range AllSystems() {
+		var sum float64
+		for _, a := range sys.Activities {
+			sum += a.Percent
+		}
+		if math.Abs(sum-100) > 1 {
+			t.Errorf("%s: percentages sum to %.1f", sys.System, sum)
+		}
+	}
+}
+
+func TestFileServerTimes(t *testing.T) {
+	// Exact at table points.
+	if got := FileServerTime(1024, false); got != 1599.9 {
+		t.Errorf("read 1024 = %v", got)
+	}
+	if got := FileServerTime(1024, true); got != 2709.5 {
+		t.Errorf("write 1024 = %v", got)
+	}
+	// Clamped at the extremes.
+	if got := FileServerTime(1, false); got != 1009.2 {
+		t.Errorf("read 1 = %v", got)
+	}
+	if got := FileServerTime(1<<20, true); got != 6108.2 {
+		t.Errorf("write huge = %v", got)
+	}
+	// Monotone in between, write costlier than read.
+	prev := 0.0
+	for _, bs := range []int{128, 300, 700, 1500, 2500, 4000} {
+		r := FileServerTime(bs, false)
+		if r < prev {
+			t.Errorf("read time not monotone at %d", bs)
+		}
+		if FileServerTime(bs, true) <= r {
+			t.Errorf("write not costlier than read at %d", bs)
+		}
+		prev = r
+	}
+	// Computation times are comparable to communication times (§3.5):
+	// Unix local round trip 4.57 ms sits inside the service-time range.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range Table36() {
+		lo = math.Min(lo, s.TimeUS)
+		hi = math.Max(hi, s.TimeUS)
+	}
+	rt := UnixLocal().RoundTripUS
+	if rt < lo || rt > hi {
+		t.Errorf("Unix round trip %.0f outside service-time range [%.0f, %.0f]", rt, lo, hi)
+	}
+}

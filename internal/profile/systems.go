@@ -1,0 +1,207 @@
+package profile
+
+// ActivityShare is one row of a chapter 3 breakdown table.
+type ActivityShare struct {
+	Name    string
+	TimeUS  float64 // milliseconds in the paper; microseconds here
+	Percent float64
+}
+
+// SystemProfile describes one profiled operating system: the published
+// round-trip decomposition of its null-RPC loop.
+type SystemProfile struct {
+	System      string
+	Table       string // paper table id
+	CPU         string
+	MIPS        float64
+	Local       bool
+	MsgBytes    int
+	RoundTripUS float64
+	CopyTimeUS  float64
+	Activities  []ActivityShare
+	// PerVisit breaks the round trip into the per-visit procedure
+	// sequence the simulated kernel run executes (each activity may be
+	// visited several times per round trip; Visits spreads its time).
+	Visits map[string]int
+}
+
+// Charlotte reproduces Table 3.1: a 1000-byte local message on a 0.5
+// MIPS VAX 11/750; round trip 20 ms.
+func Charlotte() SystemProfile {
+	return SystemProfile{
+		System: "Charlotte", Table: "3.1", CPU: "VAX 11/750", MIPS: 0.5,
+		Local: true, MsgBytes: 1000, RoundTripUS: 20000, CopyTimeUS: 600,
+		Activities: []ActivityShare{
+			{"Kernel-Process Switching Time", 2000, 10},
+			{"Copy Time", 600, 3},
+			{"Entering and Exiting Kernel", 2800, 14},
+			{"Protocol Processing for Sender and Receiver", 10000, 50},
+			{"Link Translation and Request Selection", 4600, 23},
+		},
+		Visits: map[string]int{
+			"Kernel-Process Switching Time":               4,
+			"Copy Time":                                   2,
+			"Entering and Exiting Kernel":                 4,
+			"Protocol Processing for Sender and Receiver": 2,
+			"Link Translation and Request Selection":      2,
+		},
+	}
+}
+
+// Jasmin reproduces Table 3.2: a 32-byte local message on a 0.3 MIPS
+// Motorola 68000; round trip 0.72 ms (kernel linked with the test
+// program, so no kernel entry/exit cost).
+func Jasmin() SystemProfile {
+	return SystemProfile{
+		System: "Jasmin", Table: "3.2", CPU: "Motorola 68000", MIPS: 0.3,
+		Local: true, MsgBytes: 32, RoundTripUS: 720, CopyTimeUS: 108,
+		Activities: []ActivityShare{
+			{"Actions Leading to Short-Term Scheduling Decisions", 288, 40},
+			{"Copy Time", 108, 15},
+			{"Buffer Management", 72, 10},
+			{"Path Management", 144, 20},
+			{"Miscellaneous (Checking Network Channels, Communication Task Execution, etc.)", 108, 15},
+		},
+		Visits: map[string]int{
+			"Actions Leading to Short-Term Scheduling Decisions": 4,
+			"Copy Time":         4,
+			"Buffer Management": 2,
+			"Path Management":   2,
+			"Miscellaneous (Checking Network Channels, Communication Task Execution, etc.)": 1,
+		},
+	}
+}
+
+// Sys925 reproduces Table 3.3: a 40-byte local message on a 0.3 MIPS
+// Motorola 68000; round trip 5.6 ms.
+func Sys925() SystemProfile {
+	return SystemProfile{
+		System: "925", Table: "3.3", CPU: "Motorola 68000", MIPS: 0.3,
+		Local: true, MsgBytes: 40, RoundTripUS: 5600, CopyTimeUS: 840,
+		Activities: []ActivityShare{
+			{"Short-Term Scheduling (Including event processing)", 1960, 35},
+			{"Copy Time", 840, 15},
+			{"Entering and Exiting Kernel", 560, 10},
+			{"Checking, Addressing, and Control Block Manipulation", 2240, 40},
+		},
+		Visits: map[string]int{
+			"Short-Term Scheduling (Including event processing)": 4,
+			"Copy Time":                   4,
+			"Entering and Exiting Kernel": 6,
+			"Checking, Addressing, and Control Block Manipulation": 3,
+		},
+	}
+}
+
+// UnixLocal reproduces Table 3.4: a 128-byte local message on a 0.8 MIPS
+// MicroVAX II; round trip 4.57 ms.
+func UnixLocal() SystemProfile {
+	return SystemProfile{
+		System: "Unix 4.2bsd (local)", Table: "3.4", CPU: "MicroVAX II", MIPS: 0.8,
+		Local: true, MsgBytes: 128, RoundTripUS: 4570, CopyTimeUS: 880,
+		Activities: []ActivityShare{
+			{"Validity Checking and Control Block Manipulation", 2440, 53.4},
+			{"Copy Time", 880, 19.3},
+			{"Short-Term Scheduling", 780, 17.1},
+			{"Buffer Management", 460, 10.2},
+		},
+		Visits: map[string]int{
+			"Validity Checking and Control Block Manipulation": 4,
+			"Copy Time":             4,
+			"Short-Term Scheduling": 4,
+			"Buffer Management":     4,
+		},
+	}
+}
+
+// UnixNonLocal reproduces Table 3.5: a 128-byte non-local message on a
+// MicroVAX II over 10 Mb/s Ethernet; round trip 6.8 ms.
+func UnixNonLocal() SystemProfile {
+	return SystemProfile{
+		System: "Unix 4.2bsd (non-local)", Table: "3.5", CPU: "MicroVAX II", MIPS: 0.8,
+		Local: false, MsgBytes: 128, RoundTripUS: 6800, CopyTimeUS: 500,
+		Activities: []ActivityShare{
+			{"Socket Routines", 1020, 15},
+			{"Copy Time", 500, 7},
+			{"Checksum Calculation", 600, 9},
+			{"Short-Term Scheduling", 400, 6},
+			{"Buffer Management", 300, 4},
+			{"TCP processing", 1300, 19},
+			{"IP processing", 1600, 24},
+			{"Interrupt Processing", 1100, 16},
+		},
+		Visits: map[string]int{
+			"Socket Routines": 2, "Copy Time": 4, "Checksum Calculation": 4,
+			"Short-Term Scheduling": 2, "Buffer Management": 2,
+			"TCP processing": 4, "IP processing": 4, "Interrupt Processing": 2,
+		},
+	}
+}
+
+// AllSystems lists the five profiled configurations (Tables 3.1-3.5).
+func AllSystems() []SystemProfile {
+	return []SystemProfile{Charlotte(), Jasmin(), Sys925(), UnixLocal(), UnixNonLocal()}
+}
+
+// ServiceTime is one row of Table 3.6: Unix system service times.
+type ServiceTime struct {
+	Service string
+	TimeUS  float64
+}
+
+// Table36 reproduces Table 3.6.
+func Table36() []ServiceTime {
+	return []ServiceTime{
+		{"Open File", 4350},
+		{"Close File", 360},
+		{"Make Directory", 18710},
+		{"Remove Directory", 14280},
+		{"Timer Service (Sleep)", 3453},
+		{"GetTimeofDay", 200},
+	}
+}
+
+// ReadWriteTime is one row of Table 3.7: Unix file-system read/write
+// system time by block size (zero-byte baseline already subtracted).
+type ReadWriteTime struct {
+	BlockSize int
+	ReadUS    float64
+	WriteUS   float64
+}
+
+// Table37 reproduces Table 3.7.
+func Table37() []ReadWriteTime {
+	return []ReadWriteTime{
+		{128, 1009.2, 1546.4},
+		{256, 1086.7, 1763.3},
+		{512, 1232.9, 2098.2},
+		{1024, 1599.9, 2709.5},
+		{2048, 1764.7, 3808.2},
+		{3072, 2739.0, 5790.8},
+		{4096, 3244.2, 6108.2},
+	}
+}
+
+// FileServerTime interpolates Table 3.7 for an arbitrary block size —
+// the computation a file server performs per request; the fileserver
+// example uses it.
+func FileServerTime(blockSize int, write bool) float64 {
+	rows := Table37()
+	col := func(r ReadWriteTime) float64 {
+		if write {
+			return r.WriteUS
+		}
+		return r.ReadUS
+	}
+	if blockSize <= rows[0].BlockSize {
+		return col(rows[0])
+	}
+	for i := 1; i < len(rows); i++ {
+		if blockSize <= rows[i].BlockSize {
+			lo, hi := rows[i-1], rows[i]
+			f := float64(blockSize-lo.BlockSize) / float64(hi.BlockSize-lo.BlockSize)
+			return col(lo) + f*(col(hi)-col(lo))
+		}
+	}
+	return col(rows[len(rows)-1])
+}

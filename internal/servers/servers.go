@@ -1,0 +1,392 @@
+// Package servers provides the trusted system servers of a message-based
+// operating system (§1.1: "this message passing kernel together with the
+// servers constitute the message-based operating system"): a file
+// server, a directory server, and a timer server, each running as a
+// kernel task that serves requests over IPC. Their computation times are
+// the thesis's own measurements — Table 3.6 for the service calls and
+// Table 3.7 for reads and writes by block size — so a workload run
+// against them reproduces the §3.5 observation that "system time is
+// evenly split between the message-kernel and the servers".
+//
+// Requests and replies are fixed 40-byte messages; bulk file data moves
+// through memory references, exactly the Figure 4.2 pattern.
+package servers
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/kernel"
+	"repro/internal/profile"
+)
+
+// Service names advertised in the cluster registry.
+const (
+	FileServiceName      = "sys.file"
+	DirectoryServiceName = "sys.directory"
+	TimerServiceName     = "sys.timer"
+)
+
+// File server opcodes (first byte of the request message).
+const (
+	OpOpen byte = iota + 1
+	OpClose
+	OpRead
+	OpWrite
+	OpMkdir
+	OpRmdir
+	OpSleep
+	OpTime
+)
+
+// Status codes (first byte of the reply message).
+const (
+	StOK byte = iota
+	StBadRequest
+	StNoFile
+	StNoSpace
+)
+
+// serviceCost returns the Table 3.6 computation time for a call, in
+// ticks.
+func serviceCost(name string) int64 {
+	for _, s := range profile.Table36() {
+		if s.Service == name {
+			return int64(s.TimeUS) * des.Microsecond
+		}
+	}
+	panic("servers: unknown service " + name)
+}
+
+// --- File server -------------------------------------------------------------
+
+// fileServer state: a flat namespace of files (16-bit handles) backed by
+// in-memory extents.
+type fileServer struct {
+	files  map[uint16][]byte
+	open   map[uint16]bool
+	nextFD uint16
+}
+
+// StartFileServer spawns the file server task on k. It serves OpOpen,
+// OpClose, OpRead, OpWrite; reads and writes move data through the
+// request's memory reference and charge the Table 3.7 time for the block
+// size.
+func StartFileServer(k *kernel.Kernel) {
+	k.Spawn("file-server", func(ts *kernel.Task) {
+		fs := &fileServer{files: map[uint16][]byte{}, open: map[uint16]bool{}, nextFD: 1}
+		svc := ts.CreateService(FileServiceName)
+		ts.Advertise(FileServiceName, svc)
+		if err := ts.Offer(svc); err != nil {
+			return
+		}
+		for {
+			m, err := ts.Receive(svc)
+			if err != nil {
+				return
+			}
+			fs.serve(ts, m)
+		}
+	})
+}
+
+func (fs *fileServer) serve(ts *kernel.Task, m *kernel.Message) {
+	reply := func(st byte, args ...uint16) {
+		out := make([]byte, 1+2*len(args))
+		out[0] = st
+		for i, a := range args {
+			binary.BigEndian.PutUint16(out[1+2*i:], a)
+		}
+		_ = ts.Reply(m, out)
+	}
+	if !m.NeedsReply {
+		return // datagrams to the file service are ignored
+	}
+	switch m.Data[0] {
+	case OpOpen:
+		ts.Compute(serviceCost("Open File"))
+		fd := fs.nextFD
+		fs.nextFD++
+		fs.files[fd] = nil
+		fs.open[fd] = true
+		reply(StOK, fd)
+	case OpClose:
+		ts.Compute(serviceCost("Close File"))
+		fd := binary.BigEndian.Uint16(m.Data[1:])
+		if !fs.open[fd] {
+			reply(StNoFile)
+			return
+		}
+		delete(fs.open, fd)
+		reply(StOK)
+	case OpRead:
+		fd := binary.BigEndian.Uint16(m.Data[1:])
+		off := int(binary.BigEndian.Uint16(m.Data[3:]))
+		n := int(binary.BigEndian.Uint16(m.Data[5:]))
+		if !fs.open[fd] {
+			reply(StNoFile)
+			return
+		}
+		ts.Compute(int64(profile.FileServerTime(n, false)) * des.Microsecond)
+		data := fs.files[fd]
+		if off > len(data) {
+			off = len(data)
+		}
+		end := off + n
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := ts.MoveTo(m, 0, data[off:end]); err != nil {
+			reply(StBadRequest)
+			return
+		}
+		reply(StOK, uint16(end-off))
+	case OpWrite:
+		fd := binary.BigEndian.Uint16(m.Data[1:])
+		off := int(binary.BigEndian.Uint16(m.Data[3:]))
+		n := int(binary.BigEndian.Uint16(m.Data[5:]))
+		if !fs.open[fd] {
+			reply(StNoFile)
+			return
+		}
+		ts.Compute(int64(profile.FileServerTime(n, true)) * des.Microsecond)
+		data, err := ts.MoveFrom(m, 0, n)
+		if err != nil {
+			reply(StBadRequest)
+			return
+		}
+		f := fs.files[fd]
+		if need := off + n; need > len(f) {
+			grown := make([]byte, need)
+			copy(grown, f)
+			f = grown
+		}
+		copy(f[off:], data)
+		fs.files[fd] = f
+		reply(StOK, uint16(n))
+	default:
+		reply(StBadRequest)
+	}
+}
+
+// --- Directory server ---------------------------------------------------------
+
+// StartDirectoryServer spawns the directory server: mkdir/rmdir over a
+// flat name table, charging the Table 3.6 times.
+func StartDirectoryServer(k *kernel.Kernel) {
+	k.Spawn("directory-server", func(ts *kernel.Task) {
+		dirs := map[string]bool{}
+		svc := ts.CreateService(DirectoryServiceName)
+		ts.Advertise(DirectoryServiceName, svc)
+		if err := ts.Offer(svc); err != nil {
+			return
+		}
+		for {
+			m, err := ts.Receive(svc)
+			if err != nil {
+				return
+			}
+			if !m.NeedsReply {
+				continue
+			}
+			name := string(trimZero(m.Data[1:]))
+			switch m.Data[0] {
+			case OpMkdir:
+				ts.Compute(serviceCost("Make Directory"))
+				if dirs[name] {
+					_ = ts.Reply(m, []byte{StBadRequest})
+					continue
+				}
+				dirs[name] = true
+				_ = ts.Reply(m, []byte{StOK})
+			case OpRmdir:
+				ts.Compute(serviceCost("Remove Directory"))
+				if !dirs[name] {
+					_ = ts.Reply(m, []byte{StNoFile})
+					continue
+				}
+				delete(dirs, name)
+				_ = ts.Reply(m, []byte{StOK})
+			default:
+				_ = ts.Reply(m, []byte{StBadRequest})
+			}
+		}
+	})
+}
+
+func trimZero(b []byte) []byte {
+	for i, c := range b {
+		if c == 0 {
+			return b[:i]
+		}
+	}
+	return b
+}
+
+// --- Timer server --------------------------------------------------------------
+
+// StartTimerServer spawns the timer server: OpSleep parks the caller for
+// the requested duration (plus the Table 3.6 service cost) and OpTime
+// returns the current tick.
+func StartTimerServer(k *kernel.Kernel) {
+	k.Spawn("timer-server", func(ts *kernel.Task) {
+		svc := ts.CreateService(TimerServiceName)
+		ts.Advertise(TimerServiceName, svc)
+		if err := ts.Offer(svc); err != nil {
+			return
+		}
+		for {
+			m, err := ts.Receive(svc)
+			if err != nil {
+				return
+			}
+			if !m.NeedsReply {
+				continue
+			}
+			switch m.Data[0] {
+			case OpSleep:
+				ts.Compute(serviceCost("Timer Service (Sleep)"))
+				d := int64(binary.BigEndian.Uint32(m.Data[1:])) * des.Microsecond
+				ts.Compute(d) // the requested sleep, served synchronously
+				_ = ts.Reply(m, []byte{StOK})
+			case OpTime:
+				ts.Compute(serviceCost("GetTimeofDay"))
+				out := make([]byte, 9)
+				out[0] = StOK
+				binary.BigEndian.PutUint64(out[1:], uint64(ts.Now()))
+				_ = ts.Reply(m, out)
+			default:
+				_ = ts.Reply(m, []byte{StBadRequest})
+			}
+		}
+	})
+}
+
+// --- Client stubs ---------------------------------------------------------------
+
+// Client wraps the lookup + call pattern for the system services from a
+// user task.
+type Client struct {
+	t    *kernel.Task
+	file kernel.ServiceRef
+	dir  kernel.ServiceRef
+	tmr  kernel.ServiceRef
+}
+
+// NewClient resolves the three system services, yielding until the
+// servers have advertised them.
+func NewClient(t *kernel.Task) *Client {
+	c := &Client{t: t}
+	c.file = c.await(FileServiceName)
+	c.dir = c.await(DirectoryServiceName)
+	c.tmr = c.await(TimerServiceName)
+	return c
+}
+
+func (c *Client) await(name string) kernel.ServiceRef {
+	for {
+		if ref, ok := c.t.Lookup(name); ok {
+			return ref
+		}
+		c.t.Yield()
+	}
+}
+
+func (c *Client) call(ref kernel.ServiceRef, req []byte, mr *kernel.MemoryRef) ([]byte, error) {
+	reply, err := c.t.Call(ref, req, mr)
+	if err != nil {
+		return nil, err
+	}
+	if len(reply) == 0 || reply[0] != StOK {
+		return reply, fmt.Errorf("servers: request %d failed with status %d", req[0], reply[0])
+	}
+	return reply, nil
+}
+
+// Open creates and opens a file, returning its handle.
+func (c *Client) Open() (uint16, error) {
+	reply, err := c.call(c.file, []byte{OpOpen}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(reply[1:]), nil
+}
+
+// Close closes a file handle.
+func (c *Client) Close(fd uint16) error {
+	req := []byte{OpClose, 0, 0}
+	binary.BigEndian.PutUint16(req[1:], fd)
+	_, err := c.call(c.file, req, nil)
+	return err
+}
+
+// Write stores buf at offset off of fd, moving the data through a
+// memory reference into the caller's address space at bufAddr.
+func (c *Client) Write(fd uint16, off int, bufAddr int, buf []byte) error {
+	copy(c.t.Mem[bufAddr:], buf)
+	req := make([]byte, 7)
+	req[0] = OpWrite
+	binary.BigEndian.PutUint16(req[1:], fd)
+	binary.BigEndian.PutUint16(req[3:], uint16(off))
+	binary.BigEndian.PutUint16(req[5:], uint16(len(buf)))
+	mr := c.t.NewMemoryRef(bufAddr, len(buf), kernel.RightRead)
+	_, err := c.call(c.file, req, mr)
+	return err
+}
+
+// Read fetches n bytes at offset off of fd into the caller's address
+// space at bufAddr, returning the bytes read.
+func (c *Client) Read(fd uint16, off, n, bufAddr int) ([]byte, error) {
+	req := make([]byte, 7)
+	req[0] = OpRead
+	binary.BigEndian.PutUint16(req[1:], fd)
+	binary.BigEndian.PutUint16(req[3:], uint16(off))
+	binary.BigEndian.PutUint16(req[5:], uint16(n))
+	mr := c.t.NewMemoryRef(bufAddr, n, kernel.RightWrite)
+	reply, err := c.call(c.file, req, mr)
+	if err != nil {
+		return nil, err
+	}
+	got := int(binary.BigEndian.Uint16(reply[1:]))
+	return c.t.Mem[bufAddr : bufAddr+got], nil
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(name string) error {
+	req := append([]byte{OpMkdir}, []byte(name)...)
+	_, err := c.call(c.dir, req, nil)
+	return err
+}
+
+// Rmdir removes a directory.
+func (c *Client) Rmdir(name string) error {
+	req := append([]byte{OpRmdir}, []byte(name)...)
+	_, err := c.call(c.dir, req, nil)
+	return err
+}
+
+// Sleep blocks the caller for us microseconds through the timer server.
+func (c *Client) Sleep(us uint32) error {
+	req := make([]byte, 5)
+	req[0] = OpSleep
+	binary.BigEndian.PutUint32(req[1:], us)
+	_, err := c.call(c.tmr, req, nil)
+	return err
+}
+
+// Time returns the server's clock in ticks.
+func (c *Client) Time() (int64, error) {
+	reply, err := c.call(c.tmr, []byte{OpTime}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(reply[1:])), nil
+}
+
+// StartAll spawns the three system servers on k.
+func StartAll(k *kernel.Kernel) {
+	StartFileServer(k)
+	StartDirectoryServer(k)
+	StartTimerServer(k)
+}

@@ -1,0 +1,43 @@
+package timing
+
+import "repro/internal/kernel"
+
+// CostsFor builds the kernel activity cost table for an architecture
+// from the chapter 6 contention figures, for driving the machine-level
+// simulator with the same numbers the GTPN models use. The local flag
+// picks the local-conversation breakdown (Tables 6.4/6.9/6.14/6.19)
+// versus the non-local one (Tables 6.6/6.11/6.16/6.21); they differ
+// because contention inflations differ.
+func CostsFor(arch Arch, local bool) kernel.Costs {
+	b := BreakdownFor(arch, local)
+	us := func(name string) float64 {
+		for _, r := range b.Rows {
+			if r.Name == name {
+				return r.Contention
+			}
+		}
+		return 0
+	}
+	c := kernel.Costs{
+		SyscallSend:    kernel.Microseconds(us("Syscall Send")),
+		SyscallReceive: kernel.Microseconds(us("Syscall Receive")),
+		SyscallReply:   kernel.Microseconds(us("Syscall Reply")),
+		RestartTask:    kernel.Microseconds(us("Restart Server")),
+		ProcessSend:    kernel.Microseconds(us("Process Send")),
+		ProcessReceive: kernel.Microseconds(us("Process Receive")),
+		Match:          kernel.Microseconds(us("Match client with server")),
+		ProcessReply:   kernel.Microseconds(us("Process Reply")),
+		MatchRemote:    kernel.Microseconds(us("Match client with server")),
+		CleanupClient:  kernel.Microseconds(us("Cleanup client")),
+		DMAOut:         kernel.Microseconds(us("DMA out")),
+		DMAIn:          kernel.Microseconds(us("DMA in")),
+	}
+	if arch == ArchI {
+		// Architecture I has no separate process-send/receive/reply
+		// stages: the syscall rows carry the whole path, and the cleanup
+		// row is named differently.
+		c.CleanupClient = kernel.Microseconds(us("Cleanup and Restart Client"))
+		c.RestartTask = kernel.Microseconds(us("Restart Client"))
+	}
+	return c
+}

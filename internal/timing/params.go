@@ -1,0 +1,239 @@
+package timing
+
+// LocalParams are the per-stage mean service times (microseconds) of the
+// local-conversation GTPN models, exactly as the frequency expressions of
+// Tables 6.5 (arch I), 6.10 (arch II), 6.15 (arch III), and 6.20
+// (arch IV) encode them. A zero stage is absent from the architecture
+// (architecture I folds the communication stages into the host stages).
+type LocalParams struct {
+	Arch Arch
+	// Shared means communication processing competes with tasks for the
+	// single host processor (architecture I).
+	Shared bool
+
+	HostClient  float64 // client's host stage: syscall send + restart client
+	HostServer  float64 // server's host stage: syscall receive + restart server
+	CommSend    float64 // MP: process send
+	CommRecv    float64 // MP: process receive
+	CommMatch   float64 // MP (or host): match client with server
+	HostCompute float64 // host: restart server + compute(X) + syscall reply (base, X excluded)
+	CommReply   float64 // MP: process reply
+}
+
+// RoundTripC is the communication time per conversation implied by the
+// model stages (the cycle time at zero compute, one conversation).
+func (p LocalParams) RoundTripC() float64 {
+	return p.HostClient + p.HostServer + p.CommSend + p.CommRecv +
+		p.CommMatch + p.HostCompute + p.CommReply
+}
+
+// LocalParamsFor returns the local-model stage means for an architecture.
+func LocalParamsFor(arch Arch) LocalParams {
+	switch arch {
+	case ArchI:
+		// Table 6.5: T0/T1 1/1390, T2/T3 1/970, T4/T5 1/(1380+X+1230).
+		return LocalParams{Arch: arch, Shared: true,
+			HostClient: 1390, HostServer: 970,
+			CommMatch: 1380, HostCompute: 1230}
+	case ArchII:
+		// Table 6.10.
+		return LocalParams{Arch: arch,
+			HostClient: 519.9, HostServer: 519.9,
+			CommSend: 1030.2, CommRecv: 603, CommMatch: 1264.4,
+			HostCompute: 520.3, CommReply: 1289.8}
+	case ArchIII:
+		// Table 6.15.
+		return LocalParams{Arch: arch,
+			HostClient: 394.6, HostServer: 394.6,
+			CommSend: 700.9, CommRecv: 527.6, CommMatch: 997.7,
+			HostCompute: 395.2, CommReply: 619}
+	case ArchIV:
+		// Table 6.20.
+		return LocalParams{Arch: arch,
+			HostClient: 385.6, HostServer: 385.6,
+			CommSend: 687.9, CommRecv: 516.9, CommMatch: 983.2,
+			HostCompute: 385.7, CommReply: 595.9}
+	default:
+		panic("timing: unknown architecture")
+	}
+}
+
+// ClientParams are the per-stage means of the non-local client-node model
+// (Tables 6.7, 6.12, 6.17, 6.22).
+type ClientParams struct {
+	Arch   Arch
+	Shared bool // communication processing on the host (architecture I)
+
+	HostSend    float64 // host: syscall send + restart client (arch II-IV)
+	CommSend    float64 // send processing (arch I: whole send path on host)
+	CommCleanup float64 // reply network interrupt: cleanup client
+	DMAOut      float64
+	DMAIn       float64
+}
+
+// ClientParamsFor returns the non-local client stage means.
+func ClientParamsFor(arch Arch) ClientParams {
+	switch arch {
+	case ArchI:
+		// Table 6.7: SendProc 1314.9 and NetIntr 982 on the host.
+		return ClientParams{Arch: arch, Shared: true,
+			CommSend: 1314.9, CommCleanup: 982, DMAOut: 235.2, DMAIn: 235.2}
+	case ArchII:
+		// Table 6.12.
+		return ClientParams{Arch: arch,
+			HostSend: 544.7, CommSend: 1145.2, CommCleanup: 853.2,
+			DMAOut: 240.9, DMAIn: 240.9}
+	case ArchIII:
+		// Table 6.17.
+		return ClientParams{Arch: arch,
+			HostSend: 399.6, CommSend: 805, CommCleanup: 514,
+			DMAOut: 219.4, DMAIn: 219.4}
+	case ArchIV:
+		// Table 6.22.
+		return ClientParams{Arch: arch,
+			HostSend: 383.7, CommSend: 789.8, CommCleanup: 506.4,
+			DMAOut: 216.3, DMAIn: 216.3}
+	default:
+		panic("timing: unknown architecture")
+	}
+}
+
+// ServerParams are the per-stage means of the non-local server-node model
+// (Tables 6.8, 6.13, 6.18, 6.23).
+type ServerParams struct {
+	Arch   Arch
+	Shared bool
+
+	HostRecv    float64 // host: syscall receive + restart server (arch II-IV)
+	CommRecv    float64 // MP: process receive (arch I: receive path on host)
+	CommMatch   float64 // network interrupt: match client with server
+	HostCompute float64 // host: restart + compute(X) + syscall reply (base)
+	CommReply   float64 // MP: process reply (absent in arch I)
+	DMAIn       float64 // request packet in: added to S_d outside the net (§6.6.4)
+	DMAOut      float64 // reply packet out: likewise
+}
+
+// ServerParamsFor returns the non-local server stage means.
+func ServerParamsFor(arch Arch) ServerParams {
+	switch arch {
+	case ArchI:
+		// Table 6.8: receive 790.7 and match 2034.6 on the host;
+		// compute stage 1/(1318.5+X).
+		return ServerParams{Arch: arch, Shared: true,
+			CommRecv: 790.7, CommMatch: 2034.6, HostCompute: 1318.5,
+			DMAIn: 235.2, DMAOut: 235.2}
+	case ArchII:
+		// Table 6.13: T13/T14 host stage 1/549, T0/T1 MP receive
+		// 1/628.2, match 1/1812.5, compute 1/(550.5+X), reply 1/1124.
+		return ServerParams{Arch: arch,
+			HostRecv: 549, CommRecv: 628.2, CommMatch: 1812.5,
+			HostCompute: 550.5, CommReply: 1124,
+			DMAIn: 247.8, DMAOut: 247.8}
+	case ArchIII:
+		// Table 6.18.
+		return ServerParams{Arch: arch,
+			HostRecv: 402.1, CommRecv: 540, CommMatch: 1461,
+			HostCompute: 403.3, CommReply: 690,
+			DMAIn: 222.1, DMAOut: 222.1}
+	case ArchIV:
+		// Table 6.23.
+		return ServerParams{Arch: arch,
+			HostRecv: 385.2, CommRecv: 520.2, CommMatch: 1443,
+			HostCompute: 385.3, CommReply: 666.6,
+			DMAIn: 216.3, DMAOut: 216.3}
+	default:
+		panic("timing: unknown architecture")
+	}
+}
+
+// RoundTripC is the non-local communication time per conversation implied
+// by the client and server stage means (zero compute, one conversation),
+// including both packets' DMA engagements.
+func NonLocalRoundTripC(arch Arch) float64 {
+	c := ClientParamsFor(arch)
+	s := ServerParamsFor(arch)
+	return c.HostSend + c.CommSend + c.CommCleanup + c.DMAOut + c.DMAIn +
+		s.HostRecv + s.CommRecv + s.CommMatch + s.HostCompute + s.CommReply +
+		s.DMAIn + s.DMAOut
+}
+
+// ContentionActivity is one cycling activity of the §6.6.2 low-level
+// shared-memory contention model (Figure 6.8, Tables 6.2/6.3).
+type ContentionActivity struct {
+	Processor  string
+	Name       string
+	Processing float64 // processing time, us
+	Memory     float64 // shared-memory access time, us
+	Best       float64
+	// PaperContention is the completion time Table 6.2 reports when all
+	// other activities overlap.
+	PaperContention float64
+}
+
+// Table62 reproduces Table 6.2 (architecture I non-local client node).
+func Table62() []ContentionActivity {
+	return []ContentionActivity{
+		{"Host", "SendProc", 1140, 150, 1290, 1314.9},
+		{"DMA", "DMA out", 200, 30, 230, 235.2},
+		{"DMA", "DMA in", 200, 30, 230, 235.2},
+		{"Host", "NetIntr", 830, 130, 960, 982},
+	}
+}
+
+// OfferedLoadRow is one row of Tables 6.24/6.25: the offered load each
+// architecture sees for a given server computation time.
+type OfferedLoadRow struct {
+	ServerTimeMS float64
+	Load         [4]float64 // architectures I-IV
+}
+
+// Table624 reproduces Table 6.24 (local conversations).
+func Table624() []OfferedLoadRow {
+	return []OfferedLoadRow{
+		{0, [4]float64{1.0, 1.0, 1.0, 1.0}},
+		{0.57, [4]float64{0.897, 0.905, 0.867, 0.866}},
+		{1.14, [4]float64{0.813, 0.827, 0.769, 0.764}},
+		{1.71, [4]float64{0.744, 0.761, 0.689, 0.684}},
+		{2.85, [4]float64{0.635, 0.656, 0.571, 0.565}},
+		{5.7, [4]float64{0.466, 0.488, 0.399, 0.393}},
+		{11.4, [4]float64{0.304, 0.323, 0.249, 0.245}},
+		{17.1, [4]float64{0.225, 0.241, 0.181, 0.178}},
+		{22.8, [4]float64{0.179, 0.193, 0.142, 0.139}},
+		{28.5, [4]float64{0.148, 0.160, 0.117, 0.115}},
+		{34.2, [4]float64{0.127, 0.137, 0.100, 0.097}},
+		{39.9, [4]float64{0.111, 0.120, 0.087, 0.084}},
+		{45.6, [4]float64{0.098, 0.107, 0.077, 0.075}},
+	}
+}
+
+// Table625 reproduces Table 6.25 (non-local conversations).
+func Table625() []OfferedLoadRow {
+	return []OfferedLoadRow{
+		{0, [4]float64{1.0, 1.0, 1.0, 1.0}},
+		{0.57, [4]float64{0.920, 0.924, 0.900, 0.898}},
+		{1.14, [4]float64{0.852, 0.859, 0.818, 0.815}},
+		{1.71, [4]float64{0.793, 0.802, 0.750, 0.747}},
+		{2.85, [4]float64{0.697, 0.709, 0.643, 0.639}},
+		{5.7, [4]float64{0.536, 0.549, 0.474, 0.469}},
+		{11.4, [4]float64{0.366, 0.379, 0.311, 0.306}},
+		{17.1, [4]float64{0.278, 0.289, 0.231, 0.227}},
+		{22.8, [4]float64{0.224, 0.233, 0.184, 0.181}},
+		{28.5, [4]float64{0.187, 0.196, 0.153, 0.150}},
+		{34.2, [4]float64{0.161, 0.169, 0.130, 0.128}},
+		{39.9, [4]float64{0.141, 0.148, 0.114, 0.112}},
+		{45.6, [4]float64{0.126, 0.132, 0.101, 0.099}},
+	}
+}
+
+// OfferedLoad computes C/(C+S) for a round-trip communication time C and
+// a server computation time S (both in the same unit).
+func OfferedLoad(c, s float64) float64 {
+	if c+s <= 0 {
+		return 0
+	}
+	return c / (c + s)
+}
+
+// KernelCostScale converts a microsecond figure to engine ticks
+// (nanoseconds); kept here so cost-table construction reads naturally.
+const KernelCostScale = 1000.0

@@ -1,0 +1,241 @@
+// Package timing holds the measured processing times that drive the
+// chapter 6 performance comparison: the primitive-operation comparison of
+// Table 6.1, the per-architecture round-trip breakdowns of Tables 6.4,
+// 6.6, 6.9, 6.11, 6.14, 6.16, 6.19 and 6.21, the contention-model inputs
+// of Tables 6.2/6.3, and the derived per-stage means that parameterize
+// the GTPN models (Tables 6.5, 6.7/6.8, 6.10, 6.12/6.13, 6.15, 6.17/6.18,
+// 6.20, 6.22/6.23).
+//
+// All figures are microseconds, measured by the thesis on its 925
+// implementation (8 MHz Motorola 68000, ~0.3 MIPS; Versabus memory cycle
+// 1 us; smart-bus four-edge handshake 1 us, two-edge handshake 0.5 us).
+// The "Contention" column is the completion time when all other
+// activities that can overlap are in progress, computed by the thesis
+// from its low-level shared-memory contention model (§6.6.2); the model
+// nets use the contention values.
+package timing
+
+// Arch identifies the four node architectures compared in chapter 6.
+type Arch int
+
+// The four architectures of Figures 6.1-6.4.
+const (
+	ArchI   Arch = 1 + iota // uniprocessor
+	ArchII                  // message coprocessor
+	ArchIII                 // smart bus
+	ArchIV                  // partitioned smart bus
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchI:
+		return "I (uniprocessor)"
+	case ArchII:
+		return "II (message coprocessor)"
+	case ArchIII:
+		return "III (smart bus)"
+	case ArchIV:
+		return "IV (partitioned smart bus)"
+	default:
+		return "invalid architecture"
+	}
+}
+
+// PrimitiveTiming is one row of Table 6.1: the cost of a queue or block
+// operation under architecture II (software, semaphore-protected) versus
+// architecture III (smart-bus transaction).
+type PrimitiveTiming struct {
+	Operation string
+	// Architecture II: software implementation on the MP.
+	SWProcessing float64 // processing time, us
+	SWMemory     float64 // time in (Versabus) memory cycles, us
+	// Architecture III: three instructions to initiate the bus primitive.
+	HWProcessing float64
+	HWMemory     float64
+	Handshake    string
+}
+
+// Table61 reproduces Table 6.1.
+func Table61() []PrimitiveTiming {
+	return []PrimitiveTiming{
+		{"Enqueue", 60, 14, 9, 1, "Four-edge"},
+		{"Dequeue", 60, 14, 9, 1, "Four-edge"},
+		{"First", 60, 14, 9, 2, "Eight-edge"},
+		{"Block Read (40 Bytes)", 180, 20, 9, 11, "One four-edge followed by twenty two-edge"},
+		{"Block Write (40 Bytes)", 180, 20, 9, 11, "One four-edge followed by twenty two-edge"},
+	}
+}
+
+// Activity is one row of a chapter 6 round-trip breakdown table.
+type Activity struct {
+	Processor  string // Host, MP, DMA
+	Initiator  string // Client, Server, Network interrupt
+	Number     string // the "Action Number" column (e.g. "4a")
+	Name       string
+	Processing float64 // processing time, us
+	Shared     float64 // time spent accessing shared data structures, us
+	Best       float64 // Processing + Shared
+	Contention float64 // completion time under maximal overlap
+}
+
+// Compute marks the workload-parameter row ("Compute") in a breakdown.
+const computeMarker = "Compute"
+
+// IsCompute reports whether the row is the workload-parameter stage.
+func (a Activity) IsCompute() bool { return a.Name == computeMarker }
+
+// Breakdown is one full round-trip decomposition table.
+type Breakdown struct {
+	Arch  Arch
+	Local bool
+	Table string // paper table id, e.g. "6.9"
+	Rows  []Activity
+	// BestTotal sums the Best column excluding the compute stage: the
+	// round-trip communication time C for one conversation.
+	BestTotal float64
+	// ContentionTotal sums the Contention column likewise.
+	ContentionTotal float64
+}
+
+func mkBreakdown(arch Arch, local bool, table string, rows []Activity) Breakdown {
+	b := Breakdown{Arch: arch, Local: local, Table: table, Rows: rows}
+	for _, r := range rows {
+		if r.IsCompute() {
+			continue
+		}
+		b.BestTotal += r.Best
+		b.ContentionTotal += r.Contention
+	}
+	return b
+}
+
+// BreakdownFor returns the paper's round-trip breakdown for the given
+// architecture and locality.
+func BreakdownFor(arch Arch, local bool) Breakdown {
+	for _, b := range AllBreakdowns() {
+		if b.Arch == arch && b.Local == local {
+			return b
+		}
+	}
+	panic("timing: unknown breakdown")
+}
+
+// AllBreakdowns lists the eight chapter 6 round-trip decompositions.
+func AllBreakdowns() []Breakdown {
+	return []Breakdown{
+		mkBreakdown(ArchI, true, "6.4", []Activity{
+			{"Host", "Client", "1", "Syscall Send", 1040, 150, 1190, 1190},
+			{"Host", "Server", "2", "Syscall Receive", 650, 120, 770, 770},
+			{"Host", "", "3", "Match client with server", 1240, 140, 1380, 1380},
+			{"Host", "Server", "4", computeMarker, 0, 0, 0, 0},
+			{"Host", "Server", "5", "Syscall Reply", 1020, 210, 1230, 1230},
+			{"Host", "", "6", "Restart Server", 140, 60, 200, 200},
+			{"Host", "", "7", "Restart Client", 140, 60, 200, 200},
+		}),
+		mkBreakdown(ArchI, false, "6.6", []Activity{
+			{"Host", "Client", "1", "Syscall Send", 1140, 150, 1290, 1314.9},
+			{"DMA", "Client", "2", "DMA out", 200, 30, 230, 235.2},
+			{"Host", "Server", "3", "Syscall Receive", 650, 120, 770, 790.7},
+			{"DMA", "Network interrupt", "4", "DMA in", 200, 30, 230, 235.2},
+			{"Host", "Network interrupt", "4a", "Match client with server", 1790, 210, 2000, 2034.6},
+			{"Host", "Server", "4b", computeMarker, 0, 0, 0, 0},
+			{"Host", "Server", "4c", "Syscall Reply", 1060, 220, 1280, 1318.5},
+			{"DMA", "Server", "5", "DMA out", 200, 30, 230, 235.2},
+			{"DMA", "Network interrupt", "6", "DMA in", 200, 30, 230, 235.2},
+			{"Host", "Network interrupt", "7", "Cleanup and Restart Client", 830, 130, 960, 982},
+		}),
+		mkBreakdown(ArchII, true, "6.9", []Activity{
+			{"Host", "Client", "1", "Syscall Send", 320, 78, 398, 404.9},
+			{"MP", "Client", "2", "Process Send", 900, 104, 1004, 1030.2},
+			{"Host", "Server", "3", "Syscall Receive", 320, 78, 398, 404.9},
+			{"MP", "Server", "4", "Process Receive", 510, 74, 584, 603},
+			{"MP", "", "5", "Match client with server", 1160, 84, 1244, 1264.4},
+			{"Host", "Server", "6", "Restart Server", 60, 50, 110, 115.4},
+			{"Host", "Server", "6a", computeMarker, 0, 0, 0, 0},
+			{"Host", "Server", "6b", "Syscall Reply", 320, 78, 398, 404.9},
+			{"MP", "Server", "7", "Process Reply", 1060, 182, 1242, 1289.8},
+			{"Host", "", "8", "Restart Server", 60, 50, 110, 115.4},
+			{"Host", "", "9", "Restart Client", 60, 50, 110, 115.4},
+		}),
+		mkBreakdown(ArchII, false, "6.11", []Activity{
+			{"Host", "Client", "1", "Syscall Send", 320, 78, 398, 426.8},
+			{"MP", "Client", "2", "Process Send", 1000, 104, 1104, 1145.2},
+			{"DMA", "Client", "2a", "DMA out", 200, 30, 230, 240.9},
+			{"Host", "Server", "3", "Syscall Receive", 320, 78, 398, 421.9},
+			{"MP", "Server", "4", "Process Receive", 510, 74, 584, 628.2},
+			{"DMA", "Network interrupt", "5", "DMA in", 200, 30, 230, 247.8},
+			{"MP", "Network interrupt", "5", "Match client with server", 1650, 104, 1754, 1812.5},
+			{"Host", "Server", "6", "Restart Server", 60, 50, 110, 128.6},
+			{"Host", "Server", "6a", computeMarker, 0, 0, 0, 0},
+			{"Host", "Server", "6b", "Syscall Reply", 320, 78, 398, 421.9},
+			{"MP", "Server", "7", "Process Reply", 920, 128, 1048, 1124},
+			{"DMA", "Server", "7a", "DMA out", 200, 30, 230, 247.8},
+			{"Host", "", "8", "Restart Server", 60, 50, 110, 128.6},
+			{"DMA", "Network interrupt", "9", "DMA in", 200, 30, 230, 240.9},
+			{"MP", "Network interrupt", "9a", "Cleanup client", 750, 74, 824, 853.2},
+			{"Host", "", "10", "Restart Client", 60, 50, 110, 118.0},
+		}),
+		mkBreakdown(ArchIII, true, "6.14", []Activity{
+			{"Host", "Client", "1", "Syscall Send", 220, 52, 272, 278},
+			{"MP", "Client", "2", "Process Send", 612, 71, 683, 700.9},
+			{"Host", "Server", "3", "Syscall Receive", 220, 52, 272, 278},
+			{"MP", "Server", "4", "Process Receive", 451, 61, 512, 527.6},
+			{"MP", "", "5", "Match client with server", 922, 61, 983, 997.7},
+			{"Host", "Server", "6", "Restart Server", 60, 50, 110, 117.2},
+			{"Host", "Server", "6a", computeMarker, 0, 0, 0, 0},
+			{"Host", "Server", "6b", "Syscall Reply", 220, 52, 272, 278},
+			{"MP", "Server", "7", "Process Reply", 475, 113, 588, 619},
+			{"Host", "", "8", "Restart Server", 60, 50, 110, 117.2},
+			{"Host", "", "9", "Restart Client", 60, 50, 110, 117.2},
+		}),
+		mkBreakdown(ArchIII, false, "6.16", []Activity{
+			{"Host", "Client", "1", "Syscall Send", 220, 52, 272, 284.5},
+			{"MP", "Client", "2", "Process Send", 712, 71, 783, 805},
+			{"DMA", "Client", "2a", "DMA out", 200, 15, 215, 219.4},
+			{"Host", "Server", "3", "Syscall Receive", 220, 52, 272, 281.8},
+			{"MP", "Server", "4", "Process Receive", 451, 61, 512, 540},
+			{"DMA", "Network interrupt", "5", "DMA in", 200, 15, 215, 222.1},
+			{"MP", "Network interrupt", "5", "Match client with server", 1362, 71, 1433, 1461},
+			{"Host", "Server", "6", "Restart Server", 60, 50, 110, 121.5},
+			{"Host", "Server", "6a", computeMarker, 0, 0, 0, 0},
+			{"Host", "Server", "6b", "Syscall Reply", 220, 52, 272, 281.8},
+			{"MP", "Server", "7", "Process Reply", 573, 82, 655, 690},
+			{"DMA", "Server", "7a", "DMA out", 200, 15, 215, 222.1},
+			{"Host", "", "8", "Restart Server", 60, 50, 110, 121.5},
+			{"DMA", "Network interrupt", "9", "DMA in", 200, 15, 215, 219.4},
+			{"MP", "Network interrupt", "9a", "Cleanup client", 462, 41, 503, 514},
+			{"Host", "", "10", "Restart Client", 60, 50, 110, 115.1},
+		}),
+		mkBreakdown(ArchIV, true, "6.19", []Activity{
+			{"Host", "Client", "1", "Syscall Send", 220, 52, 272, 273.7},
+			{"MP", "Client", "2", "Process Send", 612, 71, 683, 687.9},
+			{"Host", "Server", "3", "Syscall Receive", 220, 52, 272, 273.7},
+			{"MP", "Server", "4", "Process Receive", 451, 61, 512, 516.9},
+			{"MP", "", "5", "Match client with server", 922, 61, 983, 983.2},
+			{"Host", "Server", "6", "Restart Server", 60, 50, 110, 112},
+			{"Host", "Server", "6a", computeMarker, 0, 0, 0, 0},
+			{"Host", "Server", "6b", "Syscall Reply", 220, 52, 272, 273.7},
+			{"MP", "Server", "7", "Process Reply", 475, 113, 588, 595.9},
+			{"Host", "", "8", "Restart Server", 60, 50, 110, 112},
+			{"Host", "", "9", "Restart Client", 60, 50, 110, 112},
+		}),
+		mkBreakdown(ArchIV, false, "6.21", []Activity{
+			{"Host", "Client", "1", "Syscall Send", 220, 52, 272, 273.2},
+			{"MP", "Client", "2", "Process Send", 712, 71, 783, 789.8},
+			{"DMA", "Client", "2a", "DMA out", 200, 15, 215, 216.3},
+			{"Host", "Server", "3", "Syscall Receive", 220, 52, 272, 273.5},
+			{"MP", "Server", "4", "Process Receive", 451, 61, 512, 520.2},
+			{"DMA", "Network interrupt", "5", "DMA in", 200, 15, 215, 216.3},
+			{"MP", "Network interrupt", "5", "Match client with server", 1362, 71, 1433, 1443},
+			{"Host", "Server", "6", "Restart Server", 60, 50, 110, 111.8},
+			{"Host", "Server", "6a", computeMarker, 0, 0, 0, 0},
+			{"Host", "Server", "6b", "Syscall Reply", 220, 52, 272, 273.5},
+			{"MP", "Server", "7", "Process Reply", 573, 82, 655, 666.6},
+			{"DMA", "Server", "7a", "DMA out", 200, 15, 215, 216.3},
+			{"Host", "", "8", "Restart Server", 60, 50, 110, 111.8},
+			{"DMA", "Network interrupt", "9", "DMA in", 200, 15, 215, 216.3},
+			{"MP", "Network interrupt", "9a", "Cleanup client", 462, 41, 503, 506.4},
+			{"Host", "", "10", "Restart Client", 60, 50, 110, 110.5},
+		}),
+	}
+}

@@ -1,0 +1,207 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func TestArchString(t *testing.T) {
+	if ArchI.String() == "" || Arch(9).String() != "invalid architecture" {
+		t.Fatal("Arch.String broken")
+	}
+}
+
+// Table 6.1 invariants: the smart bus collapses each primitive to three
+// instructions (9 us at 3 us/instruction) and cuts memory time.
+func TestTable61Shape(t *testing.T) {
+	rows := Table61()
+	if len(rows) != 5 {
+		t.Fatalf("Table 6.1 has %d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.HWProcessing != 9 {
+			t.Errorf("%s: smart-bus processing %v, want 9 us (three instructions)", r.Operation, r.HWProcessing)
+		}
+		if r.HWProcessing+r.HWMemory >= r.SWProcessing+r.SWMemory {
+			t.Errorf("%s: smart bus (%v) not faster than software (%v)",
+				r.Operation, r.HWProcessing+r.HWMemory, r.SWProcessing+r.SWMemory)
+		}
+	}
+}
+
+// Every breakdown's Best column is Processing + Shared, and Contention
+// is never below Best.
+func TestBreakdownConsistency(t *testing.T) {
+	bds := AllBreakdowns()
+	if len(bds) != 8 {
+		t.Fatalf("%d breakdowns, want 8", len(bds))
+	}
+	for _, b := range bds {
+		for _, r := range b.Rows {
+			if r.IsCompute() {
+				continue
+			}
+			if math.Abs(r.Processing+r.Shared-r.Best) > 0.01 {
+				t.Errorf("table %s %s: best %.1f != processing %.1f + shared %.1f",
+					b.Table, r.Name, r.Best, r.Processing, r.Shared)
+			}
+			if r.Contention < r.Best-0.01 {
+				t.Errorf("table %s %s: contention %.1f below best %.1f", b.Table, r.Name, r.Contention, r.Best)
+			}
+		}
+		if b.BestTotal <= 0 || b.ContentionTotal < b.BestTotal {
+			t.Errorf("table %s: totals best %.1f contention %.1f", b.Table, b.BestTotal, b.ContentionTotal)
+		}
+	}
+}
+
+// The architecture I local serial sum is the paper's 4970 us (Table 6.4
+// plus the §6.9 C value implied by Table 6.24).
+func TestArchISerialSums(t *testing.T) {
+	b := BreakdownFor(ArchI, true)
+	if b.BestTotal != 4970 {
+		t.Fatalf("arch I local best total = %.1f, want 4970", b.BestTotal)
+	}
+	p := LocalParamsFor(ArchI)
+	if p.RoundTripC() != 4970 {
+		t.Fatalf("arch I stage sum = %.1f, want 4970", p.RoundTripC())
+	}
+}
+
+// The smart bus strictly reduces every stage mean from architecture II
+// through III, and partitioning (IV) reduces them again slightly.
+func TestStageMeansMonotoneAcrossArchitectures(t *testing.T) {
+	p2 := LocalParamsFor(ArchII)
+	p3 := LocalParamsFor(ArchIII)
+	p4 := LocalParamsFor(ArchIV)
+	if !(p3.RoundTripC() < p2.RoundTripC()) {
+		t.Error("arch III stage sum should be below arch II")
+	}
+	if !(p4.RoundTripC() < p3.RoundTripC()) {
+		t.Error("arch IV stage sum should be below arch III")
+	}
+	c2 := NonLocalRoundTripC(ArchII)
+	c3 := NonLocalRoundTripC(ArchIII)
+	c4 := NonLocalRoundTripC(ArchIV)
+	if !(c4 < c3 && c3 < c2) {
+		t.Errorf("non-local C not monotone: II %.1f, III %.1f, IV %.1f", c2, c3, c4)
+	}
+}
+
+// Offered-load tables: loads decrease with server time, and for a given
+// server time the paper's ordering is II > I > III > IV (larger C means
+// larger load).
+func TestOfferedLoadTables(t *testing.T) {
+	for _, rows := range [][]OfferedLoadRow{Table624(), Table625()} {
+		prev := [4]float64{2, 2, 2, 2}
+		for _, r := range rows {
+			for i := 0; i < 4; i++ {
+				if r.Load[i] > prev[i] {
+					t.Errorf("offered load not decreasing at S=%.2f arch %d", r.ServerTimeMS, i+1)
+				}
+				prev[i] = r.Load[i]
+			}
+			if r.ServerTimeMS == 0 {
+				continue
+			}
+			if !(r.Load[1] > r.Load[0] && r.Load[0] > r.Load[2] && r.Load[2] > r.Load[3]) {
+				t.Errorf("S=%.2f: ordering II>I>III>IV violated: %v", r.ServerTimeMS, r.Load)
+			}
+		}
+	}
+}
+
+func TestOfferedLoadFunction(t *testing.T) {
+	if got := OfferedLoad(4970, 0); got != 1 {
+		t.Errorf("zero compute load = %v", got)
+	}
+	if got := OfferedLoad(4970, 5700); math.Abs(got-0.466) > 0.001 {
+		t.Errorf("arch I S=5.7ms load = %v, want ~0.466 (Table 6.24)", got)
+	}
+	if got := OfferedLoad(0, 0); got != 0 {
+		t.Errorf("degenerate load = %v", got)
+	}
+}
+
+// The kernel cost tables map breakdown rows onto kernel activities.
+func TestCostsFor(t *testing.T) {
+	c := CostsFor(ArchII, true)
+	if c.SyscallSend != kernel.Microseconds(404.9) {
+		t.Errorf("arch II SyscallSend = %d", c.SyscallSend)
+	}
+	if c.ProcessReply != kernel.Microseconds(1289.8) {
+		t.Errorf("arch II ProcessReply = %d", c.ProcessReply)
+	}
+	if c.DMAOut != 0 {
+		t.Error("local cost table should have no DMA cost")
+	}
+	cn := CostsFor(ArchII, false)
+	if cn.DMAOut == 0 || cn.CleanupClient == 0 {
+		t.Error("non-local cost table missing DMA/cleanup")
+	}
+	// Architecture I folds the whole send path into the syscall rows.
+	c1 := CostsFor(ArchI, false)
+	if c1.ProcessSend != 0 || c1.SyscallSend == 0 || c1.CleanupClient == 0 {
+		t.Errorf("arch I costs = %+v", c1)
+	}
+}
+
+func TestBreakdownForUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BreakdownFor(Arch(9), true)
+}
+
+func TestAllParamsConstructible(t *testing.T) {
+	for _, a := range []Arch{ArchI, ArchII, ArchIII, ArchIV} {
+		if a.String() == "" || a.String() == "invalid architecture" {
+			t.Errorf("arch %d has no name", a)
+		}
+		lp := LocalParamsFor(a)
+		if lp.RoundTripC() <= 0 {
+			t.Errorf("%v: local stage sum %.1f", a, lp.RoundTripC())
+		}
+		cp := ClientParamsFor(a)
+		sp := ServerParamsFor(a)
+		if cp.CommSend <= 0 || sp.CommMatch <= 0 {
+			t.Errorf("%v: missing non-local stages", a)
+		}
+		if (a == ArchI) != cp.Shared || (a == ArchI) != sp.Shared || (a == ArchI) != lp.Shared {
+			t.Errorf("%v: Shared flag wrong", a)
+		}
+	}
+	for _, fn := range []func(){
+		func() { LocalParamsFor(Arch(9)) },
+		func() { ClientParamsFor(Arch(9)) },
+		func() { ServerParamsFor(Arch(9)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for unknown architecture")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTable62Rows(t *testing.T) {
+	rows := Table62()
+	if len(rows) != 4 {
+		t.Fatalf("Table 6.2 has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Processing+r.Memory != r.Best {
+			t.Errorf("%s: best %.1f != %.1f + %.1f", r.Name, r.Best, r.Processing, r.Memory)
+		}
+		if r.PaperContention <= r.Best {
+			t.Errorf("%s: paper contention not above best", r.Name)
+		}
+	}
+}
