@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/experiments"
+	"repro/internal/gtpn"
 	"repro/internal/machine"
 	"repro/internal/models"
 	"repro/internal/timing"
@@ -95,6 +96,7 @@ func BenchmarkCopyCrossover(b *testing.B)      { benchExperiment(b, "X3") }
 
 func BenchmarkGTPNSolveLocalArchII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		gtpn.ResetSolveCache() // measure the exact solve, not a cache hit
 		m := models.BuildLocal(timing.ArchII, 2, 1, 2850)
 		res, err := m.Solve(models.SolveOptions{})
 		if err != nil {
@@ -106,6 +108,47 @@ func BenchmarkGTPNSolveLocalArchII(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkGTPNSolveCached re-solves the same model point with the solve
+// cache primed; compare against BenchmarkGTPNSolveLocalArchII for the
+// cold/warm ratio the sweeps and fixed-point iterations benefit from.
+func BenchmarkGTPNSolveCached(b *testing.B) {
+	gtpn.ResetSolveCache()
+	if _, err := models.BuildLocal(timing.ArchII, 2, 1, 2850).Solve(models.SolveOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := models.BuildLocal(timing.ArchII, 2, 1, 2850).Solve(models.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := gtpn.SolveCacheStats(); s.Hits == 0 {
+		b.Fatal("cached solve never hit the cache")
+	}
+	gtpn.ResetSolveCache()
+}
+
+// --- Registry engine ---------------------------------------------------------
+//
+// The sequential/parallel pair measures the RunAll worker pool itself;
+// the cache is dropped each iteration so both do the same exact-solve
+// work. On a single-CPU host the two are expected to tie — the win shows
+// up with cores.
+
+func benchRunAll(b *testing.B, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		gtpn.ResetSolveCache()
+		if err := experiments.RunAll(io.Discard, experiments.Config{Quick: true, Parallelism: parallelism}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel(b *testing.B)   { benchRunAll(b, 0) }
 
 func BenchmarkNonLocalFixedPoint(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Repository health check: build, vet, the full test suite under the race
+# detector, and a one-iteration benchmark smoke pass. This is the tier-1
+# gate plus the race/bench hygiene added with the parallel experiment
+# engine; run it before sending a change.
+set -eux
+
+go build ./...
+go vet ./...
+go test -race ./...
+go test -run '^$' -bench . -benchtime 1x .

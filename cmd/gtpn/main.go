@@ -24,9 +24,12 @@ import (
 
 func main() {
 	var (
-		sim   = flag.Bool("sim", false, "also run a Monte Carlo cross-check")
-		ticks = flag.Int64("ticks", 1_000_000, "simulation horizon (with -sim)")
-		seed  = flag.Uint64("seed", 1, "simulation seed (with -sim)")
+		sim      = flag.Bool("sim", false, "also run a Monte Carlo cross-check")
+		ticks    = flag.Int64("ticks", 1_000_000, "simulation horizon (with -sim)")
+		seed     = flag.Uint64("seed", 1, "simulation seed (with -sim)")
+		reps     = flag.Int("reps", 1, "independent simulation replications to average (with -sim)")
+		parallel = flag.Int("parallel", 0, "workers for the replications (0 = GOMAXPROCS; any value gives identical results)")
+		stats    = flag.Bool("cachestats", false, "print GTPN solve-cache statistics to stderr on exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -78,12 +81,26 @@ func main() {
 	}
 	tw.Flush()
 
+	if *stats {
+		defer func() {
+			s := gtpn.SolveCacheStats()
+			fmt.Fprintf(os.Stderr, "gtpn solve cache: %d hits, %d misses, %d bypassed, %d entries\n",
+				s.Hits, s.Misses, s.Bypassed, s.Entries)
+		}()
+	}
+
 	if *sim {
-		res, err := net.Simulate(gtpn.SimOptions{Seed: *seed, Ticks: *ticks})
+		res, err := net.SimulateMany(gtpn.SimOptions{
+			Seed: *seed, Ticks: *ticks, Replications: *reps, Workers: *parallel,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nsimulation (%d ticks, seed %d):\n", *ticks, *seed)
+		if *reps > 1 {
+			fmt.Printf("\nsimulation (%d ticks, seed %d, %d replications):\n", *ticks, *seed, *reps)
+		} else {
+			fmt.Printf("\nsimulation (%d ticks, seed %d):\n", *ticks, *seed)
+		}
 		for i := 0; i < net.NumTransitions(); i++ {
 			name := net.TransName(gtpn.TransID(i))
 			exact := sol.FiringRate[i]

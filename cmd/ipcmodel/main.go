@@ -7,7 +7,9 @@
 //	ipcmodel -list              list experiment ids
 //	ipcmodel -id F6.18          regenerate one table/figure
 //	ipcmodel -all               regenerate everything
+//	ipcmodel -all -parallel 8   ... with eight concurrent experiments
 //	ipcmodel -quick ...         trim the sweeps (2 conversations)
+//	ipcmodel -cachestats ...    report GTPN solve-cache hits on exit
 //	ipcmodel -arch 2 -n 3 -x 2850 -nonlocal
 //	                            solve one model point directly
 package main
@@ -18,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/gtpn"
 	"repro/internal/models"
 	"repro/internal/timing"
 )
@@ -29,6 +32,8 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		quick    = flag.Bool("quick", false, "trim sweeps for a fast pass")
 		plotFigs = flag.Bool("plot", false, "render figure experiments as ASCII charts")
+		parallel = flag.Int("parallel", 0, "concurrent experiments for -all (0 = GOMAXPROCS, 1 = sequential)")
+		stats    = flag.Bool("cachestats", false, "print GTPN solve-cache statistics to stderr on exit")
 		arch     = flag.Int("arch", 0, "solve one point: architecture 1-4")
 		n        = flag.Int("n", 1, "solve one point: simultaneous conversations")
 		x        = flag.Float64("x", 0, "solve one point: mean server compute time (us)")
@@ -36,7 +41,14 @@ func main() {
 		nonlocal = flag.Bool("nonlocal", false, "solve one point: non-local conversations")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Quick: *quick, Plot: *plotFigs}
+	cfg := experiments.Config{Quick: *quick, Plot: *plotFigs, Parallelism: *parallel}
+	if *stats {
+		defer func() {
+			s := gtpn.SolveCacheStats()
+			fmt.Fprintf(os.Stderr, "gtpn solve cache: %d hits, %d misses, %d bypassed, %d entries\n",
+				s.Hits, s.Misses, s.Bypassed, s.Entries)
+		}()
+	}
 
 	switch {
 	case *list:

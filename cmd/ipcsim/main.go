@@ -7,6 +7,7 @@
 //
 //	ipcsim -arch 2 -n 3 -x 2850            local conversations
 //	ipcsim -arch 2 -n 3 -x 2850 -nonlocal  clients node 0, servers node 1
+//	ipcsim -reps 8 -parallel 4 ...         average eight replications, four at a time
 //	ipcsim ... -validate                   also solve the model and compare
 package main
 
@@ -14,10 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"repro/internal/des"
+	"repro/internal/gtpn"
 	"repro/internal/machine"
 	"repro/internal/models"
+	"repro/internal/rng"
 	"repro/internal/timing"
 	"repro/internal/workload"
 )
@@ -31,23 +36,26 @@ func main() {
 		nonlocal = flag.Bool("nonlocal", false, "non-local conversations over the token ring")
 		seconds  = flag.Int64("seconds", 20, "simulated horizon")
 		seed     = flag.Uint64("seed", 42, "random seed")
+		reps     = flag.Int("reps", 1, "independent replications to average (seeds derived from -seed)")
+		parallel = flag.Int("parallel", 0, "workers for the replications (0 = GOMAXPROCS; any value gives identical results)")
 		validate = flag.Bool("validate", false, "compare against the GTPN model")
+		stats    = flag.Bool("cachestats", false, "print GTPN solve-cache statistics to stderr on exit")
 	)
 	flag.Parse()
 	if *arch < 1 || *arch > 4 {
 		fmt.Fprintln(os.Stderr, "ipcsim: -arch must be 1..4")
 		os.Exit(1)
 	}
-	a := timing.Arch(*arch)
-	cfg := machine.Config{Hosts: *hosts, Seed: *seed}
-	var m *machine.Machine
-	if *nonlocal {
-		m = machine.NewNonLocal(a, cfg)
-	} else {
-		m = machine.NewLocal(a, cfg)
+	if *stats {
+		defer func() {
+			s := gtpn.SolveCacheStats()
+			fmt.Fprintf(os.Stderr, "gtpn solve cache: %d hits, %d misses, %d bypassed, %d entries\n",
+				s.Hits, s.Misses, s.Bypassed, s.Entries)
+		}()
 	}
+	a := timing.Arch(*arch)
 	p := workload.Params{Conversations: *n, ComputeMean: *x * des.Microsecond}
-	res := m.Run(p, *seconds*des.Second)
+	res := runReplicated(a, *nonlocal, *hosts, *seed, *reps, *parallel, p, *seconds*des.Second)
 
 	locality := "local"
 	if *nonlocal {
@@ -55,6 +63,9 @@ func main() {
 	}
 	fmt.Printf("architecture %v, %s, n=%d, X=%d us, hosts=%d, %ds simulated\n",
 		a, locality, *n, *x, *hosts, *seconds)
+	if *reps > 1 {
+		fmt.Printf("  replications    %d\n", *reps)
+	}
 	fmt.Printf("  round trips     %d\n", res.RoundTrips)
 	fmt.Printf("  throughput      %.2f round trips/s\n", res.Throughput*1e6)
 	fmt.Printf("  mean round trip %.1f us\n", res.MeanRoundTrip)
@@ -79,4 +90,60 @@ func main() {
 		dev := (res.Throughput - tput) / tput * 100
 		fmt.Printf("  model           %.2f round trips/s (simulation %+.1f%%)\n", tput*1e6, dev)
 	}
+}
+
+// runReplicated runs reps independent machine simulations (seeds derived
+// from seed by replication index) on a bounded worker pool and averages
+// the measures in replication order, so the reported numbers are
+// identical at any worker count.
+func runReplicated(a timing.Arch, nonlocal bool, hosts int, seed uint64, reps, workers int, p workload.Params, horizon int64) workload.Result {
+	if reps < 2 {
+		return newMachine(a, nonlocal, machine.Config{Hosts: hosts, Seed: seed}).Run(p, horizon)
+	}
+	seeds := make([]uint64, reps)
+	src := rng.New(seed)
+	for i := range seeds {
+		seeds[i] = src.Uint64()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	results := make([]workload.Result, reps)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				m := newMachine(a, nonlocal, machine.Config{Hosts: hosts, Seed: seeds[i]})
+				results[i] = m.Run(p, horizon)
+			}
+		}()
+	}
+	for i := 0; i < reps; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var agg workload.Result
+	for _, r := range results {
+		agg.RoundTrips += r.RoundTrips
+		agg.Throughput += r.Throughput
+		agg.MeanRoundTrip += r.MeanRoundTrip
+	}
+	agg.Throughput /= float64(reps)
+	agg.MeanRoundTrip /= float64(reps)
+	return agg
+}
+
+func newMachine(a timing.Arch, nonlocal bool, cfg machine.Config) *machine.Machine {
+	if nonlocal {
+		return machine.NewNonLocal(a, cfg)
+	}
+	return machine.NewLocal(a, cfg)
 }

@@ -20,14 +20,33 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/des"
+	"repro/internal/gtpn"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/models"
+	"repro/internal/rng"
 	"repro/internal/timing"
 	"repro/internal/workload"
 )
+
+// SolveCacheStats reports the GTPN solve cache's hit/miss counters.
+// Analyze memoizes every exact model solution by a canonical net
+// signature, so repeated workload points — sweeps, fixed-point
+// iterations, repeated Analyze calls — are answered from the cache.
+type SolveCacheStats = gtpn.CacheStats
+
+// SetSolveCache turns the GTPN solve cache on or off (on by default).
+func SetSolveCache(on bool) { gtpn.SetCacheEnabled(on) }
+
+// SolveCache reports the solve cache counters.
+func SolveCache() SolveCacheStats { return gtpn.SolveCacheStats() }
+
+// ResetSolveCache drops all cached solutions and zeroes the counters.
+func ResetSolveCache() { gtpn.ResetSolveCache() }
 
 // Arch selects the node architecture.
 type Arch = timing.Arch
@@ -175,6 +194,63 @@ func (s *System) Measure(w Workload, seconds int64) (Measurement, error) {
 		RoundTripUS: res.MeanRoundTrip,
 		RoundTrips:  res.RoundTrips,
 	}, nil
+}
+
+// MeasureMany runs reps independent machine-level simulations of the
+// workload — each seeded from its own SplitMix64 stream derived from the
+// system seed by replication index — on up to workers concurrent
+// goroutines (0 means GOMAXPROCS), and averages the measures in
+// replication order. The result is bit-identical at any worker count,
+// extending the repository's single-stream determinism guarantee to a
+// parallel ensemble.
+func (s *System) MeasureMany(w Workload, seconds int64, reps, workers int) (Measurement, error) {
+	if reps < 2 {
+		return s.Measure(w, seconds)
+	}
+	seeds := make([]uint64, reps)
+	src := rng.New(s.seed)
+	for i := range seeds {
+		seeds[i] = src.Uint64()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	results := make([]Measurement, reps)
+	errs := make([]error, reps)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rep := *s
+				rep.seed = seeds[i]
+				results[i], errs[i] = rep.Measure(w, seconds)
+			}
+		}()
+	}
+	for i := 0; i < reps; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var agg Measurement
+	for i, r := range results {
+		if errs[i] != nil {
+			return Measurement{}, errs[i]
+		}
+		agg.Throughput += r.Throughput
+		agg.RoundTripUS += r.RoundTripUS
+		agg.RoundTrips += r.RoundTrips
+	}
+	agg.Throughput /= float64(reps)
+	agg.RoundTripUS /= float64(reps)
+	return agg, nil
 }
 
 // Node is a single simulated node running the message-based kernel, for

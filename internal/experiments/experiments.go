@@ -8,8 +8,10 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -25,6 +27,11 @@ type Config struct {
 	// Plot renders the figure experiments as ASCII charts in addition to
 	// their data tables.
 	Plot bool
+	// Parallelism is the number of experiments RunAll executes
+	// concurrently: 0 means GOMAXPROCS, 1 forces the sequential path.
+	// Every experiment buffers its output and the buffers are emitted in
+	// paper order, so the printed bytes are identical at any setting.
+	Parallelism int
 }
 
 // maxConversations reports the sweep depth.
@@ -33,6 +40,14 @@ func (c Config) maxConversations() int {
 		return 2
 	}
 	return 4
+}
+
+// workers resolves the configured parallelism.
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Experiment is one regenerable table or figure.
@@ -58,52 +73,70 @@ func All() []Experiment {
 	return out
 }
 
-// less orders ids in paper order: chapter 3 tables, chapter 5 tables,
-// chapter 6 tables, chapter 6 figures, the appendix, then the extensions.
+// less orders ids in paper order: chapter tables (by chapter, then item),
+// figures (likewise), the appendix, then the extensions. Letter suffixes
+// ("F6.17a" before "F6.17b") break ties last.
 func less(a, b string) bool {
-	ra, na := idRank(a)
-	rb, nb := idRank(b)
-	if ra != rb {
-		return ra < rb
+	ka, kb := idRank(a), idRank(b)
+	if ka.rank != kb.rank {
+		return ka.rank < kb.rank
 	}
-	if na != nb {
-		return na < nb
+	if ka.chapter != kb.chapter {
+		return ka.chapter < kb.chapter
 	}
-	return a < b // suffixes like "a"/"b" on F6.17
+	if ka.item != kb.item {
+		return ka.item < kb.item
+	}
+	if ka.suffix != kb.suffix {
+		return ka.suffix < kb.suffix
+	}
+	return a < b
 }
 
-// idRank classifies an id and extracts its numeric section.
-func idRank(id string) (rank int, section float64) {
-	switch {
-	case strings.HasPrefix(id, "T3."):
-		rank = 0
-	case strings.HasPrefix(id, "T5."):
-		rank = 1
-	case strings.HasPrefix(id, "T6."):
-		rank = 2
-	case strings.HasPrefix(id, "F"):
-		rank = 3
-	case strings.HasPrefix(id, "TA."):
-		rank = 4
-	case strings.HasPrefix(id, "X"):
-		rank = 5
+// idKey is the sortable decomposition of a paper artifact id.
+type idKey struct {
+	rank    int // 0 tables, 1 figures, 2 appendix, 3 extensions, 4 unknown
+	chapter int // chapter number ("6" in T6.24; 0 when absent)
+	item    int // item within the chapter ("24" in T6.24)
+	suffix  string
+}
+
+// idRank decomposes an id like "T6.24", "F6.17a", "TA.1", or "X2" into
+// its ordering key: an uppercase family prefix, an optional
+// "chapter."-qualified item number, and an optional lowercase suffix.
+func idRank(id string) idKey {
+	np := 0
+	for np < len(id) && id[np] >= 'A' && id[np] <= 'Z' {
+		np++
+	}
+	prefix, rest := id[:np], strings.TrimPrefix(id[np:], ".")
+	ns := len(rest)
+	for ns > 0 && rest[ns-1] >= 'a' && rest[ns-1] <= 'z' {
+		ns--
+	}
+	num, suffix := rest[:ns], rest[ns:]
+
+	var k idKey
+	k.suffix = suffix
+	switch prefix {
+	case "T":
+		k.rank = 0
+	case "F":
+		k.rank = 1
+	case "TA":
+		k.rank = 2
+	case "X":
+		k.rank = 3
 	default:
-		rank = 6
+		k.rank = 4
 	}
-	// Parse the trailing number (e.g. "6.17" from "F6.17a").
-	num := strings.TrimLeft(id, "TFXA")
-	num = strings.TrimPrefix(num, ".")
-	num = strings.TrimRight(num, "ab")
-	if v, err := strconv.ParseFloat(strings.TrimPrefix(num, "3."), 64); err == nil && rank == 0 {
-		return rank, v
+	if c, i, ok := strings.Cut(num, "."); ok {
+		k.chapter, _ = strconv.Atoi(c)
+		k.item, _ = strconv.Atoi(i)
+	} else {
+		k.item, _ = strconv.Atoi(num)
 	}
-	if v, err := strconv.ParseFloat(strings.TrimPrefix(strings.TrimPrefix(num, "5."), "6."), 64); err == nil {
-		return rank, v
-	}
-	if v, err := strconv.ParseFloat(num, 64); err == nil {
-		return rank, v
-	}
-	return rank, 0
+	return k
 }
 
 // ByID finds one experiment.
@@ -116,15 +149,72 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAll executes every experiment in order, writing section headers.
+// RunAll executes every experiment in paper order, writing section
+// headers. With cfg.Parallelism other than 1, independent experiments
+// run concurrently on a bounded worker pool; each buffers its own output
+// and the buffers are flushed to w strictly in paper order, so the
+// emitted bytes are identical to a sequential run — the determinism
+// contract TestRunAllDeterministic pins down.
 func RunAll(w io.Writer, cfg Config) error {
-	for _, e := range All() {
-		fmt.Fprintf(w, "==== %s — %s ====\n", e.ID, e.Title)
-		if err := e.Run(w, cfg); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		fmt.Fprintln(w)
+	exps := All()
+	workers := cfg.workers()
+	if workers > len(exps) {
+		workers = len(exps)
 	}
+	if workers <= 1 {
+		for _, e := range exps {
+			if err := runOne(w, e, cfg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type slot struct {
+		buf  bytes.Buffer
+		err  error
+		done chan struct{}
+	}
+	slots := make([]*slot, len(exps))
+	for i := range slots {
+		slots[i] = &slot{done: make(chan struct{})}
+	}
+	jobs := make(chan int)
+	for k := 0; k < workers; k++ {
+		go func() {
+			for i := range jobs {
+				s := slots[i]
+				s.err = runOne(&s.buf, exps[i], cfg)
+				close(s.done)
+			}
+		}()
+	}
+	go func() {
+		for i := range exps {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	for _, s := range slots {
+		<-s.done
+		if _, err := s.buf.WriteTo(w); err != nil {
+			return err
+		}
+		if s.err != nil {
+			return s.err
+		}
+	}
+	return nil
+}
+
+// runOne writes one experiment's section: header, body, trailing blank
+// line (withheld on error, matching the historical sequential output).
+func runOne(w io.Writer, e Experiment, cfg Config) error {
+	fmt.Fprintf(w, "==== %s — %s ====\n", e.ID, e.Title)
+	if err := e.Run(w, cfg); err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	fmt.Fprintln(w)
 	return nil
 }
 

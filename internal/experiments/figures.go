@@ -68,8 +68,8 @@ func runFig67(w io.Writer, _ Config) error {
 		p1 := b.Place("P1", 1)
 		p2 := b.Place("P2", 0)
 		if geometric {
-			b.Transition("T2").From(p1).To(p2).Delay(1).Freq(gtpn.Const(1.0 / d))
-			b.Transition("T2.loop").From(p1).To(p1).Delay(1).Freq(gtpn.Const(1 - 1.0/d))
+			b.Transition("T2").From(p1).To(p2).Delay(1).FreqConst(1.0 / d)
+			b.Transition("T2.loop").From(p1).To(p1).Delay(1).FreqConst(1 - 1.0/d)
 		} else {
 			b.Transition("T2").From(p1).To(p2).Delay(d)
 		}

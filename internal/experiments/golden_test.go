@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshots under testdata/golden")
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".txt")
+}
+
+// TestExperimentsGolden pins the Quick-mode output of every registered
+// experiment to a snapshot, then checks that RunAll — sequential and
+// parallel — reproduces the snapshots byte for byte in paper order.
+// Regenerate with:
+//
+//	go test ./internal/experiments -run TestExperimentsGolden -update
+func TestExperimentsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry pass is slow; run without -short")
+	}
+	cfg := Config{Quick: true}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range All() {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, cfg); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if err := os.WriteFile(goldenPath(e.ID), buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// The expected -all stream is exactly the snapshots stitched together
+	// in registry order, each under its section header.
+	var want bytes.Buffer
+	for _, e := range All() {
+		body, err := os.ReadFile(goldenPath(e.ID))
+		if err != nil {
+			t.Fatalf("missing snapshot (run with -update): %v", err)
+		}
+		fmt.Fprintf(&want, "==== %s — %s ====\n", e.ID, e.Title)
+		want.Write(body)
+		fmt.Fprintln(&want)
+	}
+
+	for _, tc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"sequential", 1},
+		{"parallel", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var got bytes.Buffer
+			cfg := cfg
+			cfg.Parallelism = tc.parallelism
+			if err := RunAll(&got, cfg); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("RunAll(%s) output deviates from golden snapshots\n%s",
+					tc.name, firstDiff(want.Bytes(), got.Bytes()))
+			}
+		})
+	}
+}
+
+// TestRunAllDeterministic runs the registry at several worker counts and
+// demands byte-identical output: the pool buffers each experiment and
+// flushes in paper order, so parallelism must be invisible in the stream.
+func TestRunAllDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry pass is slow; run without -short")
+	}
+	var baseline []byte
+	for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		var buf bytes.Buffer
+		if err := RunAll(&buf, Config{Quick: true, Parallelism: par}); err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if baseline == nil {
+			baseline = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(baseline, buf.Bytes()) {
+			t.Fatalf("parallelism %d changed the output\n%s", par, firstDiff(baseline, buf.Bytes()))
+		}
+	}
+}
+
+// firstDiff locates the first byte where two outputs diverge and shows
+// the surrounding context from each.
+func firstDiff(want, got []byte) string {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	i := 0
+	for i < n && want[i] == got[i] {
+		i++
+	}
+	if i == n && len(want) == len(got) {
+		return "outputs identical"
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	clip := func(b []byte) []byte {
+		hi := i + 80
+		if hi > len(b) {
+			hi = len(b)
+		}
+		if lo > len(b) {
+			return nil
+		}
+		return b[lo:hi]
+	}
+	return fmt.Sprintf("first difference at byte %d\nwant: …%q…\ngot:  …%q…", i, clip(want), clip(got))
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Paper order is tables, figures, appendix, extensions; within a family
+// numeric chapter.item order with letter suffixes breaking ties. The old
+// float-based parse ordered T6.24 before T6.4 and would misplace any
+// chapter ≥ 7 artifact; these pairs pin the structured decomposition.
+func TestIDOrdering(t *testing.T) {
+	ordered := []struct{ lo, hi string }{
+		{"T3.7", "T5.1"},    // chapter before chapter
+		{"T6.4", "T6.24"},   // item is numeric, not lexical ("4" < "24")
+		{"T6.9", "T6.11"},   // same, across the two-digit boundary
+		{"T6.25", "F6.7"},   // all tables before all figures
+		{"F6.7", "F6.15"},   // figures order numerically too
+		{"F6.17a", "F6.17b"}, // letter suffix breaks the tie
+		{"F6.17b", "F6.18"},
+		{"F6.23", "F7.1"},  // a future chapter-7 figure sorts after 6.x
+		{"F7.1", "TA.1"},   // figures before the appendix
+		{"TA.1", "X1"},     // appendix before extensions
+		{"X1", "X2"},
+		{"X2", "X10"}, // extensions are numeric as well
+	}
+	for _, tc := range ordered {
+		if !less(tc.lo, tc.hi) {
+			t.Errorf("less(%q, %q) = false, want true", tc.lo, tc.hi)
+		}
+		if less(tc.hi, tc.lo) {
+			t.Errorf("less(%q, %q) = true, want false", tc.hi, tc.lo)
+		}
+	}
+}
+
+func TestIDRankDecomposition(t *testing.T) {
+	for _, tc := range []struct {
+		id   string
+		want idKey
+	}{
+		{"T6.24", idKey{rank: 0, chapter: 6, item: 24}},
+		{"F6.17a", idKey{rank: 1, chapter: 6, item: 17, suffix: "a"}},
+		{"TA.1", idKey{rank: 2, item: 1}},
+		{"X3", idKey{rank: 3, item: 3}},
+		{"misc", idKey{rank: 4, suffix: "misc"}},
+	} {
+		if got := idRank(tc.id); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("idRank(%q) = %+v, want %+v", tc.id, got, tc.want)
+		}
+	}
+}
+
+// The live registry must come out of All() in exactly paper order.
+func TestRegistryPaperOrder(t *testing.T) {
+	want := []string{
+		"T3.1", "T3.2", "T3.3", "T3.4", "T3.5", "T3.6", "T3.7",
+		"T5.1", "T5.2",
+		"T6.1", "T6.2", "T6.4", "T6.6", "T6.9", "T6.11", "T6.14", "T6.16",
+		"T6.19", "T6.21", "T6.24", "T6.25",
+		"F6.7", "F6.15", "F6.17a", "F6.17b", "F6.18", "F6.19",
+		"F6.20", "F6.21", "F6.22", "F6.23",
+		"TA.1", "X1", "X2", "X3",
+	}
+	var got []string
+	for _, e := range All() {
+		got = append(got, e.ID)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("All() order:\n got %v\nwant %v", got, want)
+	}
+}

@@ -3,6 +3,8 @@ package gtpn
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // PlaceID identifies a place within a Net.
@@ -56,6 +58,12 @@ type Transition struct {
 	Delay    int
 	Freq     FreqFunc
 	Resource string
+	// FreqKey, when non-empty, is a canonical description of Freq. It is
+	// what lets two separately built nets compare equal: the net signature
+	// (see Signature) covers structure, delays, initial marking, and these
+	// keys. A transition whose frequency was set through the opaque Freq
+	// setter has no key, which makes the whole net uncacheable.
+	FreqKey string
 }
 
 // Net is an immutable Generalized Timed Petri Net.
@@ -78,9 +86,11 @@ type Net struct {
 	firingOffset []int
 	firingLen    int
 
-	// lastFires0 is scratch state for the Monte Carlo simulator (see
-	// sampleInstant); a Net must not be simulated concurrently.
-	lastFires0 map[int]int
+	// sig is the canonical net signature computed at freeze time; sigOK
+	// reports whether every transition carried a frequency key. A frozen
+	// Net is immutable, so it may be solved and simulated concurrently.
+	sig   string
+	sigOK bool
 }
 
 type placeMult struct {
@@ -179,7 +189,7 @@ func (b *Builder) Transition(name string) *TransitionBuilder {
 		b.errs = append(b.errs, fmt.Errorf("gtpn: duplicate transition %q", name))
 	}
 	b.names["t:"+name] = true
-	tb := &TransitionBuilder{t: Transition{Name: name, Freq: Const(1)}}
+	tb := &TransitionBuilder{t: Transition{Name: name, Freq: Const(1), FreqKey: constKey(1)}}
 	b.trans = append(b.trans, tb)
 	return tb
 }
@@ -207,10 +217,39 @@ func (tb *TransitionBuilder) Delay(d int) *TransitionBuilder {
 	return tb
 }
 
-// Freq sets the firing-weight function.
+// Freq sets the firing-weight function. The function is opaque, so the
+// transition loses its frequency key and the net becomes invisible to
+// the solve cache; prefer FreqConst or FreqKeyed when the frequency has
+// a canonical description.
 func (tb *TransitionBuilder) Freq(f FreqFunc) *TransitionBuilder {
 	tb.t.Freq = f
+	tb.t.FreqKey = ""
 	return tb
+}
+
+// FreqConst sets a state-independent firing weight and keys it so the
+// net stays eligible for the solve cache.
+func (tb *TransitionBuilder) FreqConst(w float64) *TransitionBuilder {
+	tb.t.Freq = Const(w)
+	tb.t.FreqKey = constKey(w)
+	return tb
+}
+
+// FreqKeyed sets the firing-weight function together with a canonical
+// key. The caller guarantees that any two nets with equal structural
+// signatures and equal keys evaluate f identically in every state; under
+// that contract the solve cache may reuse one net's solution for the
+// other.
+func (tb *TransitionBuilder) FreqKeyed(key string, f FreqFunc) *TransitionBuilder {
+	tb.t.Freq = f
+	tb.t.FreqKey = "k:" + key
+	return tb
+}
+
+// constKey is the canonical frequency key of Const(w). The hex float
+// form is exact, so two weights key equal iff they are the same float64.
+func constKey(w float64) string {
+	return "c:" + strconv.FormatFloat(w, 'x', -1, 64)
 }
 
 // Resource tags the transition with a named resource; the solver reports
@@ -293,4 +332,33 @@ func (n *Net) freeze() {
 		}
 	}
 	n.firingLen = off
+	n.computeSignature()
+}
+
+// computeSignature canonicalizes the frozen net: places with initial
+// markings, then transitions with input/output multisets, delays,
+// resources, and frequency keys. Two nets built independently but
+// identically (the sweep-point and fixed-point case) produce equal
+// signatures, which is what the solve cache keys on.
+func (n *Net) computeSignature() {
+	var sb strings.Builder
+	for _, p := range n.places {
+		fmt.Fprintf(&sb, "p%q=%d;", p.Name, p.Initial)
+	}
+	n.sigOK = true
+	for _, t := range n.trans {
+		if t.FreqKey == "" {
+			n.sigOK = false
+			return
+		}
+		fmt.Fprintf(&sb, "t%q:i%v:o%v:d%d:r%q:f%q;", t.Name, t.In, t.Out, t.Delay, t.Resource, t.FreqKey)
+	}
+	n.sig = sb.String()
+}
+
+// Signature reports the canonical net signature, and whether one exists:
+// a net containing a transition with an opaque frequency function (no
+// FreqKey) has no signature and is never cached.
+func (n *Net) Signature() (string, bool) {
+	return n.sig, n.sigOK
 }

@@ -108,7 +108,7 @@ type pendingTrans struct {
 	ins      []string
 	outs     []string
 	delay    int
-	freq     FreqFunc
+	freq     float64 // constant weight; gates wrap it at build time
 	resource string
 	gate     *gateSpec
 	line     int
@@ -120,7 +120,7 @@ type gateSpec struct {
 }
 
 func (p *parser) parseTrans(rest string) (pendingTrans, error) {
-	pt := pendingTrans{delay: 1, freq: Const(1), line: p.line}
+	pt := pendingTrans{delay: 1, freq: 1, line: p.line}
 	colon := strings.Index(rest, ":")
 	if colon < 0 {
 		return pt, fmt.Errorf("transition needs \"name : ins -> outs\"")
@@ -167,7 +167,7 @@ func (p *parser) parseTrans(rest string) (pendingTrans, error) {
 			if err != nil {
 				return pt, fmt.Errorf("%s: %v", pt.name, err)
 			}
-			pt.freq = Const(f)
+			pt.freq = f
 			i += 2
 		case "resource":
 			if i+1 >= len(fields) {
@@ -255,22 +255,29 @@ func (p *parser) buildTrans(pt pendingTrans) error {
 	if err != nil {
 		return err
 	}
-	freq := pt.freq
-	if pt.gate != nil {
+	tb := p.b.Transition(pt.name).From(ins...).To(outs...).Delay(pt.delay)
+	if pt.gate == nil {
+		tb.FreqConst(pt.freq)
+	} else {
 		gp, ok := p.places[pt.gate.place]
 		if !ok {
 			return fmt.Errorf("gtpn: line %d: %s gates on unknown place %q", pt.line, pt.name, pt.gate.place)
 		}
 		zero := pt.gate.zero
 		base := pt.freq
-		freq = func(v View) float64 {
+		op := ">"
+		if zero {
+			op = "="
+		}
+		// The key names the gating place and operator, so the closure is
+		// fully determined by (signature, key) — the FreqKeyed contract.
+		tb.FreqKeyed(fmt.Sprintf("when:%s%s0:%x", pt.gate.place, op, base), func(v View) float64 {
 			if (v.Tokens(gp) == 0) == zero {
-				return base(v)
+				return base
 			}
 			return 0
-		}
+		})
 	}
-	tb := p.b.Transition(pt.name).From(ins...).To(outs...).Delay(pt.delay).Freq(freq)
 	if pt.resource != "" {
 		tb.Resource(pt.resource)
 	}

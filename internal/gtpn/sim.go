@@ -2,6 +2,8 @@ package gtpn
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/rng"
 )
@@ -16,6 +18,13 @@ type SimOptions struct {
 	Warmup int64
 	// WarmupSet reports whether Warmup was set explicitly (allowing 0).
 	WarmupSet bool
+	// Replications is the number of independent runs SimulateMany
+	// averages; values below 2 mean a single run.
+	Replications int
+	// Workers bounds the goroutines SimulateMany uses; 0 means
+	// GOMAXPROCS. The worker count never changes the result: each
+	// replication's SplitMix64 stream is derived from Seed by index.
+	Workers int
 }
 
 // SimResult holds time-averaged measures from a simulation run, with the
@@ -67,9 +76,10 @@ func (n *Net) Simulate(opts SimOptions) (*SimResult, error) {
 		opts.Warmup = opts.Ticks / 10
 	}
 	src := rng.New(opts.Seed ^ 0xA5A5A5A5DEADBEEF)
+	fires0 := map[int]int{}
 
 	c := n.newConfig()
-	if err := n.sampleInstant(&c, src); err != nil {
+	if err := n.sampleInstant(&c, src, fires0); err != nil {
 		return nil, err
 	}
 
@@ -127,13 +137,13 @@ func (n *Net) Simulate(opts SimOptions) (*SimResult, error) {
 			}
 		}
 		c = work
-		if err := n.sampleInstant(&c, src); err != nil {
+		if err := n.sampleInstant(&c, src, fires0); err != nil {
 			return nil, err
 		}
 		if now > opts.Warmup && now <= opts.Ticks {
 			// Zero-delay firings sampled in the instant at `now` were
-			// recorded by sampleInstant into c via fires0.
-			for t, cnt := range n.lastFires0 {
+			// recorded by sampleInstant into fires0.
+			for t, cnt := range fires0 {
 				fires[t] += int64(cnt)
 			}
 		}
@@ -155,14 +165,105 @@ func (n *Net) Simulate(opts SimOptions) (*SimResult, error) {
 	return res, nil
 }
 
-// sampleInstant is the sampled counterpart of resolveInstant. It records
-// the zero-delay firings it performs in n.lastFires0.
-func (n *Net) sampleInstant(c *config, src *rng.Source) error {
-	if n.lastFires0 == nil {
-		n.lastFires0 = map[int]int{}
+// SimulateMany runs opts.Replications independent simulations and
+// averages their measures. Each replication draws its seed from a
+// SplitMix64 stream derived from opts.Seed by replication index, and the
+// averages accumulate in replication order, so the result is
+// bit-identical at any Workers count — the same determinism guarantee
+// package rng gives a single stream, extended to a parallel ensemble.
+// With fewer than two replications it is exactly Simulate.
+func (n *Net) SimulateMany(opts SimOptions) (*SimResult, error) {
+	reps := opts.Replications
+	if reps < 2 {
+		return n.Simulate(opts)
 	}
-	for k := range n.lastFires0 {
-		delete(n.lastFires0, k)
+	if opts.Ticks <= 0 {
+		opts.Ticks = 1_000_000
+	}
+	seeds := make([]uint64, reps)
+	src := rng.New(opts.Seed)
+	for i := range seeds {
+		seeds[i] = src.Uint64()
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	results := make([]*SimResult, reps)
+	errs := make([]error, reps)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				o := opts
+				o.Seed = seeds[i]
+				o.Replications = 0
+				results[i], errs[i] = n.Simulate(o)
+			}
+		}()
+	}
+	for i := 0; i < reps; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	agg := &SimResult{
+		Ticks:         opts.Ticks,
+		MeanTokens:    make([]float64, n.NumPlaces()),
+		MeanFiring:    make([]float64, n.NumTransitions()),
+		FiringRate:    make([]float64, n.NumTransitions()),
+		ResourceUsage: map[string]float64{},
+		net:           n,
+	}
+	for _, r := range results {
+		for p := range agg.MeanTokens {
+			agg.MeanTokens[p] += r.MeanTokens[p]
+		}
+		for t := range agg.MeanFiring {
+			agg.MeanFiring[t] += r.MeanFiring[t]
+			agg.FiringRate[t] += r.FiringRate[t]
+		}
+		if r.Dead && (!agg.Dead || r.DeadTick < agg.DeadTick) {
+			agg.Dead = true
+			agg.DeadTick = r.DeadTick
+		}
+	}
+	inv := 1 / float64(reps)
+	for p := range agg.MeanTokens {
+		agg.MeanTokens[p] *= inv
+	}
+	for t := range agg.MeanFiring {
+		agg.MeanFiring[t] *= inv
+		agg.FiringRate[t] *= inv
+	}
+	for t := range n.trans {
+		if r := n.trans[t].Resource; r != "" {
+			agg.ResourceUsage[r] += agg.MeanFiring[t]
+		}
+	}
+	return agg, nil
+}
+
+// sampleInstant is the sampled counterpart of resolveInstant. It records
+// the zero-delay firings it performs in the caller-owned fires0 scratch
+// map (cleared here), keeping the Net itself free of mutable state so
+// concurrent replications can share it.
+func (n *Net) sampleInstant(c *config, src *rng.Source, fires0 map[int]int) error {
+	for k := range fires0 {
+		delete(fires0, k)
 	}
 	for steps := 0; ; steps++ {
 		if steps > maxResolutionSteps {
@@ -203,7 +304,7 @@ func (n *Net) sampleInstant(c *config, src *rng.Source) error {
 			for p, m := range n.outCount[pick] {
 				c.marking[p] += m
 			}
-			n.lastFires0[pick]++
+			fires0[pick]++
 		} else {
 			c.firing[n.firingOffset[pick]+tr.Delay-1]++
 		}

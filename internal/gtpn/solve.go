@@ -85,7 +85,10 @@ type stateRec struct {
 }
 
 // Solve builds the reachability graph of the net's embedded Markov chain
-// and computes its exact steady state.
+// and computes its exact steady state. When the net has a signature (see
+// Signature) the result is memoized in the process-global solve cache,
+// so re-solving an identically built net — a repeated sweep point, or a
+// converging §6.6.3 fixed-point iterate — returns the stored solution.
 func (n *Net) Solve(opts SolveOptions) (*Solution, error) {
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = DefaultMaxStates
@@ -97,12 +100,25 @@ func (n *Net) Solve(opts SolveOptions) (*Solution, error) {
 		opts.MaxSweeps = 200000
 	}
 
+	key, usable := n.solveKey(opts)
+	if s, ok := cacheLookup(key, usable); ok {
+		// Re-point the shared solution at this (identical) net so name
+		// lookups resolve against the caller's instance.
+		cp := *s
+		cp.net = n
+		return &cp, nil
+	}
+
 	states, init, err := n.buildGraph(opts.MaxStates)
 	if err != nil {
 		return nil, err
 	}
 	pi, converged, residual := solveStationary(states, init, opts)
-	return n.measures(states, pi, converged, residual), nil
+	sol := n.measures(states, pi, converged, residual)
+	if usable {
+		cacheStore(key, sol)
+	}
+	return sol, nil
 }
 
 // buildGraph explores the tangible state space. init is the distribution

@@ -43,16 +43,16 @@ func SolveContention(activities []timing.ContentionActivity, opts SolveOptions) 
 		tdone := fmt.Sprintf("TDone%d", i)
 		// T1: the completing step of the cycle.
 		b.Transition(tdone).From(start).To(start).Delay(1).
-			Freq(gtpn.Const(1 / total)).Resource(fmt.Sprintf("done%d", i))
+			FreqConst(1 / total).Resource(fmt.Sprintf("done%d", i))
 		// T0: otherwise decide what this step is.
 		b.Transition(fmt.Sprintf("TStep%d", i)).From(start).To(phase).Delay(0).
-			Freq(gtpn.Const(1 - 1/total))
+			FreqConst(1 - 1/total)
 		// T2: this step is a shared-memory access...
 		b.Transition(fmt.Sprintf("TNeedMem%d", i)).From(phase).To(need).Delay(0).
-			Freq(gtpn.Const(a.Memory / total))
+			FreqConst(a.Memory / total)
 		// T3: ...or a private processing step.
 		b.Transition(fmt.Sprintf("TProc%d", i)).From(phase).To(start).Delay(1).
-			Freq(gtpn.Const(1 - a.Memory/total))
+			FreqConst(1 - a.Memory/total)
 		// T4: the memory cycle, serialized by the memory token.
 		b.Transition(fmt.Sprintf("TMem%d", i)).From(need, mem).To(start, mem).Delay(1)
 		done = append(done, tdone)

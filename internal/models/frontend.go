@@ -35,6 +35,7 @@ const FrontEndOffload = 0.5
 func buildFrontEndClient(n, hosts int, sd, offload float64) (*gtpn.Net, string) {
 	p := timing.ClientParamsFor(timing.ArchI)
 	nb := newNetBuilder()
+	nb.gateKey = "intr(NetIntr,TCleanup)"
 	b := nb.b
 
 	clients := b.Place("Clients", n)
@@ -82,6 +83,7 @@ func buildFrontEndClient(n, hosts int, sd, offload float64) (*gtpn.Net, string) 
 func buildFrontEndServer(n, hosts int, cd, x, offload float64) (net *gtpn.Net, arrival string, boxPlaces, boxTrans []string) {
 	p := timing.ServerParamsFor(timing.ArchI)
 	nb := newNetBuilder()
+	nb.gateKey = "intr(ReqIntr,TMatch)"
 	b := nb.b
 
 	servers := b.Place("Servers", n)

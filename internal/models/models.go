@@ -23,6 +23,12 @@ import (
 // shared by all chapter 6 nets.
 type netBuilder struct {
 	b *gtpn.Builder
+	// gateKey canonically names this net's (single) gate condition for
+	// the solve-cache signature: within one net every gated stage freezes
+	// under the same interrupt-priority condition, so the key plus the
+	// stage weight fully determines the frequency function. Leaving it
+	// empty makes gated stages opaque (the net is then never cached).
+	gateKey string
 }
 
 func newNetBuilder() *netBuilder { return &netBuilder{b: gtpn.NewBuilder()} }
@@ -43,16 +49,22 @@ func (nb *netBuilder) stage(name string, in gtpn.PlaceID, res gtpn.PlaceID, hasR
 		panic(fmt.Sprintf("models: stage %s mean %.3f below one tick", name, m))
 	}
 	p := 1 / m
-	freq := func(f float64) gtpn.FreqFunc {
+	setFreq := func(tb *gtpn.TransitionBuilder, f float64) {
 		if gate == nil {
-			return gtpn.Const(f)
+			tb.FreqConst(f)
+			return
 		}
-		return func(v gtpn.View) float64 {
+		fn := func(v gtpn.View) float64 {
 			if gate(v) {
 				return f
 			}
 			return 0
 		}
+		if nb.gateKey == "" {
+			tb.Freq(fn) // unkeyed gate: leave the net uncacheable
+			return
+		}
+		tb.FreqKeyed(fmt.Sprintf("%s:%x", nb.gateKey, f), fn)
 	}
 	endIn := []gtpn.PlaceID{in}
 	endOut := append([]gtpn.PlaceID{}, outs...)
@@ -64,9 +76,9 @@ func (nb *netBuilder) stage(name string, in gtpn.PlaceID, res gtpn.PlaceID, hasR
 		loopIn = append(loopIn, res)
 		loopOut = append(loopOut, res)
 	}
-	nb.b.Transition(name).From(endIn...).To(endOut...).Delay(1).Freq(freq(p))
+	setFreq(nb.b.Transition(name).From(endIn...).To(endOut...).Delay(1), p)
 	if p < 1 {
-		nb.b.Transition(name + ".loop").From(loopIn...).To(loopOut...).Delay(1).Freq(freq(1 - p))
+		setFreq(nb.b.Transition(name+".loop").From(loopIn...).To(loopOut...).Delay(1), 1-p)
 	}
 }
 
@@ -143,9 +155,9 @@ func BuildLocal(arch timing.Arch, n, hosts int, xUS float64) *LocalModel {
 	// Rendezvous: match on the communication processor.
 	srvReady := b.Place("SrvReady", 0)
 	nb.b.Transition("TMatch").From(sentC, rcvdS, comm).To(srvReady, comm).
-		Delay(1).Freq(gtpn.Const(1 / p.CommMatch))
+		Delay(1).FreqConst(1 / p.CommMatch)
 	nb.b.Transition("TMatch.loop").From(sentC, rcvdS, comm).To(sentC, rcvdS, comm).
-		Delay(1).Freq(gtpn.Const(1 - 1/p.CommMatch))
+		Delay(1).FreqConst(1 - 1/p.CommMatch)
 
 	// Compute + reply syscall on the host; reply processing on the MP
 	// completes the conversation, returning both tokens.

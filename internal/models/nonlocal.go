@@ -13,6 +13,7 @@ import (
 func buildClient(arch timing.Arch, n, hosts int, sd float64) (*gtpn.Net, string) {
 	p := timing.ClientParamsFor(arch)
 	nb := newNetBuilder()
+	nb.gateKey = "intr(NetIntr,TCleanup)"
 	b := nb.b
 
 	clients := b.Place("Clients", n)
@@ -80,6 +81,7 @@ func buildClient(arch timing.Arch, n, hosts int, sd float64) (*gtpn.Net, string)
 func buildServer(arch timing.Arch, n, hosts int, cd, xUS float64) (net *gtpn.Net, arrival string, boxPlaces, boxTrans []string) {
 	p := timing.ServerParamsFor(arch)
 	nb := newNetBuilder()
+	nb.gateKey = "intr(ReqIntr,TMatch)"
 	b := nb.b
 
 	servers := b.Place("Servers", n)
