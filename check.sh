@@ -7,5 +7,9 @@ set -eux
 
 go build ./...
 go vet ./...
-go test -race ./...
+# internal/models alone needs ~9 minutes under the race detector on a
+# single CPU, right against go test's default 10-minute per-package
+# timeout — give the suite explicit headroom so a loaded runner doesn't
+# flake.
+go test -race -timeout 30m ./...
 go test -run '^$' -bench . -benchtime 1x .

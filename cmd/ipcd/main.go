@@ -1,0 +1,87 @@
+// Command ipcd is the model-serving daemon: it exposes the core façade
+// and the experiment registry over HTTP/JSON with request coalescing,
+// bounded-concurrency admission control, and graceful drain.
+//
+// Usage:
+//
+//	ipcd                         serve on :8080
+//	ipcd -addr :9090 -workers 8  eight concurrent computations
+//	ipcd -queue 16 -timeout 30s  16 queued beyond the workers; 30s deadline
+//
+// Endpoints:
+//
+//	POST /v1/solve            analytic GTPN solution of a workload point
+//	POST /v1/simulate         replicated machine-level simulation (seeded)
+//	GET  /v1/experiments      the registry, in paper order
+//	GET  /v1/experiments/{id} one regenerated table/figure (?full=1 for full sweeps)
+//	GET  /healthz             200 ok, 503 while draining
+//	GET  /metrics             counters: requests, coalescing, queue, cache, latency
+//
+// On SIGTERM/SIGINT the daemon drains: in-flight requests complete, new
+// ones are refused with 503, and the process exits once idle or after
+// -drain at the latest.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent computations (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "admission queue beyond the workers; full queue answers 429")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-request computation deadline")
+		drain   = flag.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ipcd: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("ipcd: serving on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("ipcd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("ipcd: draining (up to %v)", *drain)
+	srv.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("ipcd: shutdown: %v", err)
+	}
+	log.Printf("ipcd: drained, exiting")
+}

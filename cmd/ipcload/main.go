@@ -1,0 +1,205 @@
+// Command ipcload is a closed-loop load generator for ipcd — the
+// repository's own conversation-workload client. Each of -c workers
+// draws workload points from a deterministic SplitMix64 stream derived
+// from -seed and issues one request at a time (a closed loop: offered
+// load tracks service capacity, as in the thesis's conversation
+// workload), until -duration elapses.
+//
+// Determinism: the request point set is a fixed function of the seed,
+// and ipcd's responses are deterministic JSON, so the reported response
+// digest — a hash over every distinct (request, response-body) pair —
+// is byte-stable: two runs with the same seed against the same server
+// print the same digest. Any request that yields two different bodies
+// within a run is counted as a mismatch and fails the client.
+//
+// Usage:
+//
+//	ipcload -addr http://localhost:8080 -c 32 -duration 5s
+//	ipcload -endpoint simulate -c 8 -duration 10s -seed 7
+//	ipcload -nonlocal ...   include non-local workload points (slow solves)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "ipcd base URL")
+		c        = flag.Int("c", 8, "concurrent closed-loop workers")
+		duration = flag.Duration("duration", 5*time.Second, "load duration")
+		seed     = flag.Uint64("seed", 1, "workload stream seed")
+		endpoint = flag.String("endpoint", "solve", "endpoint to drive: solve or simulate")
+		nonlocal = flag.Bool("nonlocal", false, "include non-local workload points (much slower solves)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ipcload: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *c < 1 || *endpoint != "solve" && *endpoint != "simulate" {
+		fmt.Fprintln(os.Stderr, "ipcload: -c must be >= 1 and -endpoint must be solve or simulate")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	points := workloadPoints(*endpoint, *nonlocal)
+	url := strings.TrimRight(*addr, "/") + "/v1/" + *endpoint
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *c,
+		MaxIdleConnsPerHost: *c,
+	}}
+
+	// Per-worker deterministic streams derived from the base seed.
+	src := rng.New(*seed)
+	workerSeeds := make([]uint64, *c)
+	for i := range workerSeeds {
+		workerSeeds[i] = src.Uint64()
+	}
+
+	var (
+		mu         sync.Mutex
+		latencies  []time.Duration
+		errs       int
+		mismatches int
+		bodies     = map[string]uint64{} // request body -> response body hash
+	)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func(stream *rng.Source) {
+			defer wg.Done()
+			var local []time.Duration
+			localErrs := 0
+			type seen struct{ req string; hash uint64 }
+			var observed []seen
+			for time.Now().Before(deadline) {
+				req := points[stream.Intn(len(points))]
+				t0 := time.Now()
+				body, ok := post(client, url, req)
+				local = append(local, time.Since(t0))
+				if !ok {
+					localErrs++
+					continue
+				}
+				observed = append(observed, seen{req, hashBytes(body)})
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			errs += localErrs
+			for _, o := range observed {
+				if prev, ok := bodies[o.req]; ok {
+					if prev != o.hash {
+						mismatches++
+					}
+				} else {
+					bodies[o.req] = o.hash
+				}
+			}
+			mu.Unlock()
+		}(rng.New(workerSeeds[w]))
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	n := len(latencies)
+	fmt.Printf("ipcload: %d requests in %.2fs (%.1f req/s), %d errors\n",
+		n, wall.Seconds(), float64(n-errs)/wall.Seconds(), errs)
+	if n > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		q := func(p float64) time.Duration {
+			i := int(p * float64(n))
+			if i >= n {
+				i = n - 1
+			}
+			return latencies[i]
+		}
+		fmt.Printf("  latency p50 %v  p90 %v  p99 %v  max %v\n",
+			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+			q(0.99).Round(time.Microsecond), latencies[n-1].Round(time.Microsecond))
+	}
+	fmt.Printf("  response digest %016x (%d distinct points, %d mismatches)\n",
+		digest(bodies), len(bodies), mismatches)
+	if errs > 0 || mismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+// workloadPoints is the deterministic request-point set: every
+// combination of architecture I-IV, 1-2 conversations, and the thesis's
+// server-compute sweep values. A finite set means a long enough run
+// covers every point, so the digest compares across runs.
+func workloadPoints(endpoint string, nonlocal bool) []string {
+	var points []string
+	locality := []string{"false"}
+	if nonlocal {
+		locality = append(locality, "true")
+	}
+	for _, nl := range locality {
+		for arch := 1; arch <= 4; arch++ {
+			for n := 1; n <= 2; n++ {
+				for _, x := range []int{0, 570, 1140, 2850} {
+					switch endpoint {
+					case "solve":
+						points = append(points, fmt.Sprintf(
+							`{"arch":%d,"conversations":%d,"server_compute_us":%d,"non_local":%s}`,
+							arch, n, x, nl))
+					case "simulate":
+						points = append(points, fmt.Sprintf(
+							`{"arch":%d,"conversations":%d,"server_compute_us":%d,"non_local":%s,"seconds":2,"seed":42}`,
+							arch, n, x, nl))
+					}
+				}
+			}
+		}
+	}
+	return points
+}
+
+func post(client *http.Client, url, body string) ([]byte, bool) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	return b, true
+}
+
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// digest folds every distinct (request, response-hash) pair, in sorted
+// request order, into one order-independent run digest.
+func digest(bodies map[string]uint64) uint64 {
+	keys := make([]string, 0, len(bodies))
+	for k := range bodies {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%016x;", k, bodies[k])
+	}
+	return h.Sum64()
+}

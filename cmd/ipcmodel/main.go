@@ -41,6 +41,11 @@ func main() {
 		nonlocal = flag.Bool("nonlocal", false, "solve one point: non-local conversations")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ipcmodel: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 	cfg := experiments.Config{Quick: *quick, Plot: *plotFigs, Parallelism: *parallel}
 	if *stats {
 		defer func() {
@@ -58,8 +63,11 @@ func main() {
 	case *id != "":
 		e, ok := experiments.ByID(*id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "ipcmodel: unknown experiment %q (try -list)\n", *id)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "ipcmodel: unknown experiment %q; valid ids:\n", *id)
+			for _, e := range experiments.All() {
+				fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
+			}
+			os.Exit(2)
 		}
 		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
 		if err := e.Run(os.Stdout, cfg); err != nil {
@@ -74,7 +82,8 @@ func main() {
 	case *arch != 0:
 		if *arch < 1 || *arch > 4 {
 			fmt.Fprintln(os.Stderr, "ipcmodel: -arch must be 1..4")
-			os.Exit(1)
+			flag.Usage()
+			os.Exit(2)
 		}
 		a := timing.Arch(*arch)
 		if *nonlocal {

@@ -42,9 +42,20 @@ func main() {
 		stats    = flag.Bool("cachestats", false, "print GTPN solve-cache statistics to stderr on exit")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ipcsim: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *arch < 1 || *arch > 4 {
 		fmt.Fprintln(os.Stderr, "ipcsim: -arch must be 1..4")
-		os.Exit(1)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *n < 1 || *reps < 1 || *seconds < 1 {
+		fmt.Fprintln(os.Stderr, "ipcsim: -n, -reps, and -seconds must be >= 1")
+		flag.Usage()
+		os.Exit(2)
 	}
 	if *stats {
 		defer func() {

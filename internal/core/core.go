@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -115,25 +116,32 @@ type Prediction struct {
 
 // Analyze solves the GTPN model of the system under the workload.
 func (s *System) Analyze(w Workload) (Prediction, error) {
+	return s.AnalyzeContext(context.Background(), w)
+}
+
+// AnalyzeContext is Analyze with cancellation: the context is threaded
+// through the GTPN solver (and, for non-local workloads, the §6.6.3
+// fixed-point iteration), so a request deadline bounds the solve.
+func (s *System) AnalyzeContext(ctx context.Context, w Workload) (Prediction, error) {
 	if w.Conversations <= 0 {
 		return Prediction{}, fmt.Errorf("core: workload needs at least one conversation")
 	}
 	var p Prediction
 	if w.NonLocal {
-		res, err := models.SolveNonLocal(s.arch, w.Conversations, s.hosts, w.ServerComputeUS, models.SolveOptions{})
+		res, err := models.SolveNonLocalContext(ctx, s.arch, w.Conversations, s.hosts, w.ServerComputeUS, models.SolveOptions{})
 		if err != nil {
 			return Prediction{}, err
 		}
 		p = Prediction{Throughput: res.Throughput * 1e6, RoundTripUS: res.RoundTrip,
 			States: res.ClientStates + res.ServerStates}
 	} else {
-		res, err := models.BuildLocal(s.arch, w.Conversations, s.hosts, w.ServerComputeUS).Solve(models.SolveOptions{})
+		res, err := models.BuildLocal(s.arch, w.Conversations, s.hosts, w.ServerComputeUS).SolveContext(ctx, models.SolveOptions{})
 		if err != nil {
 			return Prediction{}, err
 		}
 		p = Prediction{Throughput: res.Throughput * 1e6, RoundTripUS: res.RoundTrip, States: res.States}
 	}
-	c, err := s.roundTripC(w.NonLocal)
+	c, err := s.roundTripC(ctx, w.NonLocal)
 	if err != nil {
 		return Prediction{}, err
 	}
@@ -141,19 +149,27 @@ func (s *System) Analyze(w Workload) (Prediction, error) {
 	return p, nil
 }
 
-func (s *System) roundTripC(nonLocal bool) (float64, error) {
+func (s *System) roundTripC(ctx context.Context, nonLocal bool) (float64, error) {
 	if nonLocal {
-		res, err := models.SolveNonLocal(s.arch, 1, s.hosts, 0, models.SolveOptions{})
+		res, err := models.SolveNonLocalContext(ctx, s.arch, 1, s.hosts, 0, models.SolveOptions{})
 		if err != nil {
 			return 0, err
 		}
 		return res.RoundTrip, nil
 	}
-	res, err := models.BuildLocal(s.arch, 1, s.hosts, 0).Solve(models.SolveOptions{})
+	res, err := models.BuildLocal(s.arch, 1, s.hosts, 0).SolveContext(ctx, models.SolveOptions{})
 	if err != nil {
 		return 0, err
 	}
 	return res.RoundTrip, nil
+}
+
+// CoalesceKey canonically names this system + workload point for request
+// coalescing: the canonical GTPN net signature of the workload's model
+// (see models.CoalesceKey). Two Systems return the same key exactly when
+// Analyze would solve the same nets.
+func (s *System) CoalesceKey(w Workload) (string, error) {
+	return models.CoalesceKey(s.arch, w.Conversations, s.hosts, w.ServerComputeUS, w.NonLocal)
 }
 
 // Measurement is a machine-level simulation result.
@@ -204,6 +220,18 @@ func (s *System) Measure(w Workload, seconds int64) (Measurement, error) {
 // extending the repository's single-stream determinism guarantee to a
 // parallel ensemble.
 func (s *System) MeasureMany(w Workload, seconds int64, reps, workers int) (Measurement, error) {
+	return s.MeasureManyContext(context.Background(), w, seconds, reps, workers)
+}
+
+// MeasureManyContext is MeasureMany with cancellation: the context is
+// polled before each replication starts, so a deadline bounds an
+// ensemble to the replications already in flight. (A single replication
+// runs to completion: the discrete-event engine itself is not
+// interruptible mid-run.)
+func (s *System) MeasureManyContext(ctx context.Context, w Workload, seconds int64, reps, workers int) (Measurement, error) {
+	if err := ctx.Err(); err != nil {
+		return Measurement{}, err
+	}
 	if reps < 2 {
 		return s.Measure(w, seconds)
 	}
@@ -227,6 +255,10 @@ func (s *System) MeasureMany(w Workload, seconds int64, reps, workers int) (Meas
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				rep := *s
 				rep.seed = seeds[i]
 				results[i], errs[i] = rep.Measure(w, seconds)

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -75,6 +76,37 @@ func TestExperimentsGolden(t *testing.T) {
 					tc.name, firstDiff(want.Bytes(), got.Bytes()))
 			}
 		})
+	}
+}
+
+// TestGoldenCoversRegistry demands a bijection between the registry and
+// the snapshot directory: every registered experiment — including late
+// additions like T6.24/T6.25 and the X1-X3 ablations — must have a
+// golden snapshot (so drift is caught everywhere, not just for a pinned
+// subset), and every snapshot file must correspond to a registered id
+// (so renames can't leave stale goldens behind). This test is cheap and
+// runs even under -short.
+func TestGoldenCoversRegistry(t *testing.T) {
+	registered := map[string]bool{}
+	for _, e := range All() {
+		registered[e.ID] = true
+		if _, err := os.Stat(goldenPath(e.ID)); err != nil {
+			t.Errorf("experiment %s has no golden snapshot (run with -update): %v", e.ID, err)
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		id := strings.TrimSuffix(ent.Name(), ".txt")
+		if !registered[id] {
+			t.Errorf("stale snapshot %s: no experiment %q is registered", ent.Name(), id)
+		}
+	}
+	if len(registered) != len(entries) {
+		t.Errorf("registry has %d experiments but testdata/golden has %d snapshots",
+			len(registered), len(entries))
 	}
 }
 

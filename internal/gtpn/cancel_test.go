@@ -1,0 +1,76 @@
+package gtpn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// ring builds a k-place cycle with one token and unit-delay transitions:
+// exactly k tangible states (the token's position), which makes the
+// state-space size an explicit test knob.
+func ring(k int) *Net {
+	b := NewBuilder()
+	places := make([]PlaceID, k)
+	for i := range places {
+		m := 0
+		if i == 0 {
+			m = 1
+		}
+		places[i] = b.Place(fmt.Sprintf("P%d", i), m)
+	}
+	for i := range places {
+		b.Transition(fmt.Sprintf("T%d", i)).
+			From(places[i]).To(places[(i+1)%k]).Delay(1).FreqConst(1).Resource("busy")
+	}
+	return b.MustBuild()
+}
+
+// TestSolveContextCancelled checks a done context aborts the solve with
+// ctx.Err() and leaves the cache unpolluted. The net is sized past the
+// exploration poll interval so the cancellation point is reached.
+func TestSolveContextCancelled(t *testing.T) {
+	ResetSolveCache()
+	defer ResetSolveCache()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ring(2000).SolveContext(ctx, SolveOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if s := SolveCacheStats(); s.Entries != 0 {
+		t.Fatalf("cancelled solve polluted the cache: %+v", s)
+	}
+
+	// The same net solves fine once the pressure is off.
+	sol, err := ring(2000).SolveContext(context.Background(), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.States < cancelCheckInterval {
+		t.Fatalf("net too small to exercise the cancellation poll: %d states", sol.States)
+	}
+	if s := SolveCacheStats(); s.Entries != 1 {
+		t.Fatalf("successful solve not cached: %+v", s)
+	}
+}
+
+// TestSolveContextBackground checks the context path is invisible for
+// undeadlined solves: Solve and SolveContext(Background) agree.
+func TestSolveContextBackground(t *testing.T) {
+	ResetSolveCache()
+	defer ResetSolveCache()
+	a, err := twoPhase(7, 5).Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetSolveCache()
+	b, err := twoPhase(7, 5).SolveContext(context.Background(), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.States != b.States || a.Usage("busy") != b.Usage("busy") {
+		t.Fatal("SolveContext(Background) diverged from Solve")
+	}
+}

@@ -1,6 +1,7 @@
 package gtpn
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -90,6 +91,15 @@ type stateRec struct {
 // so re-solving an identically built net — a repeated sweep point, or a
 // converging §6.6.3 fixed-point iterate — returns the stored solution.
 func (n *Net) Solve(opts SolveOptions) (*Solution, error) {
+	return n.SolveContext(context.Background(), opts)
+}
+
+// SolveContext is Solve with cancellation: the state-space exploration
+// and the stationary iteration poll ctx and abandon the solve with
+// ctx.Err() once it is done. A cancelled solve stores nothing in the
+// cache. This is the entry point the serving layer uses to bound request
+// deadlines on large non-local models.
+func (n *Net) SolveContext(ctx context.Context, opts SolveOptions) (*Solution, error) {
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = DefaultMaxStates
 	}
@@ -109,11 +119,21 @@ func (n *Net) Solve(opts SolveOptions) (*Solution, error) {
 		return &cp, nil
 	}
 
-	states, init, err := n.buildGraph(opts.MaxStates)
+	// A solve that starts after its deadline should fail up front rather
+	// than rely on reaching the periodic polls below (small nets finish
+	// before the first one).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	states, init, err := n.buildGraph(ctx, opts.MaxStates)
 	if err != nil {
 		return nil, err
 	}
-	pi, converged, residual := solveStationary(states, init, opts)
+	pi, converged, residual, err := solveStationary(ctx, states, init, opts)
+	if err != nil {
+		return nil, err
+	}
 	sol := n.measures(states, pi, converged, residual)
 	if usable {
 		cacheStore(key, sol)
@@ -121,9 +141,14 @@ func (n *Net) Solve(opts SolveOptions) (*Solution, error) {
 	return sol, nil
 }
 
+// cancelCheckInterval is how many units of work (explored states,
+// Gauss-Seidel sweeps) pass between context polls; a power of two keeps
+// the modulus cheap.
+const cancelCheckInterval = 1024
+
 // buildGraph explores the tangible state space. init is the distribution
 // over states after resolving the initial instant.
-func (n *Net) buildGraph(maxStates int) ([]*stateRec, map[int]float64, error) {
+func (n *Net) buildGraph(ctx context.Context, maxStates int) ([]*stateRec, map[int]float64, error) {
 	index := map[string]int{}
 	var states []*stateRec
 
@@ -152,7 +177,14 @@ func (n *Net) buildGraph(maxStates int) ([]*stateRec, map[int]float64, error) {
 		}
 	}
 
+	var explored int
 	for len(frontier) > 0 {
+		explored++
+		if explored%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		i := frontier[0]
 		frontier = frontier[1:]
 		st := states[i]

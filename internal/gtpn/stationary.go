@@ -1,6 +1,9 @@
 package gtpn
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // solveStationary computes the long-run distribution of the embedded
 // chain started from init. The chain may be reducible (nets that halt
@@ -9,12 +12,14 @@ import "math"
 // probability of absorption into each from init, and solve the stationary
 // distribution within each class; the result is the absorption-weighted
 // mixture. For the irreducible closed nets produced by the thesis models
-// this reduces to a single per-class solve.
-func solveStationary(states []*stateRec, init map[int]float64, opts SolveOptions) (pi []float64, converged bool, residual float64) {
+// this reduces to a single per-class solve. The iterative phases poll
+// ctx between sweeps and abandon the solve with ctx.Err() on
+// cancellation.
+func solveStationary(ctx context.Context, states []*stateRec, init map[int]float64, opts SolveOptions) (pi []float64, converged bool, residual float64, err error) {
 	ns := len(states)
 	pi = make([]float64, ns)
 	if ns == 0 {
-		return pi, true, 0
+		return pi, true, 0, nil
 	}
 	comp, terminal := terminalClasses(states)
 
@@ -37,7 +42,10 @@ func solveStationary(states []*stateRec, init map[int]float64, opts SolveOptions
 	}
 
 	// Absorption probability into each terminal class.
-	absorb := absorptionMass(states, init, comp, terminal, termClasses, opts)
+	absorb, err := absorptionMass(ctx, states, init, comp, terminal, termClasses, opts)
+	if err != nil {
+		return nil, false, 0, err
+	}
 
 	converged = true
 	for k, c := range termClasses {
@@ -45,7 +53,10 @@ func solveStationary(states []*stateRec, init map[int]float64, opts SolveOptions
 		if mass <= 0 {
 			continue
 		}
-		local, ok, res := classStationary(states, members[c], opts)
+		local, ok, res, err := classStationary(ctx, states, members[c], opts)
+		if err != nil {
+			return nil, false, 0, err
+		}
 		if !ok {
 			converged = false
 		}
@@ -56,7 +67,7 @@ func solveStationary(states []*stateRec, init map[int]float64, opts SolveOptions
 			pi[i] = mass * local[idx]
 		}
 	}
-	return pi, converged, residual
+	return pi, converged, residual, nil
 }
 
 // terminalClasses runs Tarjan's SCC algorithm (iteratively) and reports
@@ -148,7 +159,7 @@ func terminalClasses(states []*stateRec) (comp []int, terminal []bool) {
 
 // absorptionMass computes, for each terminal class, the probability that
 // the chain started from init is eventually absorbed there.
-func absorbInto(states []*stateRec, comp []int, terminal []bool, class int, opts SolveOptions) []float64 {
+func absorbInto(ctx context.Context, states []*stateRec, comp []int, terminal []bool, class int, opts SolveOptions) ([]float64, error) {
 	ns := len(states)
 	h := make([]float64, ns)
 	transient := make([]int, 0)
@@ -163,10 +174,15 @@ func absorbInto(states []*stateRec, comp []int, terminal []bool, class int, opts
 		}
 	}
 	if len(transient) == 0 {
-		return h
+		return h, nil
 	}
 	// Gauss-Seidel on h(i) = sum_j P(i,j) h(j) over transient states.
 	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		if sweep%8 == 7 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		var delta float64
 		for _, i := range transient {
 			st := states[i]
@@ -191,18 +207,21 @@ func absorbInto(states []*stateRec, comp []int, terminal []bool, class int, opts
 			break
 		}
 	}
-	return h
+	return h, nil
 }
 
-func absorptionMass(states []*stateRec, init map[int]float64, comp []int, terminal []bool, termClasses []int, opts SolveOptions) []float64 {
+func absorptionMass(ctx context.Context, states []*stateRec, init map[int]float64, comp []int, terminal []bool, termClasses []int, opts SolveOptions) ([]float64, error) {
 	out := make([]float64, len(termClasses))
 	if len(termClasses) == 1 {
 		// Everything is absorbed into the unique terminal class.
 		out[0] = 1
-		return out
+		return out, nil
 	}
 	for k, c := range termClasses {
-		h := absorbInto(states, comp, terminal, c, opts)
+		h, err := absorbInto(ctx, states, comp, terminal, c, opts)
+		if err != nil {
+			return nil, err
+		}
 		var mass float64
 		for i, p := range init {
 			mass += p * h[i]
@@ -219,17 +238,17 @@ func absorptionMass(states []*stateRec, init map[int]float64, comp []int, termin
 			out[k] /= tot
 		}
 	}
-	return out
+	return out, nil
 }
 
 // classStationary solves pi = pi P restricted to one terminal class
 // (irreducible by construction). Small classes are solved directly;
 // larger ones by Gauss-Seidel from a uniform start with a damped power
 // iteration fallback.
-func classStationary(states []*stateRec, members []int, opts SolveOptions) (pi []float64, converged bool, residual float64) {
+func classStationary(ctx context.Context, states []*stateRec, members []int, opts SolveOptions) (pi []float64, converged bool, residual float64, err error) {
 	m := len(members)
 	if m == 1 {
-		return []float64{1}, true, 0
+		return []float64{1}, true, 0, nil
 	}
 	idx := make(map[int]int, m)
 	for k, i := range members {
@@ -258,7 +277,7 @@ func classStationary(states []*stateRec, members []int, opts SolveOptions) (pi [
 
 	if m <= 512 {
 		if pi := denseClassSolve(states, members, idx); pi != nil {
-			return pi, true, 0
+			return pi, true, 0, nil
 		}
 	}
 
@@ -281,6 +300,11 @@ func classStationary(states []*stateRec, members []int, opts SolveOptions) (pi [
 		return r
 	}
 	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		if sweep%8 == 7 {
+			if err := ctx.Err(); err != nil {
+				return nil, false, 0, err
+			}
+		}
 		for k := 0; k < m; k++ {
 			var sum float64
 			for _, e := range in[k] {
@@ -302,11 +326,11 @@ func classStationary(states []*stateRec, members []int, opts SolveOptions) (pi [
 		}
 		if sweep%8 == 7 || sweep == opts.MaxSweeps-1 {
 			if r := resid(); r < opts.Tolerance {
-				return pi, true, r
+				return pi, true, r, nil
 			}
 		}
 	}
-	return pi, false, resid()
+	return pi, false, resid(), nil
 }
 
 // denseClassSolve solves the balance equations of one class by Gaussian

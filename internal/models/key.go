@@ -1,0 +1,34 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/timing"
+)
+
+// CoalesceKey canonically names one analytic workload point for request
+// coalescing in the serving layer. The key is the same canonical net
+// signature the GTPN solve cache uses (structure + initial marking +
+// delays + frequency keys): for a local workload it is the signature of
+// the local-conversation net itself, and for a non-local workload the
+// signature of the first client-node iterate of the §6.6.3 fixed point —
+// which the workload parameters determine completely, so identical
+// requests key identically and different requests cannot collide.
+//
+// Building a net costs microseconds (no solving happens), which is what
+// makes signing cheap enough to run per request.
+func CoalesceKey(arch timing.Arch, n, hosts int, xUS float64, nonLocal bool) (string, error) {
+	if nonLocal {
+		cnet, _ := buildClient(arch, n, hosts, initialSd(timing.ServerParamsFor(arch), xUS))
+		sig, ok := cnet.Signature()
+		if !ok {
+			return "", fmt.Errorf("models: non-local client net (arch %v) is unsigned", arch)
+		}
+		return "nonlocal|" + sig, nil
+	}
+	sig, ok := BuildLocal(arch, n, hosts, xUS).Net.Signature()
+	if !ok {
+		return "", fmt.Errorf("models: local net (arch %v) is unsigned", arch)
+	}
+	return "local|" + sig, nil
+}

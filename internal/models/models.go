@@ -12,6 +12,7 @@
 package models
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -184,7 +185,13 @@ func (m *LocalModel) doneTransition() string {
 
 // Solve computes the exact steady state of the local model.
 func (m *LocalModel) Solve(opts SolveOptions) (LocalResult, error) {
-	sol, err := m.Net.Solve(opts.gtpnOpts())
+	return m.SolveContext(context.Background(), opts)
+}
+
+// SolveContext is Solve with cancellation: a done ctx abandons the
+// underlying GTPN solve with ctx.Err().
+func (m *LocalModel) SolveContext(ctx context.Context, opts SolveOptions) (LocalResult, error) {
+	sol, err := m.Net.SolveContext(ctx, opts.gtpnOpts())
 	if err != nil {
 		return LocalResult{}, err
 	}

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gtpn"
@@ -149,6 +150,14 @@ func buildServer(arch timing.Arch, n, hosts int, cd, xUS float64) (net *gtpn.Net
 	return net, "TArrive", boxPlaces, boxTrans
 }
 
+// initialSd is the §6.6.3 starting estimate of the surrogate server
+// delay: the sum of the communication time and compute time. It also
+// determines the first client-net iterate, which CoalesceKey signs.
+func initialSd(sp timing.ServerParams, xUS float64) float64 {
+	return sp.HostRecv + sp.CommRecv + sp.CommMatch + sp.HostCompute + xUS +
+		sp.CommReply + sp.DMAIn + sp.DMAOut
+}
+
 // NonLocalResult reports the converged non-local fixed point.
 type NonLocalResult struct {
 	// Throughput is completed round trips per microsecond (the client
@@ -171,12 +180,19 @@ type NonLocalResult struct {
 // servers on another, solved alternately until the surrogate server
 // delay stabilizes.
 func SolveNonLocal(arch timing.Arch, n, hosts int, xUS float64, opts SolveOptions) (NonLocalResult, error) {
+	return SolveNonLocalContext(context.Background(), arch, n, hosts, xUS, opts)
+}
+
+// SolveNonLocalContext is SolveNonLocal with cancellation threaded
+// through the fixed-point iteration: ctx is polled between iterates and
+// inside each per-net solve, so a request deadline bounds even the long
+// multi-iterate non-local solves.
+func SolveNonLocalContext(ctx context.Context, arch timing.Arch, n, hosts int, xUS float64, opts SolveOptions) (NonLocalResult, error) {
 	sp := timing.ServerParamsFor(arch)
 
 	// "The client model is solved assuming an initial server delay equal
 	// to the sum of the communication time and compute time."
-	sd := sp.HostRecv + sp.CommRecv + sp.CommMatch + sp.HostCompute + xUS +
-		sp.CommReply + sp.DMAIn + sp.DMAOut
+	sd := initialSd(sp, xUS)
 	// S_c: the server-side time overlapped with the client's busy period.
 	sc := sp.HostRecv + sp.CommRecv
 
@@ -186,8 +202,11 @@ func SolveNonLocal(arch timing.Arch, n, hosts int, xUS float64, opts SolveOption
 	)
 	var res NonLocalResult
 	for iter := 1; iter <= maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		cnet, cleanup := buildClient(arch, n, hosts, sd)
-		csol, err := cnet.Solve(opts.gtpnOpts())
+		csol, err := cnet.SolveContext(ctx, opts.gtpnOpts())
 		if err != nil {
 			return res, fmt.Errorf("models: client model (arch %v, n=%d): %w", arch, n, err)
 		}
@@ -200,7 +219,7 @@ func SolveNonLocal(arch timing.Arch, n, hosts int, xUS float64, opts SolveOption
 		cd := maxFloat(cdPrime-sc, 1) // subtract the overlapped receive (§6.6.3)
 
 		snet, arrival, boxP, boxT := buildServer(arch, n, hosts, cd, xUS)
-		ssol, err := snet.Solve(opts.gtpnOpts())
+		ssol, err := snet.SolveContext(ctx, opts.gtpnOpts())
 		if err != nil {
 			return res, fmt.Errorf("models: server model (arch %v, n=%d): %w", arch, n, err)
 		}

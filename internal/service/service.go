@@ -1,0 +1,506 @@
+// Package service is the serving layer: it exposes the core façade and
+// the experiment registry over HTTP/JSON (stdlib net/http only), layered
+// with the three production mechanisms the paper's argument calls for at
+// the serving tier — request coalescing (N concurrent identical solves
+// pay for one solve), bounded-concurrency admission control with
+// explicit backpressure (429 + Retry-After when the queue is full), and
+// graceful drain with request deadlines propagated via context.Context
+// all the way into the GTPN solver's fixed-point iteration.
+//
+// Every response body is deterministic JSON: sorted keys, fixed float
+// formatting. Identical requests yield byte-identical bodies, which is
+// what makes coalescing transparent and load-test runs comparable.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gtpn"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Workers bounds the number of concurrently computing requests
+	// (solves, simulations, experiment runs). 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many admitted computations may wait for a
+	// worker slot beyond the Workers running; one more is refused with
+	// 429 and a Retry-After. 0 means 64; negative means no queue.
+	QueueDepth int
+	// RequestTimeout bounds one computation; it becomes the deadline of
+	// the context threaded through core and gtpn.Solve. 0 means 2 minutes.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies. 0 means 1 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the ipcd request-processing core, independent of any
+// listener so tests can drive it through httptest.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	slots    chan struct{} // worker pool: a token per running computation
+	admitted atomic.Int64  // computations running or queued for a slot
+	draining atomic.Bool
+	flights  flightGroup
+	metrics  *metrics
+
+	// testHookAdmitted, when set, runs in a computation leader after it
+	// holds a worker slot and before it computes — tests use it to hold
+	// requests in flight deterministically.
+	testHookAdmitted func(route string)
+}
+
+// New creates a Server.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		metrics: newMetrics(),
+	}
+	s.slots = make(chan struct{}, s.cfg.Workers)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperimentList))
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("experiment", s.handleExperiment))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler is the HTTP entry point.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain stops admitting new work: every subsequent request except
+// /healthz and /metrics is refused with 503 and Connection: close, while
+// requests already in flight run to completion. Used on SIGTERM.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight reports the number of requests currently being served.
+func (s *Server) InFlight() int64 {
+	s.metrics.mu.Lock()
+	defer s.metrics.mu.Unlock()
+	return s.metrics.inFlight
+}
+
+// Drain waits until no request is in flight or ctx is done.
+func (s *Server) Drain(ctx context.Context) error {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.InFlight() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route handler with drain refusal and the request
+// counters. /healthz and /metrics stay reachable during a drain so
+// orchestrators can watch it progress.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() && route != "healthz" && route != "metrics" {
+			s.metrics.add(&s.metrics.requestsTotal, 1)
+			s.metrics.add(&s.metrics.rejectedDrain, 1)
+			w.Header().Set("Connection", "close")
+			writeErr(w, http.StatusServiceUnavailable, "draining", nil)
+			return
+		}
+		s.metrics.requestStart(route)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.requestEnd(route, time.Since(start), sw.status)
+	}
+}
+
+// writeDet writes a deterministic JSON response.
+func writeDet(w http.ResponseWriter, status int, header map[string]string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	for k, v := range header {
+		w.Header().Set(k, v)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeErr writes a deterministic JSON error body.
+func writeErr(w http.ResponseWriter, status int, msg string, extra map[string]any) {
+	body := map[string]any{"error": msg}
+	for k, v := range extra {
+		body[k] = v
+	}
+	writeDet(w, status, nil, marshalDet(body))
+}
+
+// errBody builds the flightResult for an error.
+func errResult(status int, msg string) flightResult {
+	return flightResult{status: status, body: marshalDet(map[string]any{"error": msg})}
+}
+
+// acquire admits one computation into the worker pool. It returns a
+// release func on success; ok is false when the admission queue is full
+// (the caller answers 429) or ctx ended while queued.
+func (s *Server) acquire(ctx context.Context) (release func(), ok bool, full bool) {
+	if n := s.admitted.Add(1); n > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+		s.admitted.Add(-1)
+		return nil, false, true
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return func() {
+			<-s.slots
+			s.admitted.Add(-1)
+		}, true, false
+	case <-ctx.Done():
+		s.admitted.Add(-1)
+		return nil, false, false
+	}
+}
+
+// queueDepth reports how many admitted computations are waiting for a
+// worker slot right now.
+func (s *Server) queueDepth() int64 {
+	d := s.admitted.Load() - int64(len(s.slots))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// coalesce funnels one computation through the flight group and the
+// admission queue: concurrent requests with the same key share one
+// leader's computation (and its bytes); the leader itself runs on the
+// bounded worker pool under the request-timeout context.
+func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, key string, fn func(ctx context.Context) flightResult) {
+	res, leader, err := s.flights.do(r.Context(), key, func() flightResult {
+		release, ok, full := s.acquire(r.Context())
+		if full {
+			return flightResult{
+				status: http.StatusTooManyRequests,
+				header: map[string]string{"Retry-After": "1"},
+				body:   marshalDet(map[string]any{"error": "admission queue full"}),
+			}
+		}
+		if !ok {
+			return errResult(http.StatusServiceUnavailable, "request cancelled while queued")
+		}
+		defer release()
+		s.metrics.add(&s.metrics.leaders, 1)
+		if s.testHookAdmitted != nil {
+			s.testHookAdmitted(key)
+		}
+		// The computation deadline is the server's, detached from the
+		// leader's connection: a leader whose client disconnects must
+		// still finish for its followers.
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+		defer cancel()
+		return fn(ctx)
+	})
+	if err != nil {
+		// The follower's client went away while waiting; the connection
+		// is dead, but answer coherently anyway.
+		writeErr(w, http.StatusServiceUnavailable, "request cancelled", nil)
+		return
+	}
+	if !leader {
+		s.metrics.add(&s.metrics.coalesced, 1)
+	}
+	writeDet(w, res.status, res.header, res.body)
+}
+
+// decodeBody decodes a JSON request body with a size limit.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error(), nil)
+		return false
+	}
+	return true
+}
+
+// solveRequest is the body of POST /v1/solve: one architecture I-IV plus
+// the §6.3 conversation-workload parameters.
+type solveRequest struct {
+	Arch            int     `json:"arch"`
+	Conversations   int     `json:"conversations"`
+	ServerComputeUS float64 `json:"server_compute_us"`
+	Hosts           int     `json:"hosts"`
+	NonLocal        bool    `json:"non_local"`
+}
+
+// validate normalizes and bounds-checks the workload point. The caps
+// protect the daemon from state-space explosions a single request could
+// otherwise trigger.
+func (q *solveRequest) validate() error {
+	if q.Arch < 1 || q.Arch > 4 {
+		return errors.New("arch must be 1..4")
+	}
+	if q.Conversations < 1 || q.Conversations > 8 {
+		return errors.New("conversations must be 1..8")
+	}
+	if q.Hosts == 0 {
+		q.Hosts = 1
+	}
+	if q.Hosts < 1 || q.Hosts > 4 {
+		return errors.New("hosts must be 1..4")
+	}
+	if q.ServerComputeUS < 0 || q.ServerComputeUS > 1e7 {
+		return errors.New("server_compute_us must be in [0, 1e7]")
+	}
+	return nil
+}
+
+func (q *solveRequest) system() *core.System {
+	return core.New(core.Arch(q.Arch), core.WithHosts(q.Hosts))
+}
+
+func (q *solveRequest) workload() core.Workload {
+	return core.Workload{
+		Conversations:   q.Conversations,
+		ServerComputeUS: q.ServerComputeUS,
+		NonLocal:        q.NonLocal,
+	}
+}
+
+// echo is the request part of a response body.
+func (q *solveRequest) echo() map[string]any {
+	return map[string]any{
+		"arch":              q.Arch,
+		"conversations":     q.Conversations,
+		"hosts":             q.Hosts,
+		"non_local":         q.NonLocal,
+		"server_compute_us": q.ServerComputeUS,
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var q solveRequest
+	if !s.decodeBody(w, r, &q) {
+		return
+	}
+	if err := q.validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	sys := q.system()
+	sig, err := sys.CoalesceKey(q.workload())
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error(), nil)
+		return
+	}
+	// The coalescing key is the canonical GTPN net signature; the param
+	// prefix keeps the echoed request fields honest even if two distinct
+	// parameter points ever signed identically.
+	key := fmt.Sprintf("solve|a=%d|n=%d|h=%d|x=%s|nl=%t|%s",
+		q.Arch, q.Conversations, q.Hosts,
+		formatFloatKey(q.ServerComputeUS), q.NonLocal, sig)
+	s.coalesce(w, r, key, func(ctx context.Context) flightResult {
+		pred, err := sys.AnalyzeContext(ctx, q.workload())
+		if err != nil {
+			return solveError(err)
+		}
+		body := q.echo()
+		body["offered_load"] = pred.OfferedLoad
+		body["round_trip_us"] = pred.RoundTripUS
+		body["states"] = pred.States
+		body["throughput_rps"] = pred.Throughput
+		return flightResult{status: http.StatusOK, body: marshalDet(body)}
+	})
+}
+
+// simulateRequest is the body of POST /v1/simulate: the workload point
+// plus the replication ensemble. The seed is part of the request, so
+// responses are bit-deterministic: same request, same bytes.
+type simulateRequest struct {
+	solveRequest
+	Seconds      int64  `json:"seconds"`
+	Seed         uint64 `json:"seed"`
+	Replications int    `json:"replications"`
+}
+
+func (q *simulateRequest) validate() error {
+	if err := q.solveRequest.validate(); err != nil {
+		return err
+	}
+	if q.Seconds == 0 {
+		q.Seconds = 10
+	}
+	if q.Seconds < 1 || q.Seconds > 600 {
+		return errors.New("seconds must be 1..600")
+	}
+	if q.Seed == 0 {
+		q.Seed = 1
+	}
+	if q.Replications == 0 {
+		q.Replications = 1
+	}
+	if q.Replications < 1 || q.Replications > 64 {
+		return errors.New("replications must be 1..64")
+	}
+	return nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var q simulateRequest
+	if !s.decodeBody(w, r, &q) {
+		return
+	}
+	if err := q.validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	key := fmt.Sprintf("sim|a=%d|n=%d|h=%d|x=%s|nl=%t|s=%d|seed=%d|reps=%d",
+		q.Arch, q.Conversations, q.Hosts, formatFloatKey(q.ServerComputeUS),
+		q.NonLocal, q.Seconds, q.Seed, q.Replications)
+	s.coalesce(w, r, key, func(ctx context.Context) flightResult {
+		sys := core.New(core.Arch(q.Arch), core.WithHosts(q.Hosts), core.WithSeed(q.Seed))
+		// One worker per ensemble: the HTTP pool is the concurrency bound.
+		meas, err := sys.MeasureManyContext(ctx, q.workload(), q.Seconds, q.Replications, 1)
+		if err != nil {
+			return solveError(err)
+		}
+		body := q.echo()
+		body["replications"] = q.Replications
+		body["round_trip_us"] = meas.RoundTripUS
+		body["round_trips"] = meas.RoundTrips
+		body["seconds"] = q.Seconds
+		body["seed"] = q.Seed
+		body["throughput_rps"] = meas.Throughput
+		return flightResult{status: http.StatusOK, body: marshalDet(body)}
+	})
+}
+
+// solveError maps a computation error to a response: deadline and
+// cancellation become 504, everything else 500.
+func solveError(err error) flightResult {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return errResult(http.StatusGatewayTimeout, "deadline exceeded: "+err.Error())
+	}
+	return errResult(http.StatusInternalServerError, err.Error())
+}
+
+// formatFloatKey formats a float for a coalescing key with the same
+// fixed formatting the response encoder uses.
+func formatFloatKey(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
+	var list []any
+	for _, e := range experiments.All() {
+		list = append(list, map[string]any{"id": e.ID, "title": e.Title})
+	}
+	writeDet(w, http.StatusOK, nil, marshalDet(map[string]any{"experiments": list}))
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := experiments.ByID(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", id),
+			map[string]any{"valid_ids": experimentIDs()})
+		return
+	}
+	quick := r.URL.Query().Get("full") != "1"
+	key := fmt.Sprintf("exp|%s|quick=%t", e.ID, quick)
+	s.coalesce(w, r, key, func(ctx context.Context) flightResult {
+		// Experiments drive the registry's own Run functions, which
+		// pre-date the context plumbing; the worker-pool bound and the
+		// quick default keep them tame.
+		var buf bytes.Buffer
+		if err := e.Run(&buf, experiments.Config{Quick: quick}); err != nil {
+			return solveError(err)
+		}
+		return flightResult{status: http.StatusOK, body: marshalDet(map[string]any{
+			"id":     e.ID,
+			"output": buf.String(),
+			"quick":  quick,
+			"title":  e.Title,
+		})}
+	})
+}
+
+// experimentIDs lists the registry ids in paper order.
+func experimentIDs() []string {
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeDet(w, http.StatusServiceUnavailable, nil,
+			marshalDet(map[string]any{"status": "draining"}))
+		return
+	}
+	writeDet(w, http.StatusOK, nil, marshalDet(map[string]any{"status": "ok"}))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	cs := gtpn.SolveCacheStats()
+	body := map[string]any{
+		"gtpn_cache": map[string]any{
+			"bypassed": cs.Bypassed,
+			"entries":  int64(cs.Entries),
+			"hits":     cs.Hits,
+			"misses":   cs.Misses,
+		},
+		"serving": s.metrics.snapshot(),
+	}
+	body["serving"].(map[string]any)["queue_depth"] = s.queueDepth()
+	writeDet(w, http.StatusOK, nil, marshalDet(body))
+}

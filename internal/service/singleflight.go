@@ -1,0 +1,84 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup coalesces concurrent identical requests: the first caller
+// for a key (the leader) computes the response; every caller that
+// arrives while the leader is in flight (a follower) waits and shares
+// the leader's bytes. This is the serving-layer analogue of the paper's
+// fixed-overhead amortization — N identical requests pay for one solve —
+// and it composes with the GTPN solve cache, which handles repeats that
+// do NOT overlap in time.
+//
+// Completed flights are forgotten immediately: coalescing is purely an
+// in-flight mechanism, never a response cache, so results can't go
+// stale and memory stays bounded by concurrency.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress computation.
+type flight struct {
+	done    chan struct{}
+	waiters atomic.Int64 // followers currently blocked on done
+	status  int
+	header  map[string]string
+	body    []byte
+}
+
+// result of a coalesced computation: an HTTP status, optional extra
+// response headers, and the (deterministically encoded) body.
+type flightResult struct {
+	status int
+	header map[string]string
+	body   []byte
+}
+
+// do returns the response for key, computing it via fn if this caller is
+// the leader. Followers block until the leader finishes or their ctx is
+// done; ctx cancellation of a follower never cancels the leader.
+// leader reports which role this caller played.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() flightResult) (res flightResult, leader bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flight{}
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		f.waiters.Add(1)
+		select {
+		case <-f.done:
+			return flightResult{status: f.status, header: f.header, body: f.body}, false, nil
+		case <-ctx.Done():
+			return flightResult{}, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	r := fn()
+	f.status, f.header, f.body = r.status, r.header, r.body
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return r, true, nil
+}
+
+// waitersFor reports the followers blocked on key's open flight (0 when
+// none is open) — a test aid for deterministic coalescing assertions.
+func (g *flightGroup) waitersFor(key string) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f.waiters.Load()
+	}
+	return 0
+}
