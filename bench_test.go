@@ -27,6 +27,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("experiment %s not registered", id)
 	}
 	cfg := experiments.Config{Quick: true}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.Run(io.Discard, cfg); err != nil {
@@ -95,6 +96,7 @@ func BenchmarkCopyCrossover(b *testing.B)      { benchExperiment(b, "X3") }
 // the machine-level kernel round trip.
 
 func BenchmarkGTPNSolveLocalArchII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		gtpn.ResetSolveCache() // measure the exact solve, not a cache hit
 		m := models.BuildLocal(timing.ArchII, 2, 1, 2850)
@@ -117,6 +119,7 @@ func BenchmarkGTPNSolveCached(b *testing.B) {
 	if _, err := models.BuildLocal(timing.ArchII, 2, 1, 2850).Solve(models.SolveOptions{}); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := models.BuildLocal(timing.ArchII, 2, 1, 2850).Solve(models.SolveOptions{}); err != nil {
@@ -139,6 +142,7 @@ func BenchmarkGTPNSolveCached(b *testing.B) {
 
 func benchRunAll(b *testing.B, parallelism int) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		gtpn.ResetSolveCache()
 		if err := experiments.RunAll(io.Discard, experiments.Config{Quick: true, Parallelism: parallelism}); err != nil {
@@ -151,6 +155,7 @@ func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
 func BenchmarkRunAllParallel(b *testing.B)   { benchRunAll(b, 0) }
 
 func BenchmarkNonLocalFixedPoint(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := models.SolveNonLocal(timing.ArchIII, 2, 1, 1140, models.SolveOptions{})
 		if err != nil {
@@ -163,6 +168,7 @@ func BenchmarkNonLocalFixedPoint(b *testing.B) {
 }
 
 func BenchmarkMachineRoundTrips(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m := machine.NewLocal(timing.ArchII, machine.Config{Seed: uint64(i) + 1})
 		res := m.Run(workload.Params{Conversations: 2, ComputeMean: 1140 * des.Microsecond}, 2*des.Second)

@@ -3,7 +3,17 @@
 # detector, and a one-iteration benchmark smoke pass. This is the tier-1
 # gate plus the race/bench hygiene added with the parallel experiment
 # engine; run it before sending a change.
+#
+# `./check.sh bench` instead records a benchmark snapshot: it runs the
+# solver benchmark trajectory at measurement length and rewrites
+# BENCH_gtpn.json (see cmd/ipcbench). Commit the refreshed file whenever
+# a change is meant to move the solver numbers.
 set -eux
+
+if [ "${1:-}" = "bench" ]; then
+    go run ./cmd/ipcbench -out BENCH_gtpn.json
+    exit 0
+fi
 
 go build ./...
 go vet ./...
@@ -12,4 +22,6 @@ go vet ./...
 # timeout — give the suite explicit headroom so a loaded runner doesn't
 # flake.
 go test -race -timeout 30m ./...
-go test -run '^$' -bench . -benchtime 1x .
+go test -run '^$' -bench . -benchtime 1x . ./internal/gtpn
+# The benchmark recorder itself must stay runnable (parse + schema).
+go run ./cmd/ipcbench -benchtime 1x -bench 'ResolveInstant' -out /dev/null

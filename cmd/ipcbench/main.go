@@ -1,0 +1,199 @@
+// Command ipcbench runs the repository's Go benchmarks with allocation
+// reporting and records the results as a machine-readable JSON
+// trajectory. Committed snapshots (BENCH_gtpn.json) let a change to the
+// solver hot path be judged against the recorded baseline with nothing
+// but `go run ./cmd/ipcbench` and a diff — ns/op, B/op, allocs/op, and
+// any custom metrics (states, trips/s, ...) per benchmark, plus enough
+// environment (go version, GOOS/GOARCH, GOMAXPROCS) to know when two
+// snapshots are comparable. No timestamps are recorded, so re-running
+// on identical code and hardware yields a stable file.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark line of `go test -bench` output.
+type benchResult struct {
+	Pkg   string `json:"pkg"`
+	Name  string `json:"name"`
+	Procs int    `json:"procs"`
+	Iters int64  `json:"iters"`
+	// NsPerOp, BPerOp and AllocsPerOp are the standard testing metrics;
+	// Metrics carries any b.ReportMetric extras keyed by unit.
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// snapshot is the file schema.
+type snapshot struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Bench      string        `json:"bench"`
+	Benchtime  string        `json:"benchtime"`
+	Count      int           `json:"count"`
+	Packages   []string      `json:"packages"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_gtpn.json", "output file (\"-\" for stdout)")
+		bench     = flag.String("bench", "GTPN|Flat|Reference", "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "200ms", "per-benchmark time passed to -benchtime")
+		count     = flag.Int("count", 1, "repetitions passed to -count (repeats are averaged)")
+	)
+	flag.Parse()
+	pkgs := []string{".", "./internal/gtpn"}
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count)}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipcbench: go %s: %v\n%s", strings.Join(args, " "), err, raw)
+		os.Exit(1)
+	}
+
+	results, err := parseBenchOutput(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "ipcbench: no benchmarks matched %q\n", *bench)
+		os.Exit(1)
+	}
+
+	snap := snapshot{
+		Schema:     "ipcbench/1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      *bench,
+		Benchtime:  *benchtime,
+		Count:      *count,
+		Packages:   pkgs,
+		Benchmarks: results,
+	}
+	enc, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ipcbench: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parseBenchOutput extracts benchmark lines from `go test -bench`
+// output. `pkg:` header lines attribute subsequent benchmarks; -count
+// repeats of one benchmark are averaged. Results come back sorted by
+// (pkg, name) so the file is diff-stable.
+func parseBenchOutput(raw []byte) ([]benchResult, error) {
+	type acc struct {
+		benchResult
+		runs int64
+	}
+	byKey := map[string]*acc{}
+	pkg := ""
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		s := strings.TrimSpace(string(line))
+		if rest, ok := strings.CutPrefix(s, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(s, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(s)
+		if len(fields) < 2 {
+			continue
+		}
+		name, procs := splitProcs(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark...: output" noise
+		}
+		a := byKey[pkg+"\x00"+name]
+		if a == nil {
+			a = &acc{benchResult: benchResult{Pkg: pkg, Name: name, Procs: procs}}
+			byKey[pkg+"\x00"+name] = a
+		}
+		a.runs++
+		a.Iters += iters
+		// The remainder is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], s)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				a.NsPerOp += v
+			case "B/op":
+				a.BPerOp += v
+			case "allocs/op":
+				a.AllocsPerOp += v
+			default:
+				if a.Metrics == nil {
+					a.Metrics = map[string]float64{}
+				}
+				a.Metrics[unit] += v
+			}
+		}
+	}
+	results := make([]benchResult, 0, len(byKey))
+	for _, a := range byKey {
+		r := a.benchResult
+		n := float64(a.runs)
+		r.NsPerOp /= n
+		r.BPerOp /= n
+		r.AllocsPerOp /= n
+		for k := range r.Metrics {
+			r.Metrics[k] /= n
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Pkg != results[j].Pkg {
+			return results[i].Pkg < results[j].Pkg
+		}
+		return results[i].Name < results[j].Name
+	})
+	return results, nil
+}
+
+// splitProcs splits the "-N" GOMAXPROCS suffix off a benchmark name.
+func splitProcs(s string) (string, int) {
+	if i := strings.LastIndexByte(s, '-'); i > 0 {
+		if n, err := strconv.Atoi(s[i+1:]); err == nil {
+			return s[:i], n
+		}
+	}
+	return s, 1
+}

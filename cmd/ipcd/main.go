@@ -7,6 +7,7 @@
 //	ipcd                         serve on :8080
 //	ipcd -addr :9090 -workers 8  eight concurrent computations
 //	ipcd -queue 16 -timeout 30s  16 queued beyond the workers; 30s deadline
+//	ipcd -pprof localhost:6060   net/http/pprof on a separate listener (off by default)
 //
 // Endpoints:
 //
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +46,7 @@ func main() {
 		queue   = flag.Int("queue", 64, "admission queue beyond the workers; full queue answers 429")
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request computation deadline")
 		drain   = flag.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
+		pprofAt = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -61,6 +64,25 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Profiling stays off the serving mux and off by default: the
+	// debug endpoints bind a separate listener (normally loopback) so
+	// they are never exposed on the service address.
+	if *pprofAt != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAt, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("ipcd: pprof on %s", *pprofAt)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("ipcd: pprof: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

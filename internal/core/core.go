@@ -49,6 +49,19 @@ func SolveCache() SolveCacheStats { return gtpn.SolveCacheStats() }
 // ResetSolveCache drops all cached solutions and zeroes the counters.
 func ResetSolveCache() { gtpn.ResetSolveCache() }
 
+// EngineStats reports the GTPN solver's structural work counters:
+// reachability graphs built, states and chain edges explored, and how
+// often independent terminal classes were solved in parallel. Cache
+// hits build nothing, so (with the cache on) these counters measure
+// only the distinct workload points actually solved.
+type EngineStats = gtpn.EngineStats
+
+// SolverEngine reports the solver engine counters.
+func SolverEngine() EngineStats { return gtpn.SolverEngineStats() }
+
+// ResetSolverEngine zeroes the solver engine counters.
+func ResetSolverEngine() { gtpn.ResetSolverEngineStats() }
+
 // Arch selects the node architecture.
 type Arch = timing.Arch
 

@@ -1,0 +1,124 @@
+package gtpn_test
+
+import (
+	"testing"
+
+	"repro/internal/gtpn"
+	"repro/internal/models"
+	"repro/internal/timing"
+)
+
+// benchNet is the largest net the quick-mode registry solves: the
+// Architecture II local-conversation model at n=2, X=2850. The Flat/
+// Reference pairs below are the benchstat before/after for the solver
+// data-layout rewrite; run with
+//
+//	go test ./internal/gtpn -run '^$' -bench 'Flat|Reference' -benchmem
+func benchNet() *gtpn.Net {
+	return models.BuildLocal(timing.ArchII, 2, 1, 2850).Net
+}
+
+func BenchmarkBuildGraphFlat(b *testing.B) {
+	n := benchNet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := n.BenchBuildGraph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(g.NumStates()), "states")
+		}
+	}
+}
+
+func BenchmarkBuildGraphReference(b *testing.B) {
+	n := benchNet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := n.BenchRefBuildGraph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(g.NumStates()), "states")
+		}
+	}
+}
+
+func BenchmarkSolveStationaryFlat(b *testing.B) {
+	n := benchNet()
+	g, err := n.BenchBuildGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtpn.BenchSolveStationary(g, gtpn.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveStationaryReference(b *testing.B) {
+	n := benchNet()
+	g, err := n.BenchRefBuildGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtpn.BenchRefSolveStationary(g, gtpn.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolveInstantFlat(b *testing.B) {
+	r := benchNet().NewBenchResolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ResolveFlat(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolveInstantReference(b *testing.B) {
+	r := benchNet().NewBenchResolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ResolveReference(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveEndToEndFlat(b *testing.B) {
+	n := benchNet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gtpn.ResetSolveCache()
+		if _, err := n.Solve(gtpn.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveEndToEndReference(b *testing.B) {
+	n := benchNet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.SolveReference(gtpn.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

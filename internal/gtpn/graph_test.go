@@ -1,0 +1,130 @@
+package gtpn
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// haltingNet branches two tokens over a probabilistic conflict and then
+// halts: the chain has several absorbing dead states, exercising the
+// reducible-chain path. Branch weights are equal (dyadic
+// probabilities), so every accumulated mass is exact in binary.
+func haltingNet() *Net {
+	b := NewBuilder()
+	a := b.Place("A", 2)
+	left := b.Place("L", 0)
+	right := b.Place("R", 0)
+	b.Transition("TL").From(a).To(left).Delay(1).Freq(Const(1))
+	b.Transition("TR").From(a).To(right).Delay(2).Freq(Const(1))
+	return b.MustBuild()
+}
+
+// selfLoopNet cycles one token through a two-state loop whose ".loop"
+// continuation produces a chain-level self-loop (the tangible state
+// with the firing in flight succeeds itself).
+func selfLoopNet() *Net {
+	b := NewBuilder()
+	a := b.Place("A", 1)
+	hop := b.Place("H", 0)
+	b.Transition("T").From(a).To(hop).Delay(1).Freq(Const(0.25)).Resource("t")
+	b.Transition("T.loop").From(a).To(a).Delay(1).Freq(Const(0.75))
+	b.Transition("T2").From(hop).To(a).Delay(0)
+	return b.MustBuild()
+}
+
+// TestCSRMatchesReferenceGraph holds the CSR exploration to the
+// reference layout state by state: same state count and numbering, same
+// sojourn times and dead flags, bitwise-equal successor probabilities
+// and completion counts, same initial distribution. Dead states and
+// chain self-loops are covered explicitly.
+func TestCSRMatchesReferenceGraph(t *testing.T) {
+	nets := map[string]*Net{
+		"halting":  haltingNet(),
+		"selfloop": selfLoopNet(),
+		"random":   randomNet(3),
+	}
+	for name, n := range nets {
+		g, err := n.buildGraph(context.Background(), DefaultMaxStates)
+		if err != nil {
+			t.Fatalf("%s: buildGraph: %v", name, err)
+		}
+		states, init, err := n.refBuildGraph(context.Background(), DefaultMaxStates)
+		if err != nil {
+			t.Fatalf("%s: refBuildGraph: %v", name, err)
+		}
+		if g.numStates() != len(states) {
+			t.Fatalf("%s: %d states, reference has %d", name, g.numStates(), len(states))
+		}
+		// CSR invariants.
+		if g.rowPtr[0] != 0 || g.rowPtr[len(g.rowPtr)-1] != len(g.succ) {
+			t.Fatalf("%s: rowPtr endpoints [%d..%d] do not frame %d edges", name, g.rowPtr[0], g.rowPtr[len(g.rowPtr)-1], len(g.succ))
+		}
+		for i := 0; i < g.numStates(); i++ {
+			if g.rowPtr[i] > g.rowPtr[i+1] {
+				t.Fatalf("%s: rowPtr not monotone at %d", name, i)
+			}
+			succ, prob := g.row(i)
+			var sum float64
+			for e := range succ {
+				if int(succ[e]) < 0 || int(succ[e]) >= g.numStates() {
+					t.Fatalf("%s: state %d edge %d targets out-of-range state %d", name, i, e, succ[e])
+				}
+				sum += prob[e]
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("%s: state %d outgoing probability sums to %g", name, i, sum)
+			}
+			if g.dead[i] && !(len(succ) == 1 && int(succ[0]) == i && prob[0] == 1) {
+				t.Fatalf("%s: dead state %d lacks the unit self-loop (succ %v prob %v)", name, i, succ, prob)
+			}
+		}
+		// State-by-state agreement with the reference layout.
+		var sawDead, sawSelfLoop bool
+		for i, st := range states {
+			if g.dt[i] != st.dt || g.dead[i] != st.dead {
+				t.Fatalf("%s: state %d (dt=%g dead=%v), reference (dt=%g dead=%v)", name, i, g.dt[i], g.dead[i], st.dt, st.dead)
+			}
+			sawDead = sawDead || st.dead
+			succ, prob := g.row(i)
+			if len(succ) != len(st.succ) {
+				t.Fatalf("%s: state %d has %d edges, reference %d", name, i, len(succ), len(st.succ))
+			}
+			for e := range succ {
+				if int(succ[e]) != st.succ[e] || prob[e] != st.prob[e] {
+					t.Fatalf("%s: state %d edge %d = (%d, %x), reference (%d, %x)", name, i, e, succ[e], math.Float64bits(prob[e]), st.succ[e], math.Float64bits(st.prob[e]))
+				}
+				if int(succ[e]) == i && !st.dead {
+					sawSelfLoop = true
+				}
+			}
+			comp := map[int]float64{}
+			for e := g.compPtr[i]; e < g.compPtr[i+1]; e++ {
+				comp[int(g.compT[e])] = g.compVal[e]
+			}
+			if len(comp) != len(st.comp) {
+				t.Fatalf("%s: state %d has %d completion entries, reference %d", name, i, len(comp), len(st.comp))
+			}
+			for tr, v := range st.comp {
+				if comp[tr] != v {
+					t.Fatalf("%s: state %d comp[%d] = %x, reference %x", name, i, tr, math.Float64bits(comp[tr]), math.Float64bits(v))
+				}
+			}
+		}
+		if name == "halting" && !sawDead {
+			t.Fatalf("%s: expected dead states", name)
+		}
+		if name == "selfloop" && !sawSelfLoop {
+			t.Fatalf("%s: expected a live chain self-loop", name)
+		}
+		// Initial distribution agreement.
+		if len(g.initIdx) != len(init) {
+			t.Fatalf("%s: init has %d entries, reference %d", name, len(g.initIdx), len(init))
+		}
+		for k, i := range g.initIdx {
+			if v, ok := init[int(i)]; !ok || v != g.initProb[k] {
+				t.Fatalf("%s: init[%d] = %x, reference %x (present=%v)", name, i, math.Float64bits(g.initProb[k]), math.Float64bits(v), ok)
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package gtpn
+
+// This file implements the solver's state interning layer: an
+// open-addressing hash table over fixed-width []int32 state words. A
+// full dynamic state of the net (marking plus flattened firing vector)
+// is exactly NumPlaces+firingLen int32 words, so instead of
+// serializing each state to a string map key — one allocation and one
+// copy per lookup — the exploration stores every interned state
+// contiguously in one flat arena and probes an FNV-1a-hashed slot
+// table. Lookups allocate nothing; the arena grows by amortized
+// append.
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// hashWords is FNV-1a folded over whole 32-bit words. Only bucket
+// placement depends on it, never a solved figure, so the exact mixing
+// function is not part of the determinism contract.
+func hashWords(ws []int32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range ws {
+		h ^= uint64(uint32(v))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func wordsEqual(a, b []int32) bool {
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// tableSlot is one open-addressing slot: the cached key hash plus the
+// key reference biased by one (0 means empty).
+type tableSlot struct {
+	hash uint64
+	ref  int32
+}
+
+// wordTable is a linear-probing hash table mapping fixed-width []int32
+// keys to int32 references. The keys themselves live in an external
+// arena (*arena), where reference r names the words
+// (*arena)[r*w : (r+1)*w]; the table stores only hashes and
+// references, so growing never copies key bytes and a reset is one
+// memclr. Collisions resolve by probing: equal hashes still compare
+// the full key words, so two distinct states can never alias.
+type wordTable struct {
+	slots []tableSlot
+	mask  uint64
+	used  int
+	w     int
+	arena *[]int32
+}
+
+func (t *wordTable) init(w int, arena *[]int32, capHint int) {
+	n := 16
+	for n < capHint {
+		n <<= 1
+	}
+	t.slots = make([]tableSlot, n)
+	t.mask = uint64(n - 1)
+	t.used = 0
+	t.w = w
+	t.arena = arena
+}
+
+// reset empties the table without shrinking it.
+func (t *wordTable) reset() {
+	for i := range t.slots {
+		t.slots[i] = tableSlot{}
+	}
+	t.used = 0
+}
+
+// probe returns the slot index where key (with hash h) lives, or the
+// empty slot where it would be inserted.
+func (t *wordTable) probe(key []int32, h uint64) int {
+	a := *t.arena
+	i := h & t.mask
+	for {
+		s := t.slots[i]
+		if s.ref == 0 {
+			return int(i)
+		}
+		if s.hash == h {
+			r := int(s.ref - 1)
+			if wordsEqual(a[r*t.w:(r+1)*t.w], key) {
+				return int(i)
+			}
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// refAt reports the reference stored at slot, or -1 if the slot is
+// empty.
+func (t *wordTable) refAt(slot int) int32 {
+	return t.slots[slot].ref - 1
+}
+
+// set stores ref at slot (overwriting any previous occupant, which the
+// resolver uses to supersede popped nodes) and grows the table past
+// 3/4 load. Growing invalidates previously probed slot indices.
+func (t *wordTable) set(slot int, ref int32, h uint64) {
+	if t.slots[slot].ref == 0 {
+		t.used++
+	}
+	t.slots[slot] = tableSlot{hash: h, ref: ref + 1}
+	if t.used*4 > len(t.slots)*3 {
+		t.grow()
+	}
+}
+
+func (t *wordTable) grow() {
+	old := t.slots
+	n := len(old) * 2
+	t.slots = make([]tableSlot, n)
+	t.mask = uint64(n - 1)
+	for _, s := range old {
+		if s.ref == 0 {
+			continue
+		}
+		i := s.hash & t.mask
+		for t.slots[i].ref != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = s
+	}
+}
+
+// stateTable interns the tangible states discovered during
+// reachability-graph construction. State i's words are
+// words[i*w : (i+1)*w]; indices are assigned in discovery order, which
+// is what keeps the embedded chain's state numbering — and therefore
+// every downstream floating-point accumulation order — identical to
+// the original string-keyed exploration.
+type stateTable struct {
+	w     int
+	words []int32
+	tab   wordTable
+}
+
+func newStateTable(w int) *stateTable {
+	st := &stateTable{w: w}
+	st.tab.init(w, &st.words, 256)
+	return st
+}
+
+// count reports the number of interned states.
+func (st *stateTable) count() int { return len(st.words) / st.w }
+
+// state returns the words of state i (aliasing the arena; callers must
+// copy before mutating).
+func (st *stateTable) state(i int) []int32 {
+	return st.words[i*st.w : (i+1)*st.w]
+}
+
+// intern returns the index of cfg, adding it to the table if new.
+func (st *stateTable) intern(cfg []int32) (idx int32, fresh bool) {
+	h := hashWords(cfg)
+	slot := st.tab.probe(cfg, h)
+	if r := st.tab.refAt(slot); r >= 0 {
+		return r, false
+	}
+	idx = int32(st.count())
+	st.words = append(st.words, cfg...)
+	st.tab.set(slot, idx, h)
+	return idx, true
+}

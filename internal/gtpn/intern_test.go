@@ -1,0 +1,146 @@
+package gtpn
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randomWords draws one w-word state vector with small token counts,
+// the realistic regime for marking/firing words.
+func randomWords(src *rng.Source, w int) []int32 {
+	out := make([]int32, w)
+	for i := range out {
+		out[i] = int32(src.Intn(4))
+	}
+	return out
+}
+
+// The state table must assign one index per distinct state and return
+// that same index on every re-lookup, across arbitrarily many growth
+// rounds — the aliasing contract the whole exploration stands on.
+func TestStateTableInternRoundTrip(t *testing.T) {
+	const w = 7
+	src := rng.New(41)
+	st := newStateTable(w)
+	seen := map[string][]int32{} // serialized key -> {index}
+	keyOf := func(ws []int32) string {
+		b := make([]byte, 0, 4*len(ws))
+		for _, v := range ws {
+			b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		return string(b)
+	}
+	var inserted [][]int32
+	for i := 0; i < 5000; i++ {
+		ws := randomWords(src, w)
+		idx, fresh := st.intern(ws)
+		k := keyOf(ws)
+		if prev, ok := seen[k]; ok {
+			if fresh {
+				t.Fatalf("insert %d: duplicate state reported fresh", i)
+			}
+			if prev[0] != idx {
+				t.Fatalf("insert %d: duplicate state got index %d, want %d", i, idx, prev[0])
+			}
+		} else {
+			if !fresh {
+				t.Fatalf("insert %d: new state not reported fresh", i)
+			}
+			seen[k] = []int32{idx}
+			inserted = append(inserted, ws)
+			if int(idx) != len(inserted)-1 {
+				t.Fatalf("insert %d: index %d out of discovery order (want %d)", i, idx, len(inserted)-1)
+			}
+		}
+	}
+	if st.count() != len(inserted) {
+		t.Fatalf("count %d, want %d distinct states", st.count(), len(inserted))
+	}
+	// Every interned state must round-trip: stored words equal the
+	// inserted words, and a fresh lookup finds the original index.
+	for want, ws := range inserted {
+		if got := st.state(want); !wordsEqual(got, ws) {
+			t.Fatalf("state %d words corrupted: got %v want %v", want, got, ws)
+		}
+		idx, fresh := st.intern(ws)
+		if fresh || int(idx) != want {
+			t.Fatalf("re-lookup of state %d: got (%d, fresh=%v)", want, idx, fresh)
+		}
+	}
+}
+
+// Two distinct states whose hashes land in the same bucket must not
+// alias: the probe sequence has to fall through to full word
+// comparison. The test constructs genuine bucket collisions against
+// the table's initial mask rather than hoping for them.
+func TestStateTableBucketCollisionsDoNotAlias(t *testing.T) {
+	const w = 3
+	st := newStateTable(w)
+	mask := st.tab.mask
+
+	// Find a set of distinct keys sharing one bucket under the current
+	// mask (guaranteed to exist by pigeonhole over enough candidates).
+	byBucket := map[uint64][][]int32{}
+	var colliding [][]int32
+	for a := int32(0); a < 16 && colliding == nil; a++ {
+		for b := int32(0); b < 16 && colliding == nil; b++ {
+			for c := int32(0); c < 16; c++ {
+				key := []int32{a, b, c}
+				bucket := hashWords(key) & mask
+				byBucket[bucket] = append(byBucket[bucket], key)
+				if len(byBucket[bucket]) >= 3 {
+					colliding = byBucket[bucket]
+					break
+				}
+			}
+		}
+	}
+	if colliding == nil {
+		t.Fatal("no bucket collision found (mask too wide for the test's candidate set?)")
+	}
+
+	idxs := make([]int32, len(colliding))
+	for i, key := range colliding {
+		idx, fresh := st.intern(key)
+		if !fresh {
+			t.Fatalf("colliding key %v aliased an earlier key (index %d)", key, idx)
+		}
+		idxs[i] = idx
+	}
+	for i, key := range colliding {
+		idx, fresh := st.intern(key)
+		if fresh || idx != idxs[i] {
+			t.Fatalf("re-lookup of colliding key %v: got (%d, fresh=%v), want (%d, false)", key, idx, fresh, idxs[i])
+		}
+		if !wordsEqual(st.state(int(idx)), key) {
+			t.Fatalf("colliding key %v stored as %v", key, st.state(int(idx)))
+		}
+	}
+}
+
+// Growing the slot table must preserve every mapping (growth rehashes
+// by cached hash, never re-reading or re-copying key words).
+func TestStateTableGrowthPreservesMappings(t *testing.T) {
+	const w = 2
+	st := newStateTable(w)
+	initialSlots := len(st.tab.slots)
+	n := initialSlots * 8 // force several doublings
+	for i := 0; i < n; i++ {
+		key := []int32{int32(i), int32(i >> 8)}
+		idx, fresh := st.intern(key)
+		if !fresh || int(idx) != i {
+			t.Fatalf("insert %d: got (%d, fresh=%v)", i, idx, fresh)
+		}
+	}
+	if len(st.tab.slots) <= initialSlots {
+		t.Fatalf("table never grew (slots %d)", len(st.tab.slots))
+	}
+	for i := 0; i < n; i++ {
+		key := []int32{int32(i), int32(i >> 8)}
+		idx, fresh := st.intern(key)
+		if fresh || int(idx) != i {
+			t.Fatalf("post-growth lookup %d: got (%d, fresh=%v)", i, idx, fresh)
+		}
+	}
+}

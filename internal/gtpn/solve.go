@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // SolveOptions tunes the analytical solver.
@@ -14,6 +15,20 @@ type SolveOptions struct {
 	Tolerance float64
 	// MaxSweeps bounds Gauss-Seidel sweeps; 0 means 200000.
 	MaxSweeps int
+}
+
+// normalize fills in the documented defaults.
+func (o SolveOptions) normalize() SolveOptions {
+	if o.MaxStates <= 0 {
+		o.MaxStates = DefaultMaxStates
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-12
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 200000
+	}
+	return o
 }
 
 // DefaultMaxStates is the default reachability-graph size bound.
@@ -71,20 +86,6 @@ func (s *Solution) Usage(resource string) float64 {
 	return s.ResourceUsage[resource]
 }
 
-// stateRec is one tangible state of the embedded Markov chain.
-type stateRec struct {
-	cfg  config
-	dt   float64 // sojourn ticks (1 for dead states, which self-loop)
-	dead bool
-	succ []int
-	prob []float64
-	// comp[t] is the expected number of completions of transition t
-	// attributed to the step out of this state (delayed completions at
-	// the end of the sojourn plus zero-delay firings in the subsequent
-	// resolution instant).
-	comp map[int]float64
-}
-
 // Solve builds the reachability graph of the net's embedded Markov chain
 // and computes its exact steady state. When the net has a signature (see
 // Signature) the result is memoized in the process-global solve cache,
@@ -100,15 +101,7 @@ func (n *Net) Solve(opts SolveOptions) (*Solution, error) {
 // cache. This is the entry point the serving layer uses to bound request
 // deadlines on large non-local models.
 func (n *Net) SolveContext(ctx context.Context, opts SolveOptions) (*Solution, error) {
-	if opts.MaxStates <= 0 {
-		opts.MaxStates = DefaultMaxStates
-	}
-	if opts.Tolerance <= 0 {
-		opts.Tolerance = 1e-12
-	}
-	if opts.MaxSweeps <= 0 {
-		opts.MaxSweeps = 200000
-	}
+	opts = opts.normalize()
 
 	key, usable := n.solveKey(opts)
 	if s, ok := cacheLookup(key, usable); ok {
@@ -126,15 +119,15 @@ func (n *Net) SolveContext(ctx context.Context, opts SolveOptions) (*Solution, e
 		return nil, err
 	}
 
-	states, init, err := n.buildGraph(ctx, opts.MaxStates)
+	g, err := n.buildGraph(ctx, opts.MaxStates)
 	if err != nil {
 		return nil, err
 	}
-	pi, converged, residual, err := solveStationary(ctx, states, init, opts)
+	pi, converged, residual, err := solveStationary(ctx, g, opts)
 	if err != nil {
 		return nil, err
 	}
-	sol := n.measures(states, pi, converged, residual)
+	sol := n.measures(g, pi, converged, residual)
 	if usable {
 		cacheStore(key, sol)
 	}
@@ -146,90 +139,11 @@ func (n *Net) SolveContext(ctx context.Context, opts SolveOptions) (*Solution, e
 // the modulus cheap.
 const cancelCheckInterval = 1024
 
-// buildGraph explores the tangible state space. init is the distribution
-// over states after resolving the initial instant.
-func (n *Net) buildGraph(ctx context.Context, maxStates int) ([]*stateRec, map[int]float64, error) {
-	index := map[string]int{}
-	var states []*stateRec
-
-	intern := func(c config) (int, bool) {
-		k := c.key()
-		if i, ok := index[k]; ok {
-			return i, false
-		}
-		i := len(states)
-		index[k] = i
-		states = append(states, &stateRec{cfg: c})
-		return i, true
-	}
-
-	outcomes, err := n.resolveInstant(n.newConfig(), 1)
-	if err != nil {
-		return nil, nil, err
-	}
-	init := map[int]float64{}
-	var frontier []int
-	for _, o := range outcomes {
-		i, fresh := intern(o.cfg)
-		init[i] += o.prob
-		if fresh {
-			frontier = append(frontier, i)
-		}
-	}
-
-	var explored int
-	for len(frontier) > 0 {
-		explored++
-		if explored%cancelCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, nil, err
-			}
-		}
-		i := frontier[0]
-		frontier = frontier[1:]
-		st := states[i]
-		work := st.cfg.clone()
-		dt, completed, ok := n.advance(&work)
-		if !ok {
-			// Dead state: nothing in flight. It is absorbing; model it as
-			// a unit-time self-loop so time averages remain defined.
-			st.dead = true
-			st.dt = 1
-			st.succ = []int{i}
-			st.prob = []float64{1}
-			st.comp = map[int]float64{}
-			continue
-		}
-		st.dt = float64(dt)
-		st.comp = map[int]float64{}
-		for t, c := range completed {
-			st.comp[t] += float64(c)
-		}
-		outs, err := n.resolveInstant(work, 1)
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, o := range outs {
-			mergeScaled(st.comp, o.fired0, o.prob)
-			j, fresh := intern(o.cfg)
-			st.succ = append(st.succ, j)
-			st.prob = append(st.prob, o.prob)
-			if fresh {
-				frontier = append(frontier, j)
-				if len(states) > maxStates {
-					return nil, nil, fmt.Errorf("gtpn: state space exceeds %d states", maxStates)
-				}
-			}
-		}
-	}
-	return states, init, nil
-}
-
 // measures converts the stationary distribution into time-averaged
-// observables.
-func (n *Net) measures(states []*stateRec, pi []float64, converged bool, residual float64) *Solution {
+// observables by one pass over the CSR graph.
+func (n *Net) measures(g *graph, pi []float64, converged bool, residual float64) *Solution {
 	sol := &Solution{
-		States:        len(states),
+		States:        g.numStates(),
 		MeanTokens:    make([]float64, n.NumPlaces()),
 		MeanFiring:    make([]float64, n.NumTransitions()),
 		FiringRate:    make([]float64, n.NumTransitions()),
@@ -238,36 +152,47 @@ func (n *Net) measures(states []*stateRec, pi []float64, converged bool, residua
 		Residual:      residual,
 		net:           n,
 	}
+	ns := g.numStates()
 	var totalTime float64
-	for i, st := range states {
-		totalTime += pi[i] * st.dt
-		if st.dead {
+	for i := 0; i < ns; i++ {
+		totalTime += pi[i] * g.dt[i]
+		if g.dead[i] {
 			sol.DeadStates++
 		}
 	}
 	if totalTime <= 0 {
 		return sol
 	}
-	for i, st := range states {
-		w := pi[i] * st.dt / totalTime
+	np := n.NumPlaces()
+	for i := 0; i < ns; i++ {
+		w := pi[i] * g.dt[i] / totalTime
 		if w == 0 {
 			continue
 		}
-		for p, m := range st.cfg.marking {
+		words := g.words(i)
+		cfg := n.wrap(words)
+		for p, m := range words[:np] {
 			sol.MeanTokens[p] += w * float64(m)
 		}
 		for t := range n.trans {
 			if n.trans[t].Delay == 0 {
 				continue
 			}
-			if c := n.inflightTotal(&st.cfg, t); c > 0 {
+			if c := n.inflightTotal(&cfg, t); c > 0 {
 				sol.MeanFiring[t] += w * float64(c)
 			}
 		}
-		for t, c := range st.comp {
-			sol.FiringRate[t] += pi[i] * c / totalTime
+		for e := g.compPtr[i]; e < g.compPtr[i+1]; e++ {
+			sol.FiringRate[g.compT[e]] += pi[i] * g.compVal[e] / totalTime
 		}
 	}
+	n.fillResourceUsage(sol)
+	return sol
+}
+
+// fillResourceUsage aggregates per-resource usage from the solved
+// per-transition means; shared by the CSR and reference measure passes.
+func (n *Net) fillResourceUsage(sol *Solution) {
 	for t := range n.trans {
 		if r := n.trans[t].Resource; r != "" {
 			sol.ResourceUsage[r] += sol.MeanFiring[t]
@@ -279,7 +204,6 @@ func (n *Net) measures(states []*stateRec, pi []float64, converged bool, residua
 			}
 		}
 	}
-	return sol
 }
 
 // TopStates is a debugging helper: it re-solves nothing but formats the
@@ -295,4 +219,46 @@ func (s *Solution) String() string {
 		out += fmt.Sprintf(", %s: %.6g", k, s.ResourceUsage[k])
 	}
 	return out + "}"
+}
+
+// EngineStats counts the analytic engine's structural work since the
+// last reset: how many reachability graphs were built, how many states
+// and chain edges they contained, and how often the stationary phase
+// dispatched independent terminal classes to the parallel worker pool.
+// The serving layer exports these under /metrics next to the solve
+// cache counters.
+type EngineStats struct {
+	// GraphsBuilt is the number of reachability graphs constructed
+	// (cache hits build nothing).
+	GraphsBuilt uint64
+	// StatesExplored is the total number of tangible states interned
+	// across those graphs.
+	StatesExplored uint64
+	// EdgesBuilt is the total number of CSR chain edges stored.
+	EdgesBuilt uint64
+	// ParallelClassSolves counts stationary solves that ran two or more
+	// terminal classes concurrently.
+	ParallelClassSolves uint64
+}
+
+var engineStats struct {
+	graphs, states, edges, parallelClassSolves atomic.Uint64
+}
+
+// SolverEngineStats reports the engine counters.
+func SolverEngineStats() EngineStats {
+	return EngineStats{
+		GraphsBuilt:         engineStats.graphs.Load(),
+		StatesExplored:      engineStats.states.Load(),
+		EdgesBuilt:          engineStats.edges.Load(),
+		ParallelClassSolves: engineStats.parallelClassSolves.Load(),
+	}
+}
+
+// ResetSolverEngineStats zeroes the engine counters.
+func ResetSolverEngineStats() {
+	engineStats.graphs.Store(0)
+	engineStats.states.Store(0)
+	engineStats.edges.Store(0)
+	engineStats.parallelClassSolves.Store(0)
 }

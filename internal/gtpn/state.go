@@ -1,12 +1,15 @@
 package gtpn
 
 import (
-	"fmt"
 	"math"
 )
 
 // config is a full dynamic state of the net: the marking plus the
-// flattened in-flight firing vector (see Net.firingOffset).
+// flattened in-flight firing vector (see Net.firingOffset). The solver
+// hot path stores states as flat []int32 words (marking then firing)
+// and wraps them in a config without copying (see Net.wrap); the
+// struct form survives as the shared adapter between the flat layout,
+// the frequency-function View, and the reference solver.
 type config struct {
 	marking []int32
 	firing  []int32
@@ -22,19 +25,6 @@ func (c config) clone() config {
 	f := make([]int32, len(c.firing))
 	copy(f, c.firing)
 	return config{marking: m, firing: f}
-}
-
-// key serializes the config for use as a map key.
-func (c config) key() string {
-	b := make([]byte, 0, 4*(len(c.marking)+len(c.firing))+1)
-	for _, v := range c.marking {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	b = append(b, 0xFE)
-	for _, v := range c.firing {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
 }
 
 // view adapts a config to the View interface.
@@ -73,125 +63,10 @@ func (n *Net) enabled(c *config, t int) bool {
 	return true
 }
 
-// outcome is one probabilistic result of resolving an instant: a stable
-// configuration together with the expected number of zero-delay firings
-// that occurred on the way (used for firing-rate accounting).
-type outcome struct {
-	cfg    config
-	prob   float64
-	fired0 map[int]float64 // zero-delay transition -> expected firings along this path
-}
-
 // maxResolutionSteps bounds the number of intermediate configurations
 // explored while resolving a single instant, guarding against nets with
 // cycles of zero-delay transitions.
 const maxResolutionSteps = 1 << 20
-
-// resolveInstant repeatedly starts firings in c until no transition is
-// enabled (with positive frequency), branching probabilistically on
-// conflicts. Zero-delay firings complete immediately (their output tokens
-// are deposited and may enable further transitions); positive-delay
-// firings hold their tokens in the firing vector. Identical intermediate
-// configurations are merged, so commuting interleavings do not multiply.
-func (n *Net) resolveInstant(c config, prob float64) ([]outcome, error) {
-	type node struct {
-		cfg    config
-		prob   float64
-		fired0 map[int]float64
-	}
-	// The worklist is processed in insertion order: merging makes the
-	// order irrelevant for the distribution, but a deterministic order
-	// keeps floating-point accumulation — and therefore every solved
-	// figure — bit-identical across runs.
-	pending := map[string]*node{}
-	var order []string
-	push := func(k string, nd *node) {
-		pending[k] = nd
-		order = append(order, k)
-	}
-	push(c.key(), &node{cfg: c, prob: prob, fired0: map[int]float64{}})
-	final := map[string]*outcome{}
-	finalOrder := []string(nil)
-	steps := 0
-
-	for len(order) > 0 {
-		k := order[0]
-		order = order[1:]
-		nd, ok := pending[k]
-		if !ok {
-			continue // already popped via an earlier merge slot
-		}
-		delete(pending, k)
-		steps++
-		if steps > maxResolutionSteps {
-			return nil, fmt.Errorf("gtpn: resolution did not stabilize after %d steps (zero-delay cycle?)", maxResolutionSteps)
-		}
-
-		v := view{n, &nd.cfg}
-		type cand struct {
-			t int
-			w float64
-		}
-		var cands []cand
-		var total float64
-		for t := range n.trans {
-			if !n.enabled(&nd.cfg, t) {
-				continue
-			}
-			w := n.trans[t].Freq(v)
-			if w > 0 && !math.IsInf(w, 0) && !math.IsNaN(w) {
-				cands = append(cands, cand{t, w})
-				total += w
-			}
-		}
-		if len(cands) == 0 {
-			fk := nd.cfg.key()
-			if o, ok := final[fk]; ok {
-				o.prob += nd.prob
-				mergeScaled(o.fired0, nd.fired0, 1)
-			} else {
-				final[fk] = &outcome{cfg: nd.cfg, prob: nd.prob, fired0: nd.fired0}
-				finalOrder = append(finalOrder, fk)
-			}
-			continue
-		}
-		for _, cd := range cands {
-			p := nd.prob * cd.w / total
-			child := nd.cfg.clone()
-			tr := &n.trans[cd.t]
-			for _, pm := range n.inList[cd.t] {
-				child.marking[pm.p] -= pm.m
-			}
-			f0 := cloneCounts(nd.fired0)
-			if tr.Delay == 0 {
-				for p2, m := range n.outCount[cd.t] {
-					child.marking[p2] += m
-				}
-				f0[cd.t] += 1
-			} else {
-				child.firing[n.firingOffset[cd.t]+tr.Delay-1]++
-			}
-			ck := child.key()
-			if ex, ok := pending[ck]; ok {
-				// Weighted merge of the zero-delay firing counts.
-				tot := ex.prob + p
-				merged := map[int]float64{}
-				mergeScaled(merged, ex.fired0, ex.prob/tot)
-				mergeScaled(merged, f0, p/tot)
-				ex.fired0 = merged
-				ex.prob = tot
-			} else {
-				push(ck, &node{cfg: child, prob: p, fired0: f0})
-			}
-		}
-	}
-
-	out := make([]outcome, 0, len(final))
-	for _, fk := range finalOrder {
-		out = append(out, *final[fk])
-	}
-	return out, nil
-}
 
 func maxInt(a, b int) int {
 	if a > b {
@@ -200,24 +75,16 @@ func maxInt(a, b int) int {
 	return b
 }
 
-func cloneCounts(m map[int]float64) map[int]float64 {
-	out := make(map[int]float64, len(m)+1)
-	for k, v := range m {
-		out[k] = v
+// advanceInto moves time forward in c to the next firing completion,
+// writing the per-transition completion counts into completed (which
+// must have length NumTransitions; it is zeroed first). It reports the
+// elapsed ticks; if nothing is in flight it reports ok=false. This is
+// the allocation-free core shared by the CSR exploration and the
+// reference path's map-returning advance wrapper.
+func (n *Net) advanceInto(c *config, completed []int32) (dt int, ok bool) {
+	for i := range completed {
+		completed[i] = 0
 	}
-	return out
-}
-
-func mergeScaled(dst, src map[int]float64, scale float64) {
-	for k, v := range src {
-		dst[k] += v * scale
-	}
-}
-
-// advance moves time forward in c to the next firing completion. It
-// reports the elapsed ticks and the set of transitions whose firings
-// completed (by count). If nothing is in flight it reports ok=false.
-func (n *Net) advance(c *config) (dt int, completed map[int]int, ok bool) {
 	dt = math.MaxInt
 	for t := range n.trans {
 		d := n.trans[t].Delay
@@ -232,9 +99,8 @@ func (n *Net) advance(c *config) (dt int, completed map[int]int, ok bool) {
 		}
 	}
 	if dt == math.MaxInt {
-		return 0, nil, false
+		return 0, false
 	}
-	completed = map[int]int{}
 	for t := range n.trans {
 		d := n.trans[t].Delay
 		if d == 0 {
@@ -247,11 +113,11 @@ func (n *Net) advance(c *config) (dt int, completed map[int]int, ok bool) {
 			continue
 		}
 		// Firings with remaining time dt complete; the rest shift down.
-		done := int(c.firing[off+dt-1])
+		done := c.firing[off+dt-1]
 		if done > 0 {
 			completed[t] = done
 			for p, m := range n.outCount[t] {
-				c.marking[p] += m * int32(done)
+				c.marking[p] += m * done
 			}
 		}
 		// A firing with remaining time r > dt now has remaining r-dt:
@@ -264,5 +130,5 @@ func (n *Net) advance(c *config) (dt int, completed map[int]int, ok bool) {
 			c.firing[off+j] = 0
 		}
 	}
-	return dt, completed, true
+	return dt, true
 }

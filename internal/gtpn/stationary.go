@@ -3,25 +3,34 @@ package gtpn
 import (
 	"context"
 	"math"
+	"runtime"
+	"sync"
 )
 
+// denseClassLimit is the largest terminal class solved by direct
+// Gaussian elimination before falling back to iteration.
+const denseClassLimit = 512
+
 // solveStationary computes the long-run distribution of the embedded
-// chain started from init. The chain may be reducible (nets that halt
-// have absorbing dead states), so the computation proceeds in three
-// steps: find the terminal strongly connected classes, compute the
-// probability of absorption into each from init, and solve the stationary
-// distribution within each class; the result is the absorption-weighted
-// mixture. For the irreducible closed nets produced by the thesis models
-// this reduces to a single per-class solve. The iterative phases poll
-// ctx between sweeps and abandon the solve with ctx.Err() on
-// cancellation.
-func solveStationary(ctx context.Context, states []*stateRec, init map[int]float64, opts SolveOptions) (pi []float64, converged bool, residual float64, err error) {
-	ns := len(states)
+// chain started from the graph's initial distribution. The chain may be
+// reducible (nets that halt have absorbing dead states), so the
+// computation proceeds in three steps: find the terminal strongly
+// connected classes, compute the probability of absorption into each
+// from init, and solve the stationary distribution within each class;
+// the result is the absorption-weighted mixture. For the irreducible
+// closed nets produced by the thesis models this reduces to a single
+// per-class solve. Independent terminal classes are solved in parallel
+// on a bounded worker pool — each class touches only its own members'
+// pi entries and is internally sequential, so the parallel result is
+// bit-identical to the sequential one. The iterative phases poll ctx
+// between sweeps and abandon the solve with ctx.Err() on cancellation.
+func solveStationary(ctx context.Context, g *graph, opts SolveOptions) (pi []float64, converged bool, residual float64, err error) {
+	ns := g.numStates()
 	pi = make([]float64, ns)
 	if ns == 0 {
 		return pi, true, 0, nil
 	}
-	comp, terminal := terminalClasses(states)
+	comp, terminal := terminalClasses(g)
 
 	// Classes and membership lists.
 	nclasses := 0
@@ -42,39 +51,87 @@ func solveStationary(ctx context.Context, states []*stateRec, init map[int]float
 	}
 
 	// Absorption probability into each terminal class.
-	absorb, err := absorptionMass(ctx, states, init, comp, terminal, termClasses, opts)
+	absorb, err := absorptionMass(ctx, g, comp, terminal, termClasses, opts)
 	if err != nil {
 		return nil, false, 0, err
 	}
 
+	// local[i] is state i's index within its own class's member list.
+	// Classes partition the states, and each class solve reads and
+	// writes only its own members' slots, so one shared array serves
+	// every class — including the concurrent ones.
+	local := make([]int32, ns)
+
+	type classResult struct {
+		local     []float64
+		converged bool
+		residual  float64
+		err       error
+	}
+	results := make([]classResult, len(termClasses))
+	solveClass := func(k int) {
+		c := termClasses[k]
+		l, ok, res, err := classStationary(ctx, g, comp, c, members[c], local, opts)
+		results[k] = classResult{local: l, converged: ok, residual: res, err: err}
+	}
+
+	var active []int
+	for k := range termClasses {
+		if absorb[k] > 0 {
+			active = append(active, k)
+		}
+	}
+	if workers := runtime.GOMAXPROCS(0); len(active) > 1 && workers > 1 {
+		if workers > len(active) {
+			workers = len(active)
+		}
+		engineStats.parallelClassSolves.Add(1)
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range jobs {
+					solveClass(k)
+				}
+			}()
+		}
+		for _, k := range active {
+			jobs <- k
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for _, k := range active {
+			solveClass(k)
+		}
+	}
+
 	converged = true
-	for k, c := range termClasses {
-		mass := absorb[k]
-		if mass <= 0 {
-			continue
+	for _, k := range active {
+		r := results[k]
+		if r.err != nil {
+			return nil, false, 0, r.err
 		}
-		local, ok, res, err := classStationary(ctx, states, members[c], opts)
-		if err != nil {
-			return nil, false, 0, err
-		}
-		if !ok {
+		if !r.converged {
 			converged = false
 		}
-		if res > residual {
-			residual = res
+		if r.residual > residual {
+			residual = r.residual
 		}
-		for idx, i := range members[c] {
-			pi[i] = mass * local[idx]
+		for idx, i := range members[termClasses[k]] {
+			pi[i] = absorb[k] * r.local[idx]
 		}
 	}
 	return pi, converged, residual, nil
 }
 
-// terminalClasses runs Tarjan's SCC algorithm (iteratively) and reports
-// the class of each state plus which classes are terminal (no edges
-// leaving the class).
-func terminalClasses(states []*stateRec) (comp []int, terminal []bool) {
-	ns := len(states)
+// terminalClasses runs Tarjan's SCC algorithm (iteratively) over the
+// CSR chain and reports the class of each state plus which classes are
+// terminal (no edges leaving the class).
+func terminalClasses(g *graph) (comp []int, terminal []bool) {
+	ns := g.numStates()
 	comp = make([]int, ns)
 	for i := range comp {
 		comp[i] = -1
@@ -104,8 +161,8 @@ func terminalClasses(states []*stateRec) (comp []int, terminal []bool) {
 		for len(call) > 0 {
 			f := &call[len(call)-1]
 			v := f.v
-			if f.ei < len(states[v].succ) {
-				w := states[v].succ[f.ei]
+			if e := g.rowPtr[v] + f.ei; e < g.rowPtr[v+1] {
+				w := int(g.succ[e])
 				f.ei++
 				if index[w] == -1 {
 					index[w] = nextIndex
@@ -147,9 +204,9 @@ func terminalClasses(states []*stateRec) (comp []int, terminal []bool) {
 	for i := range terminal {
 		terminal[i] = true
 	}
-	for i, st := range states {
-		for _, j := range st.succ {
-			if comp[j] != comp[i] {
+	for i := 0; i < ns; i++ {
+		for e := g.rowPtr[i]; e < g.rowPtr[i+1]; e++ {
+			if comp[int(g.succ[e])] != comp[i] {
 				terminal[comp[i]] = false
 			}
 		}
@@ -157,13 +214,13 @@ func terminalClasses(states []*stateRec) (comp []int, terminal []bool) {
 	return comp, terminal
 }
 
-// absorptionMass computes, for each terminal class, the probability that
-// the chain started from init is eventually absorbed there.
-func absorbInto(ctx context.Context, states []*stateRec, comp []int, terminal []bool, class int, opts SolveOptions) ([]float64, error) {
-	ns := len(states)
+// absorbInto computes, for each state, the probability that the chain
+// is eventually absorbed into the given terminal class.
+func absorbInto(ctx context.Context, g *graph, comp []int, terminal []bool, class int, opts SolveOptions) ([]float64, error) {
+	ns := g.numStates()
 	h := make([]float64, ns)
 	transient := make([]int, 0)
-	for i := range states {
+	for i := 0; i < ns; i++ {
 		switch {
 		case comp[i] == class:
 			h[i] = 1
@@ -185,14 +242,13 @@ func absorbInto(ctx context.Context, states []*stateRec, comp []int, terminal []
 		}
 		var delta float64
 		for _, i := range transient {
-			st := states[i]
 			var sum, selfP float64
-			for k, j := range st.succ {
-				if j == i {
-					selfP += st.prob[k]
+			for e := g.rowPtr[i]; e < g.rowPtr[i+1]; e++ {
+				if int(g.succ[e]) == i {
+					selfP += g.prob[e]
 					continue
 				}
-				sum += st.prob[k] * h[j]
+				sum += g.prob[e] * h[g.succ[e]]
 			}
 			var v float64
 			if d := 1 - selfP; d > 1e-300 {
@@ -210,7 +266,7 @@ func absorbInto(ctx context.Context, states []*stateRec, comp []int, terminal []
 	return h, nil
 }
 
-func absorptionMass(ctx context.Context, states []*stateRec, init map[int]float64, comp []int, terminal []bool, termClasses []int, opts SolveOptions) ([]float64, error) {
+func absorptionMass(ctx context.Context, g *graph, comp []int, terminal []bool, termClasses []int, opts SolveOptions) ([]float64, error) {
 	out := make([]float64, len(termClasses))
 	if len(termClasses) == 1 {
 		// Everything is absorbed into the unique terminal class.
@@ -218,13 +274,13 @@ func absorptionMass(ctx context.Context, states []*stateRec, init map[int]float6
 		return out, nil
 	}
 	for k, c := range termClasses {
-		h, err := absorbInto(ctx, states, comp, terminal, c, opts)
+		h, err := absorbInto(ctx, g, comp, terminal, c, opts)
 		if err != nil {
 			return nil, err
 		}
 		var mass float64
-		for i, p := range init {
-			mass += p * h[i]
+		for x, i := range g.initIdx {
+			mass += g.initProb[x] * h[i]
 		}
 		out[k] = mass
 	}
@@ -244,39 +300,61 @@ func absorptionMass(ctx context.Context, states []*stateRec, init map[int]float6
 // classStationary solves pi = pi P restricted to one terminal class
 // (irreducible by construction). Small classes are solved directly;
 // larger ones by Gauss-Seidel from a uniform start with a damped power
-// iteration fallback.
-func classStationary(ctx context.Context, states []*stateRec, members []int, opts SolveOptions) (pi []float64, converged bool, residual float64, err error) {
+// iteration fallback. The incoming edges of the class are gathered into
+// a local CSR (inPtr/inFrom/inP) in the same order the reference path
+// appended them, so the sweep accumulations are bit-identical. local is
+// the shared state→class-index array described in solveStationary.
+func classStationary(ctx context.Context, g *graph, comp []int, class int, members []int, local []int32, opts SolveOptions) (pi []float64, converged bool, residual float64, err error) {
 	m := len(members)
 	if m == 1 {
 		return []float64{1}, true, 0, nil
 	}
-	idx := make(map[int]int, m)
 	for k, i := range members {
-		idx[i] = k
+		local[i] = int32(k)
 	}
-	type edge struct {
-		from int
-		p    float64
-	}
-	in := make([][]edge, m)
+	// Two-pass incoming-edge CSR: count, prefix-sum, fill. The fill
+	// visits members in ascending class index and each row in edge
+	// order, matching the reference path's append order.
+	cnt := make([]int, m+1)
 	selfP := make([]float64, m)
 	for k, i := range members {
-		st := states[i]
-		for e, j := range st.succ {
-			kj, ok := idx[j]
-			if !ok {
+		for e := g.rowPtr[i]; e < g.rowPtr[i+1]; e++ {
+			j := int(g.succ[e])
+			if comp[j] != class {
 				continue // cannot happen in a terminal class
 			}
+			if kj := int(local[j]); kj != k {
+				cnt[kj+1]++
+			}
+		}
+	}
+	for k := 0; k < m; k++ {
+		cnt[k+1] += cnt[k]
+	}
+	inPtr := cnt
+	inFrom := make([]int32, inPtr[m])
+	inP := make([]float64, inPtr[m])
+	cursor := make([]int, m)
+	for k, i := range members {
+		for e := g.rowPtr[i]; e < g.rowPtr[i+1]; e++ {
+			j := int(g.succ[e])
+			if comp[j] != class {
+				continue
+			}
+			kj := int(local[j])
 			if kj == k {
-				selfP[k] += st.prob[e]
+				selfP[k] += g.prob[e]
 			} else {
-				in[kj] = append(in[kj], edge{k, st.prob[e]})
+				pos := inPtr[kj] + cursor[kj]
+				inFrom[pos] = int32(k)
+				inP[pos] = g.prob[e]
+				cursor[kj]++
 			}
 		}
 	}
 
-	if m <= 512 {
-		if pi := denseClassSolve(states, members, idx); pi != nil {
+	if m <= denseClassLimit {
+		if pi := denseClassSolve(g, comp, class, members, local); pi != nil {
 			return pi, true, 0, nil
 		}
 	}
@@ -289,8 +367,8 @@ func classStationary(ctx context.Context, states []*stateRec, members []int, opt
 		var r float64
 		for k := 0; k < m; k++ {
 			var sum float64
-			for _, e := range in[k] {
-				sum += pi[e.from] * e.p
+			for e := inPtr[k]; e < inPtr[k+1]; e++ {
+				sum += pi[inFrom[e]] * inP[e]
 			}
 			sum += pi[k] * selfP[k]
 			if d := math.Abs(sum - pi[k]); d > r {
@@ -307,8 +385,8 @@ func classStationary(ctx context.Context, states []*stateRec, members []int, opt
 		}
 		for k := 0; k < m; k++ {
 			var sum float64
-			for _, e := range in[k] {
-				sum += pi[e.from] * e.p
+			for e := inPtr[k]; e < inPtr[k+1]; e++ {
+				sum += pi[inFrom[e]] * inP[e]
 			}
 			if d := 1 - selfP[k]; d > 1e-300 {
 				pi[k] = sum / d
@@ -335,22 +413,31 @@ func classStationary(ctx context.Context, states []*stateRec, members []int, opt
 
 // denseClassSolve solves the balance equations of one class by Gaussian
 // elimination; returns nil on numerical failure.
-func denseClassSolve(states []*stateRec, members []int, idx map[int]int) []float64 {
+func denseClassSolve(g *graph, comp []int, class int, members []int, local []int32) []float64 {
 	m := len(members)
 	a := make([][]float64, m)
 	for i := range a {
 		a[i] = make([]float64, m+1)
 	}
 	for k, i := range members {
-		st := states[i]
-		for e, j := range st.succ {
-			kj, ok := idx[j]
-			if !ok {
+		for e := g.rowPtr[i]; e < g.rowPtr[i+1]; e++ {
+			j := int(g.succ[e])
+			if comp[j] != class {
 				continue
 			}
-			a[kj][k] += st.prob[e]
+			a[local[j]][k] += g.prob[e]
 		}
 	}
+	return gaussianStationary(a, m)
+}
+
+// gaussianStationary finishes the dense class solve shared by the CSR
+// and reference paths: a arrives holding the column-stochastic
+// restriction P^T of the class; the routine forms the balance system
+// (P^T - I, with the last equation replaced by normalization), runs
+// partial-pivot Gauss-Jordan elimination, and extracts pi. Returns nil
+// on numerical failure.
+func gaussianStationary(a [][]float64, m int) []float64 {
 	for k := 0; k < m; k++ {
 		a[k][k] -= 1
 	}

@@ -492,12 +492,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	cs := gtpn.SolveCacheStats()
+	es := gtpn.SolverEngineStats()
 	body := map[string]any{
 		"gtpn_cache": map[string]any{
 			"bypassed": cs.Bypassed,
 			"entries":  int64(cs.Entries),
 			"hits":     cs.Hits,
 			"misses":   cs.Misses,
+		},
+		"gtpn_engine": map[string]any{
+			"graphs_built":          es.GraphsBuilt,
+			"states_explored":       es.StatesExplored,
+			"edges_built":           es.EdgesBuilt,
+			"parallel_class_solves": es.ParallelClassSolves,
 		},
 		"serving": s.metrics.snapshot(),
 	}

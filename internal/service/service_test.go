@@ -116,6 +116,9 @@ func TestEndpointsServe(t *testing.T) {
 	if code != 200 || !bytes.Contains(body, []byte(`"gtpn_cache"`)) || !bytes.Contains(body, []byte(`"requests_total"`)) {
 		t.Fatalf("metrics: %d %s", code, body)
 	}
+	if !bytes.Contains(body, []byte(`"gtpn_engine"`)) || !bytes.Contains(body, []byte(`"states_explored"`)) {
+		t.Fatalf("metrics missing engine counters: %s", body)
+	}
 }
 
 // TestDeterministicResponses pins the byte-determinism contract: the
@@ -380,3 +383,44 @@ func TestMetricsCacheCounters(t *testing.T) {
 	}
 }
 
+
+// TestMetricsEngineCounters checks the solver engine counters surface
+// through /metrics and move when a cold solve builds a graph: a miss
+// costs a graph build and some explored states, a cache hit costs
+// neither.
+func TestMetricsEngineCounters(t *testing.T) {
+	gtpn.ResetSolveCache()
+	t.Cleanup(gtpn.ResetSolveCache)
+	_, ts := testServer(t, Config{})
+
+	read := func() (graphs, states float64) {
+		_, body := get(t, ts.URL+"/metrics")
+		var m struct {
+			Engine struct {
+				Graphs float64 `json:"graphs_built"`
+				States float64 `json:"states_explored"`
+			} `json:"gtpn_engine"`
+		}
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatal(err)
+		}
+		return m.Engine.Graphs, m.Engine.States
+	}
+
+	graphs0, states0 := read()
+	body := `{"arch":3,"conversations":1,"server_compute_us":570}`
+	if code, _, b := post(t, ts.URL+"/v1/solve", body); code != 200 {
+		t.Fatalf("solve: %d %s", code, b)
+	}
+	graphs1, states1 := read()
+	if graphs1 <= graphs0 || states1 <= states0 {
+		t.Fatalf("cold solve built no graph: (%v, %v) -> (%v, %v)", graphs0, states0, graphs1, states1)
+	}
+	if code, _, b := post(t, ts.URL+"/v1/solve", body); code != 200 {
+		t.Fatalf("solve: %d %s", code, b)
+	}
+	graphs2, _ := read()
+	if graphs2 != graphs1 {
+		t.Fatalf("warm solve rebuilt the graph: %v -> %v", graphs1, graphs2)
+	}
+}
