@@ -8,6 +8,7 @@
 //	ipcd -addr :9090 -workers 8  eight concurrent computations
 //	ipcd -queue 16 -timeout 30s  16 queued beyond the workers; 30s deadline
 //	ipcd -pprof localhost:6060   net/http/pprof on a separate listener (off by default)
+//	ipcd -trace-dir traces       sample per-request Chrome traces (every -trace-every requests)
 //
 // Endpoints:
 //
@@ -45,8 +46,10 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent computations (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 64, "admission queue beyond the workers; full queue answers 429")
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request computation deadline")
-		drain   = flag.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
-		pprofAt = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
+		drain      = flag.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
+		pprofAt    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
+		traceDir   = flag.String("trace-dir", "", "write sampled per-request Chrome traces into this directory; off when empty")
+		traceEvery = flag.Int("trace-every", 100, "with -trace-dir, trace every Nth computing request")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -55,10 +58,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			log.Fatalf("ipcd: trace dir: %v", err)
+		}
+	}
 	srv := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
+		TraceDir:       *traceDir,
+		TraceEvery:     *traceEvery,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/rng"
+	"repro/internal/service"
 )
 
 func main() {
@@ -131,6 +132,15 @@ func main() {
 		fmt.Printf("  latency p50 %v  p90 %v  p99 %v  max %v\n",
 			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 			q(0.99).Round(time.Microsecond), latencies[n-1].Round(time.Microsecond))
+		// The client-side view of the route's latency, on the same fixed
+		// buckets and deterministic encoding as the daemon's /metrics, so
+		// the two can be cross-checked bucket by bucket.
+		h := service.NewHistogram()
+		for _, d := range latencies {
+			h.Observe(float64(d.Microseconds()))
+		}
+		fmt.Printf("  histogram %s", service.MarshalDeterministic(
+			map[string]any{"latency_us": map[string]any{*endpoint: h.Snapshot()}}))
 	}
 	fmt.Printf("  response digest %016x (%d distinct points, %d mismatches)\n",
 		digest(bodies), len(bodies), mismatches)

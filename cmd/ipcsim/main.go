@@ -9,6 +9,7 @@
 //	ipcsim -arch 2 -n 3 -x 2850 -nonlocal  clients node 0, servers node 1
 //	ipcsim -reps 8 -parallel 4 ...         average eight replications, four at a time
 //	ipcsim ... -validate                   also solve the model and compare
+//	ipcsim ... -trace out.json             Chrome trace of replication 0 + activity breakdown
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/rng"
 	"repro/internal/timing"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -40,6 +42,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "workers for the replications (0 = GOMAXPROCS; any value gives identical results)")
 		validate = flag.Bool("validate", false, "compare against the GTPN model")
 		stats    = flag.Bool("cachestats", false, "print GTPN solve-cache statistics to stderr on exit")
+		traceOut = flag.String("trace", "", "write a Chrome trace of replication 0 to this file and print an activity breakdown")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -66,7 +69,15 @@ func main() {
 	}
 	a := timing.Arch(*arch)
 	p := workload.Params{Conversations: *n, ComputeMean: *x * des.Microsecond}
-	res := runReplicated(a, *nonlocal, *hosts, *seed, *reps, *parallel, p, *seconds*des.Second)
+	// Tracing attaches to replication 0 only: its seed derivation does
+	// not depend on the worker count, so the trace is byte-identical at
+	// any -parallel setting.
+	var tracer *trace.Recorder
+	if *traceOut != "" {
+		tracer = trace.New(trace.DefaultCapacity, des.Microsecond)
+		tracer.RegisterProcess(0, "ipcsim")
+	}
+	res, rep0 := runReplicated(a, *nonlocal, *hosts, *seed, *reps, *parallel, p, *seconds*des.Second, tracer)
 
 	locality := "local"
 	if *nonlocal {
@@ -101,15 +112,43 @@ func main() {
 		dev := (res.Throughput - tput) / tput * 100
 		fmt.Printf("  model           %.2f round trips/s (simulation %+.1f%%)\n", tput*1e6, dev)
 	}
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipcsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChrome(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipcsim: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "ipcsim: trace ring dropped %d oldest events (timeline truncated; breakdown totals stay exact)\n", d)
+		}
+		fmt.Printf("\nActivity breakdown (replication 0, %d round trips):\n", rep0.RoundTrips)
+		if err := trace.WriteBreakdown(os.Stdout, tracer.Breakdown(rep0.RoundTrips)); err != nil {
+			fmt.Fprintf(os.Stderr, "ipcsim: breakdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // runReplicated runs reps independent machine simulations (seeds derived
 // from seed by replication index) on a bounded worker pool and averages
 // the measures in replication order, so the reported numbers are
-// identical at any worker count.
-func runReplicated(a timing.Arch, nonlocal bool, hosts int, seed uint64, reps, workers int, p workload.Params, horizon int64) workload.Result {
+// identical at any worker count. The tracer (if any) attaches to
+// replication 0 only; rep0 is that replication's own result, whose
+// round-trip count scales the trace's activity breakdown.
+func runReplicated(a timing.Arch, nonlocal bool, hosts int, seed uint64, reps, workers int, p workload.Params, horizon int64, tracer *trace.Recorder) (agg, rep0 workload.Result) {
 	if reps < 2 {
-		return newMachine(a, nonlocal, machine.Config{Hosts: hosts, Seed: seed}).Run(p, horizon)
+		res := newMachine(a, nonlocal, machine.Config{Hosts: hosts, Seed: seed, Tracer: tracer}).Run(p, horizon)
+		return res, res
 	}
 	seeds := make([]uint64, reps)
 	src := rng.New(seed)
@@ -130,7 +169,11 @@ func runReplicated(a timing.Arch, nonlocal bool, hosts int, seed uint64, reps, w
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				m := newMachine(a, nonlocal, machine.Config{Hosts: hosts, Seed: seeds[i]})
+				cfg := machine.Config{Hosts: hosts, Seed: seeds[i]}
+				if i == 0 {
+					cfg.Tracer = tracer
+				}
+				m := newMachine(a, nonlocal, cfg)
 				results[i] = m.Run(p, horizon)
 			}
 		}()
@@ -141,7 +184,6 @@ func runReplicated(a timing.Arch, nonlocal bool, hosts int, seed uint64, reps, w
 	close(jobs)
 	wg.Wait()
 
-	var agg workload.Result
 	for _, r := range results {
 		agg.RoundTrips += r.RoundTrips
 		agg.Throughput += r.Throughput
@@ -149,7 +191,7 @@ func runReplicated(a timing.Arch, nonlocal bool, hosts int, seed uint64, reps, w
 	}
 	agg.Throughput /= float64(reps)
 	agg.MeanRoundTrip /= float64(reps)
-	return agg
+	return agg, results[0]
 }
 
 func newMachine(a timing.Arch, nonlocal bool, cfg machine.Config) *machine.Machine {

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/timing"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace under testdata/golden")
+
+// traceRun performs the fixed-seed replicated simulation that -trace
+// exposes and returns the serialized Chrome trace of replication 0.
+func traceRun(t *testing.T, workers int) []byte {
+	t.Helper()
+	tracer := trace.New(trace.DefaultCapacity, des.Microsecond)
+	tracer.RegisterProcess(0, "ipcsim")
+	p := workload.Params{Conversations: 2, ComputeMean: 1140 * des.Microsecond}
+	_, rep0 := runReplicated(timing.ArchII, false, 1, 42, 3, workers, p, 50*des.Millisecond, tracer)
+	if rep0.RoundTrips == 0 {
+		t.Fatal("replication 0 completed no round trips")
+	}
+	if d := tracer.Dropped(); d > 0 {
+		t.Fatalf("trace ring dropped %d events; enlarge the horizon/capacity ratio", d)
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceGolden pins the Chrome trace of a fixed-seed run to a
+// snapshot: the trace must be byte-identical across runs and across
+// worker counts (replication 0's seed derivation is independent of
+// -parallel), and must parse as a trace-event JSON document.
+// Regenerate with:
+//
+//	go test ./cmd/ipcsim -run TestTraceGolden -update
+func TestTraceGolden(t *testing.T) {
+	got := traceRun(t, 1)
+
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"Syscall Send", "Process Send", "Match", "Restart Task", "Compute"} {
+		if !names[want] {
+			t.Errorf("span %q missing from trace", want)
+		}
+	}
+
+	golden := filepath.Join("testdata", "golden", "trace-archII-local.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden trace (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace deviates from golden snapshot (%d vs %d bytes); run with -update if the change is intended",
+			len(got), len(want))
+	}
+}
+
+// TestTraceParallelismInvariant demands that the worker count is
+// invisible in the trace: replication 0 is the traced one and its seed
+// does not depend on how the pool is sized.
+func TestTraceParallelismInvariant(t *testing.T) {
+	base := traceRun(t, 1)
+	for _, workers := range []int{2, 4} {
+		if got := traceRun(t, workers); !bytes.Equal(base, got) {
+			t.Fatalf("workers=%d changed the replication-0 trace (%d vs %d bytes)",
+				workers, len(got), len(base))
+		}
+	}
+}

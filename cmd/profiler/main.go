@@ -2,7 +2,9 @@
 // the instrumented miniature kernels (Charlotte, Jasmin, 925, Unix local
 // and non-local) through the §3.3 profiling machinery and prints the
 // round-trip breakdowns of Tables 3.1-3.5, plus the Unix service-time
-// tables 3.6 and 3.7.
+// tables 3.6 and 3.7. With -trace the same kernel runs are re-executed
+// under a span recorder and written as one Chrome trace (a process per
+// profiled system); the printed tables are unaffected.
 package main
 
 import (
@@ -11,10 +13,13 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/profile"
+	"repro/internal/trace"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "fewer kernel-run rounds")
+	traceOut := flag.String("trace", "", "also write a Chrome trace of the profiled kernel runs to this file")
 	flag.Parse()
 	cfg := experiments.Config{Quick: *quick}
 	for _, id := range []string{"T3.1", "T3.2", "T3.3", "T3.4", "T3.5", "T3.6", "T3.7"} {
@@ -30,4 +35,51 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// spanObserver adapts a trace recorder track to profile.SpanObserver.
+type spanObserver struct {
+	rec   *trace.Recorder
+	proc  int32
+	track int32
+}
+
+func (o spanObserver) Span(name string, startUS, durUS int64) {
+	o.rec.Emit(o.proc, o.track, name, "kernel", startUS, durUS)
+}
+
+func (o spanObserver) Instant(name string, atUS, arg int64) {
+	o.rec.Instant(o.proc, o.track, name, "path", atUS, arg)
+}
+
+// writeTrace re-runs the Table 3.1-3.5 kernel runs under a microsecond
+// span recorder — one trace process per profiled system — and writes the
+// combined Chrome trace.
+func writeTrace(path string, quick bool) error {
+	rounds := 500
+	if quick {
+		rounds = 100
+	}
+	rec := trace.New(trace.DefaultCapacity, 1) // the §3.3 timer ticks in microseconds
+	for i, sys := range profile.AllSystems() {
+		proc := int32(i)
+		rec.RegisterProcess(proc, sys.System)
+		obs := spanObserver{rec: rec, proc: proc, track: rec.Track(proc, "kernel")}
+		profile.KernelRunTraced(sys, rounds, 2, obs)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -48,6 +48,10 @@ type Bus struct {
 	Stats Stats
 
 	streams map[memory.Tag]*stream
+
+	// track is the bus's timeline track on the engine's tracer,
+	// registered lazily (0 = not yet registered).
+	track int32
 }
 
 type stream struct {
@@ -429,6 +433,14 @@ func (b *Bus) account(master string, cmd Command, edges int, addr uint16) {
 		b.Stats.ByCommand = map[Command]int64{}
 	}
 	b.Stats.ByCommand[cmd]++
+	if tr := b.eng.Tracer(); tr != nil {
+		if b.track == 0 {
+			b.track = tr.Track(0, "bus")
+		}
+		// The grant completed now, after edges handshake edges.
+		dur := int64(edges) * EdgeTicks
+		tr.Emit(0, b.track, cmd.String(), "bus", b.eng.Now()-dur, dur)
+	}
 	if b.Trace != nil {
 		b.Trace(TraceEvent{At: b.eng.Now(), Master: master, Cmd: cmd, Addr: addr, Edges: edges})
 	}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/rng"
 	"repro/internal/timing"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -139,6 +140,7 @@ func (s *System) AnalyzeContext(ctx context.Context, w Workload) (Prediction, er
 	if w.Conversations <= 0 {
 		return Prediction{}, fmt.Errorf("core: workload needs at least one conversation")
 	}
+	defer trace.ScopeFrom(ctx).Begin("core.analyze", "core").End()
 	var p Prediction
 	if w.NonLocal {
 		res, err := models.SolveNonLocalContext(ctx, s.arch, w.Conversations, s.hosts, w.ServerComputeUS, models.SolveOptions{})

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // Ticks per common time units at the 1 ns resolution the machine
@@ -55,6 +56,7 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	rng    *rng.Source
+	tracer *trace.Recorder
 }
 
 // New returns an engine at time zero with a seeded random source.
@@ -67,6 +69,16 @@ func (e *Engine) Now() int64 { return e.now }
 
 // Rand exposes the engine's deterministic random source.
 func (e *Engine) Rand() *rng.Source { return e.rng }
+
+// SetTracer attaches a span recorder: the engine's observability hook.
+// Resources (and the simulators built on them) emit spans on it in
+// virtual time. Attach the tracer before building the simulated machine
+// so tracks register in construction order; a nil tracer (the default)
+// keeps every emission a nil-check no-op.
+func (e *Engine) SetTracer(r *trace.Recorder) { e.tracer = r }
+
+// Tracer reports the attached recorder (nil when tracing is off).
+func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it
 // would silently reorder causality.

@@ -18,6 +18,10 @@ type Resource struct {
 	lastStart int64
 	// Served counts completed holds.
 	Served int64
+
+	// track is this resource's timeline track on the engine's tracer,
+	// registered lazily at first emission (0 = not yet registered).
+	track int32
 }
 
 type grant struct {
@@ -73,6 +77,53 @@ func (r *Resource) Use(pri int, d int64, fn func()) {
 			}
 		})
 	})
+}
+
+// UseSpan is Use plus a lifecycle span: the hold appears on this
+// resource's timeline track as a complete span named for the activity.
+// With no tracer attached it is exactly Use. Span names must be static
+// strings (the recorder stores them without copying).
+func (r *Resource) UseSpan(pri int, d int64, name, cat string, fn func()) {
+	if r.eng.tracer == nil {
+		r.Use(pri, d, fn)
+		return
+	}
+	r.Acquire(pri, func() {
+		start := r.eng.Now()
+		r.eng.After(d, func() {
+			r.EmitSpan(name, cat, start, d)
+			r.Release()
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}
+
+// EmitSpan records a completed interval on this resource's track; a
+// no-op without a tracer.
+func (r *Resource) EmitSpan(name, cat string, start, dur int64) {
+	tr := r.eng.tracer
+	if tr == nil {
+		return
+	}
+	if r.track == 0 {
+		r.track = tr.Track(0, r.name)
+	}
+	tr.Emit(0, r.track, name, cat, start, dur)
+}
+
+// EmitInstant records a point event on this resource's track now; a
+// no-op without a tracer. Pass arg < 0 for no argument.
+func (r *Resource) EmitInstant(name, cat string, arg int64) {
+	tr := r.eng.tracer
+	if tr == nil {
+		return
+	}
+	if r.track == 0 {
+		r.track = tr.Track(0, r.name)
+	}
+	tr.Instant(0, r.track, name, cat, r.eng.Now(), arg)
 }
 
 // Release frees the server and grants it to the highest-priority waiter.

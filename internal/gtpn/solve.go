@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // SolveOptions tunes the analytical solver.
@@ -102,9 +104,11 @@ func (n *Net) Solve(opts SolveOptions) (*Solution, error) {
 // deadlines on large non-local models.
 func (n *Net) SolveContext(ctx context.Context, opts SolveOptions) (*Solution, error) {
 	opts = opts.normalize()
+	sc := trace.ScopeFrom(ctx) // nil on untraced requests: every use below is a no-op
 
 	key, usable := n.solveKey(opts)
 	if s, ok := cacheLookup(key, usable); ok {
+		sc.Instant("gtpn.cache_hit", "gtpn")
 		// Re-point the shared solution at this (identical) net so name
 		// lookups resolve against the caller's instance.
 		cp := *s
@@ -119,15 +123,21 @@ func (n *Net) SolveContext(ctx context.Context, opts SolveOptions) (*Solution, e
 		return nil, err
 	}
 
+	sp := sc.Begin("gtpn.build", "gtpn")
 	g, err := n.buildGraph(ctx, opts.MaxStates)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = sc.Begin("gtpn.stationary", "gtpn")
 	pi, converged, residual, err := solveStationary(ctx, g, opts)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = sc.Begin("gtpn.measures", "gtpn")
 	sol := n.measures(g, pi, converged, residual)
+	sp.End()
 	if usable {
 		cacheStore(key, sol)
 	}

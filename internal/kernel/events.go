@@ -42,7 +42,7 @@ func (t *Task) WaitAny(svcs []ServiceRef, pendings []*Pending) (*Occurrence, err
 
 	t.inMsg = nil
 	t.state = stateCommunicating
-	t.park(request{kind: reqYieldHost, d: t.k.cfg.Costs.SyscallReceive, after: func() {
+	t.park(request{kind: reqYieldHost, d: t.k.cfg.Costs.SyscallReceive, name: "Syscall Receive", after: func() {
 		t.k.postWaitAny(t, resolved, pendings)
 	}})
 
@@ -70,13 +70,13 @@ func (t *Task) WaitAny(svcs []ServiceRef, pendings []*Pending) (*Occurrence, err
 
 // postWaitAny is the communication-processing half of WaitAny.
 func (k *Kernel) postWaitAny(t *Task, svcs []*Service, pendings []*Pending) {
-	k.commRun(priTask, k.cfg.Costs.ProcessReceive, func() {
+	k.commRun(priTask, k.cfg.Costs.ProcessReceive, "Process Receive", func() {
 		for _, s := range svcs {
 			if len(s.queue) > 0 {
 				m := s.queue[0]
 				s.queue = s.queue[1:]
 				k.noteDequeued(m)
-				k.commRun(priTask, k.matchCost(m), func() {
+				k.commRun(priTask, k.matchCost(m), "Match", func() {
 					k.completeDelivery(t, m)
 				})
 				return

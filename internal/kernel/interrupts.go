@@ -26,7 +26,7 @@ func (c *IntrContext) Activate(ref ServiceRef, data []byte) error {
 		return err
 	}
 	payload := padMessage(data)
-	k.commRun(priIntr, k.cfg.Costs.ProcessSend, func() {
+	k.commRun(priIntr, k.cfg.Costs.ProcessSend, "Process Send", func() {
 		if _, ok := k.services[s.id]; !ok {
 			return
 		}

@@ -87,6 +87,11 @@ type Kernel struct {
 	// seenRemote deduplicates remote requests when retransmission is on.
 	seenRemote map[uint64]*remoteConv
 
+	// schedTrack is this node's scheduler timeline track (TCB
+	// enqueue/dequeue instants) on the engine's tracer; registered
+	// lazily, 0 when tracing is off.
+	schedTrack int32
+
 	// Stats
 	RoundTrips  int64 // completed remote-invocation rendezvous (as client node)
 	LocalSends  int64
@@ -173,11 +178,28 @@ func (k *Kernel) HostUtilization() float64 {
 func (k *Kernel) CommUtilization() float64 { return k.comm.Utilization() }
 
 // commRun queues one communication-processing activity: duration d on
-// the communication processor at the given priority, then action.
-// Architecture I shares the host between computation and communication;
-// architectures II-IV run this on the MP concurrently with the hosts.
-func (k *Kernel) commRun(pri int, d int64, action func()) {
-	k.comm.Use(pri, d, action)
+// the communication processor at the given priority, then action. The
+// name labels the activity's span on the communication processor's
+// timeline track when the engine has a tracer (it must be a static
+// string). Architecture I shares the host between computation and
+// communication; architectures II-IV run this on the MP concurrently
+// with the hosts.
+func (k *Kernel) commRun(pri int, d int64, name string, action func()) {
+	k.comm.UseSpan(pri, d, name, "kernel", action)
+}
+
+// noteTCB stamps a computation-list transition (the §5.1 TCB
+// enqueue/dequeue points) on the node's scheduler track; a no-op
+// without a tracer.
+func (k *Kernel) noteTCB(name string, taskID int) {
+	tr := k.eng.Tracer()
+	if tr == nil {
+		return
+	}
+	if k.schedTrack == 0 {
+		k.schedTrack = tr.Track(0, fmt.Sprintf("node%d.sched", k.node))
+	}
+	tr.Instant(0, k.schedTrack, name, "sched", k.eng.Now(), int64(taskID))
 }
 
 // hostOccupied marks host h busy/free in the dispatcher's view.
@@ -191,6 +213,7 @@ func (k *Kernel) makeReady(t *Task) {
 		return
 	}
 	t.state = stateReady
+	k.noteTCB("TCB Enqueue", t.id)
 	k.compList.Enqueue(&t.tcb)
 	k.dispatch()
 }
@@ -207,11 +230,14 @@ func (k *Kernel) dispatch() {
 			continue
 		}
 		t := k.compList.First().Value
+		k.noteTCB("TCB Dequeue", t.id)
 		k.hostFree[h] = false
 		t.host = h
 		hres := k.hosts[h]
 		hres.Acquire(priTask, func() {
+			start := k.eng.Now()
 			k.eng.After(k.cfg.Costs.RestartTask, func() {
+				hres.EmitSpan("Restart Task", "kernel", start, k.cfg.Costs.RestartTask)
 				t.state = stateRunning
 				k.runUntilBlocked(t, hres)
 			})
@@ -239,13 +265,21 @@ func (k *Kernel) runUntilBlocked(t *Task, hres *des.Resource) {
 			k.dispatch()
 			return
 		case reqCompute:
-			k.eng.After(req.d, func() { k.runUntilBlocked(t, hres) })
+			computeStart := k.eng.Now()
+			k.eng.After(req.d, func() {
+				hres.EmitSpan("Compute", "task", computeStart, req.d)
+				k.runUntilBlocked(t, hres)
+			})
 			return
 		case reqYieldHost:
 			// A blocking syscall was posted: charge the syscall entry on
 			// the host, then hand the host back and let the
 			// communication processor take over.
+			yieldStart := k.eng.Now()
 			k.eng.After(req.d, func() {
+				if req.name != "" {
+					hres.EmitSpan(req.name, "kernel", yieldStart, req.d)
+				}
 				hres.Release()
 				k.setHostFree(t.host, true)
 				req.after()
@@ -255,7 +289,11 @@ func (k *Kernel) runUntilBlocked(t *Task, hres *des.Resource) {
 		case reqSyscallInline:
 			// A non-blocking syscall: charge its host cost, run its
 			// action, and continue the task on the same host.
+			inlineStart := k.eng.Now()
 			k.eng.After(req.d, func() {
+				if req.name != "" {
+					hres.EmitSpan(req.name, "kernel", inlineStart, req.d)
+				}
 				if req.after != nil {
 					req.after()
 				}

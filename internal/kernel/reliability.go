@@ -74,7 +74,7 @@ func (k *Kernel) armRetransmit(conv int, pkt *network.Packet) {
 		}
 		k.Retransmits++
 		copyPkt := *pkt
-		k.ioOut.Use(0, k.cfg.Costs.DMAOut+k.cfg.Costs.Checksum, func() {
+		k.ioOut.UseSpan(0, k.cfg.Costs.DMAOut+k.cfg.Costs.Checksum, "DMA Out", "kernel", func() {
 			k.ifc.Transmit(&copyPkt, nil)
 		})
 		k.eng.After(k.cfg.RetransmitAfter, again)
@@ -86,7 +86,7 @@ func (k *Kernel) armRetransmit(conv int, pkt *network.Packet) {
 // produced.
 func (k *Kernel) resendStoredReply(src, conv int, payload []byte) {
 	pkt := &network.Packet{Type: network.ReplyPacket, Dst: src, Conv: conv, Payload: payload}
-	k.ioOut.Use(0, k.cfg.Costs.DMAOut+k.cfg.Costs.Checksum, func() {
+	k.ioOut.UseSpan(0, k.cfg.Costs.DMAOut+k.cfg.Costs.Checksum, "DMA Out", "kernel", func() {
 		k.ifc.Transmit(pkt, nil)
 	})
 }

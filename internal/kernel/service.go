@@ -66,7 +66,7 @@ type Message struct {
 // p is nil for no-wait sends.
 func (k *Kernel) postSend(sender *Task, ref ServiceRef, payload []byte, memRef *MemoryRef, p *Pending) {
 	if ref.Node != k.node {
-		k.commRun(priTask, k.cfg.Costs.ProcessSend, func() {
+		k.commRun(priTask, k.cfg.Costs.ProcessSend, "Process Send", func() {
 			conv := k.nextConv
 			k.nextConv++
 			if p != nil {
@@ -81,7 +81,7 @@ func (k *Kernel) postSend(sender *Task, ref ServiceRef, payload []byte, memRef *
 				Datagram: p == nil,
 				Payload:  payload,
 			}
-			k.ioOut.Use(0, k.cfg.Costs.DMAOut+k.cfg.Costs.Checksum, func() {
+			k.ioOut.UseSpan(0, k.cfg.Costs.DMAOut+k.cfg.Costs.Checksum, "DMA Out", "kernel", func() {
 				k.ifc.Transmit(pkt, nil)
 			})
 			if p != nil {
@@ -90,7 +90,7 @@ func (k *Kernel) postSend(sender *Task, ref ServiceRef, payload []byte, memRef *
 		})
 		return
 	}
-	k.commRun(priTask, k.cfg.Costs.ProcessSend, func() {
+	k.commRun(priTask, k.cfg.Costs.ProcessSend, "Process Send", func() {
 		s, ok := k.services[ref.ID]
 		if !ok {
 			// The service vanished between validation and processing;
@@ -134,7 +134,7 @@ func (k *Kernel) deliver(s *Service, m *Message, chargeMatch bool) {
 		k.completeDelivery(w, m)
 	}
 	if chargeMatch {
-		k.commRun(priTask, k.matchCost(m), match)
+		k.commRun(priTask, k.matchCost(m), "Match", match)
 	} else {
 		match()
 	}
@@ -164,13 +164,13 @@ func (k *Kernel) completeDelivery(w *Task, m *Message) {
 
 // postReceive runs the communication-processing half of a receive.
 func (k *Kernel) postReceive(t *Task, svcs []*Service) {
-	k.commRun(priTask, k.cfg.Costs.ProcessReceive, func() {
+	k.commRun(priTask, k.cfg.Costs.ProcessReceive, "Process Receive", func() {
 		for _, s := range svcs {
 			if len(s.queue) > 0 {
 				m := s.queue[0]
 				s.queue = s.queue[1:]
 				k.noteDequeued(m)
-				k.commRun(priTask, k.matchCost(m), func() {
+				k.commRun(priTask, k.matchCost(m), "Match", func() {
 					k.completeDelivery(t, m)
 				})
 				return
@@ -199,7 +199,7 @@ func (k *Kernel) removeWaiter(t *Task) {
 
 // postReply runs the communication-processing half of a reply.
 func (k *Kernel) postReply(server *Task, m *Message, payload []byte) {
-	k.commRun(priTask, k.cfg.Costs.ProcessReply, func() {
+	k.commRun(priTask, k.cfg.Costs.ProcessReply, "Process Reply", func() {
 		k.freeBuffer() // the rendezvous buffer
 		if m.remote {
 			pkt := &network.Packet{
@@ -209,7 +209,7 @@ func (k *Kernel) postReply(server *Task, m *Message, payload []byte) {
 				Payload: payload,
 			}
 			k.storeReply(m.remoteNode, m.remoteConv, payload)
-			k.ioOut.Use(0, k.cfg.Costs.DMAOut+k.cfg.Costs.Checksum, func() {
+			k.ioOut.UseSpan(0, k.cfg.Costs.DMAOut+k.cfg.Costs.Checksum, "DMA Out", "kernel", func() {
 				k.ifc.Transmit(pkt, nil)
 			})
 		} else if m.pending != nil {
@@ -224,14 +224,14 @@ func (k *Kernel) postReply(server *Task, m *Message, payload []byte) {
 // at interrupt priority (§4.4: "network interrupts are serviced by the
 // message coprocessor on a priority basis").
 func (k *Kernel) onNetworkInterrupt() {
-	k.ioIn.Use(0, k.cfg.Costs.DMAIn+k.cfg.Costs.Checksum, func() {
+	k.ioIn.UseSpan(0, k.cfg.Costs.DMAIn+k.cfg.Costs.Checksum, "DMA In", "kernel", func() {
 		pkt := k.ifc.Receive()
 		if pkt == nil {
 			return
 		}
 		switch pkt.Type {
 		case network.SendPacket:
-			k.commRun(priIntr, k.cfg.Costs.MatchRemote+k.cfg.Costs.Checksum, func() {
+			k.commRun(priIntr, k.cfg.Costs.MatchRemote+k.cfg.Costs.Checksum, "Match Remote", func() {
 				fresh, stored := k.noteRequest(pkt.Src, pkt.Conv)
 				if !fresh {
 					if stored != nil {
@@ -257,7 +257,7 @@ func (k *Kernel) onNetworkInterrupt() {
 				})
 			})
 		case network.ReplyPacket:
-			k.commRun(priIntr, k.cfg.Costs.CleanupClient, func() {
+			k.commRun(priIntr, k.cfg.Costs.CleanupClient, "Cleanup Client", func() {
 				p, ok := k.conv[pkt.Conv]
 				if !ok {
 					return

@@ -57,6 +57,9 @@ type request struct {
 	kind  reqKind
 	d     int64
 	after func()
+	// name labels the host-side span of a syscall entry when tracing is
+	// on (a static string; empty means no span).
+	name string
 }
 
 // Task is a 925 task: a unit of execution with its own address space.
@@ -285,7 +288,7 @@ func (t *Task) Send(ref ServiceRef, data []byte) error {
 		return err
 	}
 	payload := padMessage(data)
-	t.park(request{kind: reqSyscallInline, d: t.k.cfg.Costs.SyscallSend, after: func() {
+	t.park(request{kind: reqSyscallInline, d: t.k.cfg.Costs.SyscallSend, name: "Syscall Send", after: func() {
 		t.k.postSend(t, ref, payload, nil, nil)
 	}})
 	return nil
@@ -314,7 +317,7 @@ func (t *Task) SendAsync(svc ServiceRef, data []byte, memRef *MemoryRef) (*Pendi
 	}
 	p := &Pending{owner: t, k: t.k}
 	payload := padMessage(data)
-	t.park(request{kind: reqSyscallInline, d: t.k.cfg.Costs.SyscallSend, after: func() {
+	t.park(request{kind: reqSyscallInline, d: t.k.cfg.Costs.SyscallSend, name: "Syscall Send", after: func() {
 		t.k.postSend(t, svc, payload, memRef, p)
 	}})
 	return p, nil
@@ -388,7 +391,7 @@ func (t *Task) ReceiveAny(refs ...ServiceRef) (*Message, error) {
 	}
 	t.inMsg = nil
 	t.state = stateCommunicating
-	t.park(request{kind: reqYieldHost, d: t.k.cfg.Costs.SyscallReceive, after: func() {
+	t.park(request{kind: reqYieldHost, d: t.k.cfg.Costs.SyscallReceive, name: "Syscall Receive", after: func() {
 		t.k.postReceive(t, svcs)
 	}})
 	m := t.inMsg
@@ -424,7 +427,7 @@ func (t *Task) Reply(m *Message, data []byte) error {
 	m.replied = true
 	payload := padMessage(data)
 	t.state = stateCommunicating
-	t.park(request{kind: reqYieldHost, d: t.k.cfg.Costs.SyscallReply, after: func() {
+	t.park(request{kind: reqYieldHost, d: t.k.cfg.Costs.SyscallReply, name: "Syscall Reply", after: func() {
 		t.k.postReply(t, m, payload)
 	}})
 	return nil

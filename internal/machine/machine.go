@@ -19,6 +19,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/kernel"
 	"repro/internal/timing"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -42,6 +43,10 @@ type Config struct {
 	// mirroring the 925 implementation's additional copy from kernel
 	// buffers to memory-mapped network buffers (§6.8).
 	ExtraCopyPerMessage int64
+	// Tracer, when non-nil, records per-message lifecycle spans in
+	// virtual time (kernel activities, DMA, scheduler transitions, wire
+	// occupancy). Nil keeps every emission a nil-check no-op.
+	Tracer *trace.Recorder
 }
 
 func (c Config) kernelConfig(arch timing.Arch, local bool) kernel.Config {
@@ -60,6 +65,7 @@ func (c Config) kernelConfig(arch timing.Arch, local bool) kernel.Config {
 // NewLocal builds a single-node machine for local conversations.
 func NewLocal(arch timing.Arch, cfg Config) *Machine {
 	eng := des.New(cfg.Seed + 1)
+	eng.SetTracer(cfg.Tracer)
 	k := kernel.New(eng, cfg.kernelConfig(arch, true))
 	return &Machine{Arch: arch, Eng: eng, Kernel: k}
 }
@@ -68,6 +74,7 @@ func NewLocal(arch timing.Arch, cfg Config) *Machine {
 // node 1) for non-local conversations.
 func NewNonLocal(arch timing.Arch, cfg Config) *Machine {
 	eng := des.New(cfg.Seed + 1)
+	eng.SetTracer(cfg.Tracer)
 	cl := kernel.NewCluster(eng, 2, cfg.kernelConfig(arch, false))
 	return &Machine{Arch: arch, Eng: eng, Cluster: cl}
 }

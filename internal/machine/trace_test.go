@@ -1,0 +1,112 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/timing"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Every kernel activity on a local machine (except Compute, which draws
+// from the workload distribution) has a fixed configured cost, so its
+// traced total must be exactly count x cost. This ties the trace layer
+// to the timing tables end to end: a span that double-counts, truncates,
+// or misattributes time breaks an equality, not a tolerance.
+func TestTraceBreakdownMatchesConfiguredCosts(t *testing.T) {
+	tr := trace.New(trace.DefaultCapacity, des.Microsecond)
+	tr.RegisterProcess(0, "test")
+	m := NewLocal(timing.ArchII, Config{Seed: 7, Tracer: tr})
+	res := m.Run(workload.Params{Conversations: 2, ComputeMean: 1140 * des.Microsecond}, des.Second)
+	if res.RoundTrips == 0 {
+		t.Fatal("no round trips completed")
+	}
+
+	costs := timing.CostsFor(timing.ArchII, true)
+	perSpan := map[string]int64{
+		"Syscall Send":    costs.SyscallSend,
+		"Syscall Receive": costs.SyscallReceive,
+		"Syscall Reply":   costs.SyscallReply,
+		"Restart Task":    costs.RestartTask,
+		"Process Send":    costs.ProcessSend,
+		"Process Receive": costs.ProcessReceive,
+		"Match":           costs.Match,
+		"Process Reply":   costs.ProcessReply,
+	}
+	totals := map[string]trace.Total{}
+	for _, tot := range tr.Totals() {
+		totals[tot.Name] = tot
+	}
+	for name, cost := range perSpan {
+		tot, ok := totals[name]
+		if !ok {
+			t.Errorf("activity %q never traced", name)
+			continue
+		}
+		if tot.Count == 0 || tot.Ticks != tot.Count*cost {
+			t.Errorf("activity %q: %d spans totaling %d ticks, want count x %d = %d",
+				name, tot.Count, tot.Ticks, cost, tot.Count*cost)
+		}
+	}
+	// Each round trip passes through the client syscall stub exactly once.
+	if got := totals["Syscall Send"].Count; got < res.RoundTrips {
+		t.Errorf("Syscall Send count %d < %d round trips", got, res.RoundTrips)
+	}
+	// Compute time is workload-drawn, not fixed, but must be present and
+	// categorized apart from kernel work.
+	if tot := totals["Compute"]; tot.Count == 0 || tot.Cat != "task" {
+		t.Errorf("Compute total = %+v, want nonzero count with cat \"task\"", tot)
+	}
+}
+
+// A non-local run additionally exercises the DMA, network, and remote
+// matching spans; their fixed components obey the same exact identity.
+func TestTraceNonLocalCoversNetworkPath(t *testing.T) {
+	tr := trace.New(trace.DefaultCapacity, des.Microsecond)
+	tr.RegisterProcess(0, "test")
+	m := NewNonLocal(timing.ArchII, Config{Seed: 7, Tracer: tr})
+	res := m.Run(workload.Params{Conversations: 2, ComputeMean: 1140 * des.Microsecond}, des.Second)
+	if res.RoundTrips == 0 {
+		t.Fatal("no round trips completed")
+	}
+
+	costs := timing.CostsFor(timing.ArchII, false)
+	totals := map[string]trace.Total{}
+	for _, tot := range tr.Totals() {
+		totals[tot.Name] = tot
+	}
+	for name, cost := range map[string]int64{
+		"DMA Out":      costs.DMAOut + costs.Checksum,
+		"DMA In":       costs.DMAIn + costs.Checksum,
+		"Match Remote": costs.MatchRemote + costs.Checksum,
+	} {
+		tot, ok := totals[name]
+		if !ok {
+			t.Errorf("activity %q never traced", name)
+			continue
+		}
+		if tot.Count == 0 || tot.Ticks != tot.Count*cost {
+			t.Errorf("activity %q: %d spans totaling %d ticks, want count x %d = %d",
+				name, tot.Count, tot.Ticks, cost, tot.Count*cost)
+		}
+	}
+	for _, name := range []string{"Packet Send", "Packet Reply", "Cleanup Client"} {
+		if totals[name].Count == 0 {
+			t.Errorf("activity %q never traced", name)
+		}
+	}
+	// Scheduler transitions are instants, so they live on the timeline
+	// ring rather than in the aggregate totals.
+	instants := map[string]int{}
+	for _, s := range tr.Spans() {
+		if s.Kind == trace.KindInstant {
+			instants[s.Name]++
+		}
+	}
+	for _, name := range []string{"TCB Enqueue", "TCB Dequeue"} {
+		if instants[name] == 0 {
+			t.Errorf("instant %q never traced", name)
+		}
+	}
+}

@@ -123,7 +123,11 @@ func (i *Interface) Transmit(p *Packet, done func()) {
 	}
 	p.Src = i.node
 	i.ring.Sent++
-	i.ring.medium.Use(0, i.ring.wireTicks(p), func() {
+	span := "Packet Send"
+	if p.Type == ReplyPacket {
+		span = "Packet Reply"
+	}
+	i.ring.medium.UseSpan(0, i.ring.wireTicks(p), span, "net", func() {
 		if i.ring.DropRate > 0 && i.ring.eng.Rand().Float64() < i.ring.DropRate {
 			i.ring.Dropped++
 			if done != nil {

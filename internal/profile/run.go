@@ -20,6 +20,18 @@ type Measured struct {
 	QueueDelayUS float64
 }
 
+// SpanObserver receives the true (unwrapped, probe-inclusive) timeline
+// of a profiled kernel run: one span per procedure visit and one
+// instant per message-path stamp, all in microseconds. It exists so
+// the trace layer can record a run without this package importing it
+// (trace's breakdown writer already imports profile for MeasuredRow).
+type SpanObserver interface {
+	// Span reports one procedure visit.
+	Span(name string, startUS, durUS int64)
+	// Instant reports one message-path stamp; arg is the message index.
+	Instant(name string, atUS, arg int64)
+}
+
 // KernelRun performs the §3.3 experiment on a simulated kernel: a
 // producer sends `rounds` null-RPC messages to a consumer, every kernel
 // procedure is bracketed by the procedure-call profiler, each message is
@@ -29,6 +41,14 @@ type Measured struct {
 // that the measurement machinery recovers them — including across timer
 // wraps, which a 20 ms Charlotte round trip exercises heavily.
 func KernelRun(sys SystemProfile, rounds int, probeOverhead int64) Measured {
+	return KernelRunTraced(sys, rounds, probeOverhead, nil)
+}
+
+// KernelRunTraced is KernelRun with an observer on the run's timeline.
+// The observer sees the true clock (no wrap, probe overhead included in
+// span durations); the measured statistics are identical to KernelRun's,
+// observed or not.
+func KernelRunTraced(sys SystemProfile, rounds int, probeOverhead int64, obs SpanObserver) Measured {
 	timer := &Timer{}
 	prof := NewProfiler(timer)
 	prof.ProbeOverhead = probeOverhead
@@ -65,6 +85,9 @@ func KernelRun(sys SystemProfile, rounds int, probeOverhead int64) Measured {
 	start := timer.now
 	for msg := 0; msg < rounds; msg++ {
 		path.Stamp(msg, "send-posted")
+		if obs != nil {
+			obs.Instant("send-posted", timer.now, int64(msg))
+		}
 		queued := false
 		// Interleave activities round-robin, as a real execution path
 		// alternates between sender-side and receiver-side procedures.
@@ -77,17 +100,27 @@ func KernelRun(sys SystemProfile, rounds int, probeOverhead int64) Measured {
 				if visit == p.visits-1 {
 					d += p.lastVisitPlus
 				}
+				visitStart := timer.now
 				prof.Enter(p.name)
 				timer.Advance(d)
 				prof.Exit(p.name)
+				if obs != nil {
+					obs.Span(p.name, visitStart, timer.now-visitStart)
+				}
 				if !queued {
 					path.Stamp(msg, "queued")
+					if obs != nil {
+						obs.Instant("queued", timer.now, int64(msg))
+					}
 					queued = true
 				}
 			}
 		}
 		path.Stamp(msg, "dequeued")
 		path.Stamp(msg, "reply-delivered")
+		if obs != nil {
+			obs.Instant("reply-delivered", timer.now, int64(msg))
+		}
 	}
 	elapsed := timer.now - start
 

@@ -27,6 +27,11 @@ func marshalDet(v any) []byte {
 	return buf.Bytes()
 }
 
+// MarshalDeterministic is the exported form of the service's
+// deterministic JSON encoder, for tools (ipcload) that want their
+// reports byte-comparable with the daemon's bodies.
+func MarshalDeterministic(v any) []byte { return marshalDet(v) }
+
 func encodeDet(buf *bytes.Buffer, v any) {
 	switch x := v.(type) {
 	case nil:
@@ -86,6 +91,15 @@ func encodeDet(buf *bytes.Buffer, v any) {
 				buf.WriteByte(',')
 			}
 			encodeDet(buf, e)
+		}
+		buf.WriteByte(']')
+	case []int64:
+		buf.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(strconv.FormatInt(e, 10))
 		}
 		buf.WriteByte(']')
 	default:

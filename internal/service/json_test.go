@@ -55,17 +55,17 @@ func TestMarshalDetStable(t *testing.T) {
 }
 
 func TestHistogramQuantiles(t *testing.T) {
-	h := newHistogram()
+	h := NewHistogram()
 	for i := 0; i < 90; i++ {
-		h.observe(50) // first bucket (<=100)
+		h.Observe(50) // first bucket (<=100)
 	}
 	for i := 0; i < 10; i++ {
-		h.observe(900_000) // <=1s bucket
+		h.Observe(900_000) // <=1s bucket
 	}
-	if q := h.quantile(0.50); q != 100 {
+	if q := h.Quantile(0.50); q != 100 {
 		t.Fatalf("p50 = %v, want 100", q)
 	}
-	if q := h.quantile(0.99); q != 1_000_000 {
+	if q := h.Quantile(0.99); q != 1_000_000 {
 		t.Fatalf("p99 = %v, want 1e6", q)
 	}
 	if h.max != 900_000 {

@@ -21,13 +21,13 @@ type metrics struct {
 	rejectedDrain int64            // 503: refused while draining
 	errors        int64            // 4xx/5xx other than the two above
 
-	latency map[string]*histogram // per-route request latency
+	latency map[string]*Histogram // per-route request latency
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		byRoute: map[string]int64{},
-		latency: map[string]*histogram{},
+		latency: map[string]*Histogram{},
 	}
 }
 
@@ -44,10 +44,10 @@ func (m *metrics) requestEnd(route string, d time.Duration, status int) {
 	m.inFlight--
 	h := m.latency[route]
 	if h == nil {
-		h = newHistogram()
+		h = NewHistogram()
 		m.latency[route] = h
 	}
-	h.observe(float64(d.Microseconds()))
+	h.Observe(float64(d.Microseconds()))
 	switch {
 	case status == 429:
 		m.rejectedBusy++
@@ -63,98 +63,42 @@ func (m *metrics) add(field *int64, delta int64) {
 	m.mu.Unlock()
 }
 
-// snapshot renders the counters as a deterministic JSON tree.
+// snapshot renders the counters as a deterministic JSON tree. It copies
+// the state it needs under the mutex and builds (and later encodes) the
+// tree outside it, so a slow /metrics reader never stalls the request
+// path's counter updates.
 func (m *metrics) snapshot() map[string]any {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	byRoute := map[string]any{}
+	byRoute := make(map[string]any, len(m.byRoute))
 	for r, n := range m.byRoute {
 		byRoute[r] = n
 	}
-	latency := map[string]any{}
+	hists := make(map[string]*Histogram, len(m.latency))
 	for r, h := range m.latency {
-		latency[r] = h.snapshot()
+		hists[r] = h.clone()
+	}
+	coalesced := m.coalesced
+	errs := m.errors
+	inFlight := m.inFlight
+	leaders := m.leaders
+	rejectedBusy := m.rejectedBusy
+	rejectedDrain := m.rejectedDrain
+	requestsTotal := m.requestsTotal
+	m.mu.Unlock()
+
+	latency := make(map[string]any, len(hists))
+	for r, h := range hists {
+		latency[r] = h.Snapshot()
 	}
 	return map[string]any{
 		"by_route":          byRoute,
-		"coalesced":         m.coalesced,
-		"errors":            m.errors,
-		"in_flight":         m.inFlight,
-		"leaders":           m.leaders,
-		"rejected_busy":     m.rejectedBusy,
-		"rejected_draining": m.rejectedDrain,
-		"requests_total":    m.requestsTotal,
+		"coalesced":         coalesced,
+		"errors":            errs,
+		"in_flight":         inFlight,
+		"leaders":           leaders,
+		"rejected_busy":     rejectedBusy,
+		"rejected_draining": rejectedDrain,
+		"requests_total":    requestsTotal,
 		"latency_us":        latency,
-	}
-}
-
-// histogram is a fixed-bucket latency histogram in microseconds. The
-// bounds cover sub-millisecond cache hits through multi-minute full
-// experiment regenerations.
-type histogram struct {
-	counts []int64 // len(histBounds)+1: one per bound plus the overflow bucket
-	count  int64
-	sum    float64
-	max    float64
-}
-
-var histBounds = []float64{
-	100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
-	100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
-	10_000_000, 60_000_000,
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]int64, len(histBounds)+1)}
-}
-
-func (h *histogram) observe(us float64) {
-	i := 0
-	for i < len(histBounds) && us > histBounds[i] {
-		i++
-	}
-	h.counts[i]++
-	h.count++
-	h.sum += us
-	if us > h.max {
-		h.max = us
-	}
-}
-
-// quantile reports the upper bound of the bucket holding the q-quantile
-// observation (the conventional histogram estimate).
-func (h *histogram) quantile(q float64) float64 {
-	if h.count == 0 {
-		return 0
-	}
-	rank := int64(q * float64(h.count))
-	if rank >= h.count {
-		rank = h.count - 1
-	}
-	var seen int64
-	for i, c := range h.counts {
-		seen += c
-		if seen > rank {
-			if i < len(histBounds) {
-				return histBounds[i]
-			}
-			return h.max
-		}
-	}
-	return h.max
-}
-
-func (h *histogram) snapshot() map[string]any {
-	mean := 0.0
-	if h.count > 0 {
-		mean = h.sum / float64(h.count)
-	}
-	return map[string]any{
-		"count":   h.count,
-		"mean_us": mean,
-		"max_us":  h.max,
-		"p50_us":  h.quantile(0.50),
-		"p90_us":  h.quantile(0.90),
-		"p99_us":  h.quantile(0.99),
 	}
 }

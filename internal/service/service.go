@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync/atomic"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gtpn"
+	"repro/internal/trace"
 )
 
 // Config tunes the server.
@@ -43,6 +46,14 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes bounds request bodies. 0 means 1 MiB.
 	MaxBodyBytes int64
+	// TraceDir, when set, samples request traces: every TraceEvery-th
+	// computing request gets a wall-clock span recorder, and its Chrome
+	// trace JSON is written to TraceDir/req-<n>-<route>.json when the
+	// request completes. Empty (the default) disables sampling entirely.
+	TraceDir string
+	// TraceEvery is the trace sampling interval; 0 means 100 (trace one
+	// request in a hundred).
+	TraceEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +72,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.TraceEvery <= 0 {
+		c.TraceEvery = 100
+	}
 	return c
 }
 
@@ -74,6 +88,7 @@ type Server struct {
 	draining atomic.Bool
 	flights  flightGroup
 	metrics  *metrics
+	traceSeq atomic.Int64 // computing requests seen, for trace sampling
 
 	// testHookAdmitted, when set, runs in a computation leader after it
 	// holds a worker slot and before it computes — tests use it to hold
@@ -158,9 +173,44 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		s.metrics.requestStart(route)
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
+		if rec, seq := s.sampleTrace(route); rec != nil {
+			sc := rec.NewScope(0, route)
+			sp := sc.Begin(route, "http")
+			h(sw, r.WithContext(trace.NewContext(r.Context(), sc)))
+			sp.End()
+			s.writeTrace(rec, seq, route)
+		} else {
+			h(sw, r)
+		}
 		s.metrics.requestEnd(route, time.Since(start), sw.status)
 	}
+}
+
+// sampleTrace decides whether this request is traced; the zeroth,
+// TraceEvery-th, 2·TraceEvery-th, … computing request each gets a fresh
+// wall-clock recorder. /healthz and /metrics are never traced.
+func (s *Server) sampleTrace(route string) (*trace.Recorder, int64) {
+	if s.cfg.TraceDir == "" || route == "healthz" || route == "metrics" {
+		return nil, 0
+	}
+	n := s.traceSeq.Add(1)
+	if (n-1)%int64(s.cfg.TraceEvery) != 0 {
+		return nil, 0
+	}
+	rec := trace.NewWall(1 << 12)
+	rec.RegisterProcess(0, "ipcd")
+	return rec, n
+}
+
+// writeTrace persists a sampled request's trace. Tracing is
+// best-effort: a write failure loses the sample, never the response.
+func (s *Server) writeTrace(rec *trace.Recorder, seq int64, route string) {
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		return
+	}
+	name := fmt.Sprintf("req-%d-%s.json", seq, route)
+	_ = os.WriteFile(filepath.Join(s.cfg.TraceDir, name), buf.Bytes(), 0o644)
 }
 
 // writeDet writes a deterministic JSON response.
@@ -222,8 +272,11 @@ func (s *Server) queueDepth() int64 {
 // leader's computation (and its bytes); the leader itself runs on the
 // bounded worker pool under the request-timeout context.
 func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, key string, fn func(ctx context.Context) flightResult) {
+	sc := trace.ScopeFrom(r.Context())
 	res, leader, err := s.flights.do(r.Context(), key, func() flightResult {
+		sp := sc.Begin("admission.wait", "serve")
 		release, ok, full := s.acquire(r.Context())
+		sp.End()
 		if full {
 			return flightResult{
 				status: http.StatusTooManyRequests,
@@ -241,10 +294,11 @@ func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, key string, fn
 		}
 		// The computation deadline is the server's, detached from the
 		// leader's connection: a leader whose client disconnects must
-		// still finish for its followers.
+		// still finish for its followers. The trace scope (if any) rides
+		// along so the solver's spans land on this request's track.
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 		defer cancel()
-		return fn(ctx)
+		return fn(trace.NewContext(ctx, sc))
 	})
 	if err != nil {
 		// The follower's client went away while waiting; the connection
@@ -254,6 +308,8 @@ func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, key string, fn
 	}
 	if !leader {
 		s.metrics.add(&s.metrics.coalesced, 1)
+		// A traced follower's wait is the whole story of its request.
+		sc.Instant("coalesced", "serve")
 	}
 	writeDet(w, res.status, res.header, res.body)
 }
@@ -351,12 +407,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return solveError(err)
 		}
+		sp := trace.ScopeFrom(ctx).Begin("encode", "serve")
 		body := q.echo()
 		body["offered_load"] = pred.OfferedLoad
 		body["round_trip_us"] = pred.RoundTripUS
 		body["states"] = pred.States
 		body["throughput_rps"] = pred.Throughput
-		return flightResult{status: http.StatusOK, body: marshalDet(body)}
+		res := flightResult{status: http.StatusOK, body: marshalDet(body)}
+		sp.End()
+		return res
 	})
 }
 

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/profile"
+)
+
+// Breakdown renders the run-wide activity totals as a chapter-3-style
+// round-trip decomposition, reusing the MeasuredRow shape the profiling
+// tables (3.1-3.5) are built from: per activity, the visit count, the
+// total time, the time per round trip, and the share of all traced
+// activity time. rounds scales the PerRound column (pass 1, or the
+// number of completed round trips); percentages are relative to the sum
+// of traced span time, which is the same convention the thesis's tables
+// use (activity shares of the decomposed round trip).
+//
+// Rows appear in first-emission order, like the procedure-call
+// profiler's statistics array. Totals are exact over the whole run even
+// when the timeline ring has wrapped.
+func (r *Recorder) Breakdown(rounds int64) []profile.MeasuredRow {
+	if r == nil {
+		return nil
+	}
+	if rounds <= 0 {
+		rounds = 1
+	}
+	totals := r.Totals()
+	r.mu.Lock()
+	tpus := r.ticksPerUS
+	r.mu.Unlock()
+	var sum int64
+	for _, t := range totals {
+		sum += t.Ticks
+	}
+	rows := make([]profile.MeasuredRow, 0, len(totals))
+	for _, t := range totals {
+		row := profile.MeasuredRow{
+			Name:     t.Name,
+			Count:    t.Count,
+			TotalUS:  t.Ticks / tpus,
+			PerRound: float64(t.Ticks) / float64(tpus) / float64(rounds),
+		}
+		if sum > 0 {
+			row.Percent = 100 * float64(t.Ticks) / float64(sum)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteBreakdown formats rows as the aligned text table the chapter 3
+// experiments print: Activity, Count, Total (ms), Per Round (us), %.
+func WriteBreakdown(w io.Writer, rows []profile.MeasuredRow) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Activity\tCount\tTotal (ms)\tPer Round (us)\t%")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.1f\t%.1f\n",
+			r.Name, r.Count, float64(r.TotalUS)/1000, r.PerRound, r.Percent)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,83 @@
+package trace
+
+import "context"
+
+// Scope binds a recorder to one (process, track) destination so layered
+// code — core, models, gtpn — can emit wall-time spans for the request
+// that reached it without threading recorder/track pairs through every
+// signature. A Scope travels in a context.Context; the solver's hot path
+// pays one context lookup and a nil check when tracing is off.
+type Scope struct {
+	rec   *Recorder
+	proc  int32
+	track int32
+}
+
+// NewScope registers a track on a wall-clock recorder and returns the
+// scope addressing it. Nil-safe: a nil recorder yields a nil scope.
+func (r *Recorder) NewScope(proc int32, trackName string) *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{rec: r, proc: proc, track: r.Track(proc, trackName)}
+}
+
+// Recorder exposes the scope's recorder (nil for a nil scope).
+func (s *Scope) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
+}
+
+type scopeKey struct{}
+
+// NewContext returns ctx carrying the scope. A nil scope returns ctx
+// unchanged, so callers can attach unconditionally.
+func NewContext(ctx context.Context, s *Scope) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, scopeKey{}, s)
+}
+
+// ScopeFrom extracts the scope from ctx, or nil when the request is not
+// traced.
+func ScopeFrom(ctx context.Context) *Scope {
+	s, _ := ctx.Value(scopeKey{}).(*Scope)
+	return s
+}
+
+// Timed is an open wall-clock span; End closes and records it. The zero
+// Timed (from a nil scope) is inert, so callers never branch.
+type Timed struct {
+	s     *Scope
+	name  string
+	cat   string
+	start int64
+}
+
+// Begin opens a wall-clock span on the scope's track. On a nil scope it
+// returns an inert Timed without reading the clock.
+func (s *Scope) Begin(name, cat string) Timed {
+	if s == nil {
+		return Timed{}
+	}
+	return Timed{s: s, name: name, cat: cat, start: s.rec.Since()}
+}
+
+// End closes the span and records it.
+func (t Timed) End() {
+	if t.s == nil {
+		return
+	}
+	t.s.rec.Emit(t.s.proc, t.s.track, t.name, t.cat, t.start, t.s.rec.Since()-t.start)
+}
+
+// Instant records a point event on the scope's track now.
+func (s *Scope) Instant(name, cat string) {
+	if s == nil {
+		return
+	}
+	s.rec.Instant(s.proc, s.track, name, cat, s.rec.Since(), -1)
+}

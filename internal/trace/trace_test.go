@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// A nil recorder must be a safe, silent sink for every method.
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.RegisterProcess(1, "p")
+	if id := r.Track(0, "t"); id != 0 {
+		t.Fatalf("nil Track = %d, want 0", id)
+	}
+	r.Emit(0, 1, "a", "c", 0, 10)
+	r.Instant(0, 1, "i", "c", 5, 3)
+	if r.Len() != 0 || r.Dropped() != 0 || r.Spans() != nil || r.Totals() != nil {
+		t.Fatal("nil recorder retained state")
+	}
+	if rows := r.Breakdown(1); rows != nil {
+		t.Fatalf("nil Breakdown = %v, want nil", rows)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil WriteChrome produced invalid JSON: %s", buf.String())
+	}
+
+	var s *Scope
+	s.Begin("x", "y").End() // must not panic or read the clock
+	s.Instant("x", "y")
+	if s.Recorder() != nil {
+		t.Fatal("nil scope has a recorder")
+	}
+	ctx := NewContext(context.Background(), s)
+	if ScopeFrom(ctx) != nil {
+		t.Fatal("nil scope round-tripped through context")
+	}
+}
+
+func TestRingEvictionKeepsTotalsExact(t *testing.T) {
+	r := New(4, 1000)
+	track := r.Track(0, "t")
+	for i := 0; i < 10; i++ {
+		r.Emit(0, track, "work", "k", int64(i)*100, 100)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want ring capacity 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	spans := r.Spans()
+	if spans[0].Start != 600 || spans[3].Start != 900 {
+		t.Fatalf("ring kept wrong window: first %d last %d", spans[0].Start, spans[3].Start)
+	}
+	totals := r.Totals()
+	if len(totals) != 1 || totals[0].Count != 10 || totals[0].Ticks != 1000 {
+		t.Fatalf("totals not exact across eviction: %+v", totals)
+	}
+}
+
+func TestBreakdownPercentages(t *testing.T) {
+	r := New(64, 1000)
+	tr := r.Track(0, "mp")
+	// Three activities: 3000, 1000, 1000 ticks -> 60%, 20%, 20%.
+	r.Emit(0, tr, "a", "k", 0, 1500)
+	r.Emit(0, tr, "a", "k", 2000, 1500)
+	r.Emit(0, tr, "b", "k", 4000, 1000)
+	r.Emit(0, tr, "c", "k", 5000, 1000)
+	rows := r.Breakdown(2)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].Name != "a" || rows[0].Count != 2 || rows[0].TotalUS != 3 {
+		t.Fatalf("row a wrong: %+v", rows[0])
+	}
+	if rows[0].Percent != 60 || rows[1].Percent != 20 || rows[2].Percent != 20 {
+		t.Fatalf("percentages wrong: %v %v %v", rows[0].Percent, rows[1].Percent, rows[2].Percent)
+	}
+	if rows[0].PerRound != 1.5 { // 3000 ticks / 1000 tpus / 2 rounds
+		t.Fatalf("PerRound = %v, want 1.5", rows[0].PerRound)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBreakdown(&buf, rows); err != nil {
+		t.Fatalf("WriteBreakdown: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Activity") || !strings.Contains(buf.String(), "60.0") {
+		t.Fatalf("breakdown table missing content:\n%s", buf.String())
+	}
+}
+
+// The Chrome writer's output must be valid JSON, deterministic, and
+// carry exact integer-math timestamps.
+func TestWriteChromeDeterministic(t *testing.T) {
+	build := func() *Recorder {
+		r := New(16, 1000)
+		r.RegisterProcess(0, "sim")
+		host := r.Track(0, "node0.host0")
+		mp := r.Track(0, "node0.mp")
+		r.Emit(0, host, "Syscall Send", "kernel", 250, 1750)
+		r.Emit(0, mp, "Process Send", "kernel", 2000, 174800)
+		r.Instant(0, mp, "TCB Enqueue", "sched", 2000, 7)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical recordings produced different Chrome JSON")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, a.String())
+	}
+	// 1 process meta + 2 thread metas + 3 events.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6:\n%s", len(doc.TraceEvents), a.String())
+	}
+	// 250 ticks at 1000 ticks/us = 0.25 us; 174800 ticks = 174.8 us.
+	if !strings.Contains(a.String(), `"ts":0.25`) {
+		t.Fatalf("fractional microsecond timestamp missing:\n%s", a.String())
+	}
+	if !strings.Contains(a.String(), `"dur":174.8`) {
+		t.Fatalf("trailing-zero trimming wrong:\n%s", a.String())
+	}
+	if !strings.Contains(a.String(), `"args":{"v":7}`) {
+		t.Fatalf("instant arg missing:\n%s", a.String())
+	}
+}
+
+// Microsecond-resolution recorders (the profile timer) must emit whole
+// microseconds.
+func TestWriteChromeMicrosecondTicks(t *testing.T) {
+	r := New(4, 1)
+	tr := r.Track(0, "kernel")
+	r.Emit(0, tr, "Copy Time", "kernel", 3, 150)
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"ts":3,"dur":150`) {
+		t.Fatalf("microsecond ticks mangled:\n%s", buf.String())
+	}
+}
+
+func TestScopeThroughContext(t *testing.T) {
+	r := NewWall(16)
+	s := r.NewScope(0, "solve")
+	ctx := NewContext(context.Background(), s)
+	got := ScopeFrom(ctx)
+	if got != s {
+		t.Fatal("scope did not round-trip through context")
+	}
+	sp := got.Begin("gtpn.build", "gtpn")
+	sp.End()
+	got.Instant("gtpn.cache_hit", "gtpn")
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "gtpn.build" || spans[0].Dur < 0 {
+		t.Fatalf("bad wall span: %+v", spans[0])
+	}
+	if ScopeFrom(context.Background()) != nil {
+		t.Fatal("empty context yielded a scope")
+	}
+}
