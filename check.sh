@@ -25,3 +25,12 @@ go test -race -timeout 30m ./...
 go test -run '^$' -bench . -benchtime 1x . ./internal/gtpn
 # The benchmark recorder itself must stay runnable (parse + schema).
 go run ./cmd/ipcbench -benchtime 1x -bench 'ResolveInstant' -out /dev/null
+# Performance regression gate: fresh measurements against the committed
+# baseline. ns/op is compared only when the environment matches the
+# baseline's; allocs/op always. Refresh the baseline with
+# `./check.sh bench` when a change is meant to move the numbers.
+go run ./cmd/ipcbench -compare BENCH_gtpn.json -tolerance 0.25
+# Observability smoke: the hardware performance-counter report renders
+# (the Prometheus exposition and history ring are covered by the
+# internal/service unit tests above).
+go run ./cmd/ipcsim -arch 2 -n 2 -x 1140 -seconds 1 -counters | grep -q 'res.node0.host0.busy'

@@ -7,6 +7,15 @@
 // environment (go version, GOOS/GOARCH, GOMAXPROCS) to know when two
 // snapshots are comparable. No timestamps are recorded, so re-running
 // on identical code and hardware yields a stable file.
+//
+// With -compare BASELINE.json the freshly measured results are judged
+// against the committed baseline instead of written out: any benchmark
+// whose ns/op or allocs/op grew by more than -tolerance (relative), or
+// that disappeared, is reported and the exit status is non-zero — a CI
+// gate against hot-path regressions. ns/op is only compared when the
+// baseline's environment (go version, GOOS/GOARCH, GOMAXPROCS) matches
+// the current one; allocs/op is environment-independent and is always
+// compared.
 package main
 
 import (
@@ -56,6 +65,8 @@ func main() {
 		bench     = flag.String("bench", "GTPN|Flat|Reference", "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "200ms", "per-benchmark time passed to -benchtime")
 		count     = flag.Int("count", 1, "repetitions passed to -count (repeats are averaged)")
+		compare   = flag.String("compare", "", "baseline snapshot to compare against instead of writing -out; regressions exit non-zero")
+		tolerance = flag.Float64("tolerance", 0.25, "with -compare, allowed relative growth in ns/op and allocs/op")
 	)
 	flag.Parse()
 	pkgs := []string{".", "./internal/gtpn"}
@@ -93,6 +104,36 @@ func main() {
 		Packages:   pkgs,
 		Benchmarks: results,
 	}
+
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
+			os.Exit(1)
+		}
+		var base snapshot
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "ipcbench: %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		skipNs := !envComparable(base, snap)
+		if skipNs {
+			fmt.Printf("ipcbench: baseline environment differs (%s %s/%s procs=%d vs %s %s/%s procs=%d); comparing allocs/op only\n",
+				base.GoVersion, base.GOOS, base.GOARCH, base.GOMAXPROCS,
+				snap.GoVersion, snap.GOOS, snap.GOARCH, snap.GOMAXPROCS)
+		}
+		regressions := compareSnapshots(base, snap, *tolerance, skipNs)
+		for _, r := range regressions {
+			fmt.Printf("ipcbench: REGRESSION %s\n", r)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("ipcbench: %d benchmarks within %.0f%% of %s\n",
+			len(results), *tolerance*100, *compare)
+		return
+	}
+
 	enc, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
@@ -186,6 +227,47 @@ func parseBenchOutput(raw []byte) ([]benchResult, error) {
 		return results[i].Name < results[j].Name
 	})
 	return results, nil
+}
+
+// envComparable reports whether wall-clock numbers from the two
+// snapshots were measured under the same conditions. Allocation counts
+// survive environment changes; nanoseconds do not.
+func envComparable(a, b snapshot) bool {
+	return a.GoVersion == b.GoVersion && a.GOOS == b.GOOS &&
+		a.GOARCH == b.GOARCH && a.GOMAXPROCS == b.GOMAXPROCS
+}
+
+// compareSnapshots judges cur against base: every baseline benchmark
+// must still exist, and its ns/op (unless skipNs) and allocs/op must
+// not have grown by more than tol relative. Improvements and brand-new
+// benchmarks never fail the comparison.
+func compareSnapshots(base, cur snapshot, tol float64, skipNs bool) []string {
+	byKey := map[string]benchResult{}
+	for _, r := range cur.Benchmarks {
+		byKey[r.Pkg+"\x00"+r.Name] = r
+	}
+	var regressions []string
+	for _, b := range base.Benchmarks {
+		c, ok := byKey[b.Pkg+"\x00"+b.Name]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s: benchmark missing from current run", b.Pkg, b.Name))
+			continue
+		}
+		if !skipNs && b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s: ns/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+					b.Pkg, b.Name, b.NsPerOp, c.NsPerOp,
+					(c.NsPerOp/b.NsPerOp-1)*100, tol*100))
+		}
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > b.AllocsPerOp*(1+tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s: allocs/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+					b.Pkg, b.Name, b.AllocsPerOp, c.AllocsPerOp,
+					(c.AllocsPerOp/b.AllocsPerOp-1)*100, tol*100))
+		}
+	}
+	return regressions
 }
 
 // splitProcs splits the "-N" GOMAXPROCS suffix off a benchmark name.

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func snap(goVersion string, benches ...benchResult) snapshot {
+	return snapshot{
+		Schema: "ipcbench/1", GoVersion: goVersion, GOOS: "linux",
+		GOARCH: "amd64", GOMAXPROCS: 1, Benchmarks: benches,
+	}
+}
+
+func bench(name string, ns, allocs float64) benchResult {
+	return benchResult{Pkg: "repro", Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	base := snap("go1.24.0",
+		bench("BenchmarkA", 1000, 40),
+		bench("BenchmarkB", 2000, 100),
+	)
+
+	t.Run("within tolerance", func(t *testing.T) {
+		cur := snap("go1.24.0",
+			bench("BenchmarkA", 1200, 40), // +20% < 25%
+			bench("BenchmarkB", 1500, 90), // improved
+			bench("BenchmarkNew", 1, 1),   // new benchmarks never fail
+		)
+		if regs := compareSnapshots(base, cur, 0.25, false); len(regs) != 0 {
+			t.Fatalf("unexpected regressions: %v", regs)
+		}
+	})
+
+	t.Run("ns regression", func(t *testing.T) {
+		cur := snap("go1.24.0",
+			bench("BenchmarkA", 1300, 40), // +30% > 25%
+			bench("BenchmarkB", 2000, 100),
+		)
+		regs := compareSnapshots(base, cur, 0.25, false)
+		if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") || !strings.Contains(regs[0], "ns/op") {
+			t.Fatalf("want one BenchmarkA ns/op regression, got %v", regs)
+		}
+	})
+
+	t.Run("allocs regression", func(t *testing.T) {
+		cur := snap("go1.24.0",
+			bench("BenchmarkA", 1000, 60), // +50% allocs
+			bench("BenchmarkB", 2000, 100),
+		)
+		regs := compareSnapshots(base, cur, 0.25, false)
+		if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+			t.Fatalf("want one allocs/op regression, got %v", regs)
+		}
+	})
+
+	t.Run("skipNs suppresses ns only", func(t *testing.T) {
+		cur := snap("go1.25.0",
+			bench("BenchmarkA", 9000, 60), // ns ignored, allocs still judged
+			bench("BenchmarkB", 9000, 100),
+		)
+		regs := compareSnapshots(base, cur, 0.25, true)
+		if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+			t.Fatalf("want only the allocs/op regression under skipNs, got %v", regs)
+		}
+	})
+
+	t.Run("missing benchmark", func(t *testing.T) {
+		cur := snap("go1.24.0", bench("BenchmarkA", 1000, 40))
+		regs := compareSnapshots(base, cur, 0.25, false)
+		if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+			t.Fatalf("want one missing-benchmark regression, got %v", regs)
+		}
+	})
+}
+
+func TestEnvComparable(t *testing.T) {
+	a := snap("go1.24.0")
+	if !envComparable(a, snap("go1.24.0")) {
+		t.Error("identical environments judged incomparable")
+	}
+	b := snap("go1.25.0")
+	if envComparable(a, b) {
+		t.Error("different go versions judged comparable")
+	}
+	c := snap("go1.24.0")
+	c.GOMAXPROCS = 8
+	if envComparable(a, c) {
+		t.Error("different GOMAXPROCS judged comparable")
+	}
+}

@@ -18,6 +18,8 @@
 //	GET  /v1/experiments/{id} one regenerated table/figure (?full=1 for full sweeps)
 //	GET  /healthz             200 ok, 503 while draining
 //	GET  /metrics             counters: requests, coalescing, queue, cache, latency
+//	GET  /metrics?format=prometheus  the same counters in Prometheus text format
+//	GET  /metrics/history     in-process counter time series (-history-every samples)
 //
 // On SIGTERM/SIGINT the daemon drains: in-flight requests complete, new
 // ones are refused with 503, and the process exits once idle or after
@@ -42,14 +44,16 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent computations (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "admission queue beyond the workers; full queue answers 429")
-		timeout = flag.Duration("timeout", 2*time.Minute, "per-request computation deadline")
-		drain      = flag.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
-		pprofAt    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
-		traceDir   = flag.String("trace-dir", "", "write sampled per-request Chrome traces into this directory; off when empty")
-		traceEvery = flag.Int("trace-every", 100, "with -trace-dir, trace every Nth computing request")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent computations (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "admission queue beyond the workers; full queue answers 429")
+		timeout      = flag.Duration("timeout", 2*time.Minute, "per-request computation deadline")
+		drain        = flag.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
+		pprofAt      = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
+		traceDir     = flag.String("trace-dir", "", "write sampled per-request Chrome traces into this directory; off when empty")
+		traceEvery   = flag.Int("trace-every", 100, "with -trace-dir, trace every Nth computing request")
+		historyEvery = flag.Duration("history-every", 10*time.Second, "sampling interval for the /metrics/history ring; 0 disables sampling")
+		historySize  = flag.Int("history-size", 0, "samples retained by /metrics/history (0 = 360, an hour at the default interval)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -69,7 +73,17 @@ func main() {
 		RequestTimeout: *timeout,
 		TraceDir:       *traceDir,
 		TraceEvery:     *traceEvery,
+		HistorySize:    *historySize,
 	})
+	if *historyEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*historyEvery)
+			defer tick.Stop()
+			for t := range tick.C {
+				srv.SampleMetrics(t)
+			}
+		}()
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -12,6 +12,11 @@
 // print the same digest. Any request that yields two different bodies
 // within a run is counted as a mismatch and fails the client.
 //
+// Failures are broken down by cause in the summary — one bucket per
+// non-2xx status code (429 backpressure, 503 drain, ...) plus a
+// "transport" bucket for connection-level errors — and any failed
+// request makes the exit status non-zero.
+//
 // Usage:
 //
 //	ipcload -addr http://localhost:8080 -c 32 -duration 5s
@@ -75,6 +80,7 @@ func main() {
 		latencies  []time.Duration
 		errs       int
 		mismatches int
+		byStatus   = map[int]int{}       // non-2xx responses per status code (0 = transport error)
 		bodies     = map[string]uint64{} // request body -> response body hash
 	)
 	deadline := time.Now().Add(*duration)
@@ -85,23 +91,29 @@ func main() {
 		go func(stream *rng.Source) {
 			defer wg.Done()
 			var local []time.Duration
-			localErrs := 0
-			type seen struct{ req string; hash uint64 }
+			localStatus := map[int]int{}
+			type seen struct {
+				req  string
+				hash uint64
+			}
 			var observed []seen
 			for time.Now().Before(deadline) {
 				req := points[stream.Intn(len(points))]
 				t0 := time.Now()
-				body, ok := post(client, url, req)
+				body, status, ok := post(client, url, req)
 				local = append(local, time.Since(t0))
 				if !ok {
-					localErrs++
+					localStatus[status]++
 					continue
 				}
 				observed = append(observed, seen{req, hashBytes(body)})
 			}
 			mu.Lock()
 			latencies = append(latencies, local...)
-			errs += localErrs
+			for s, n := range localStatus {
+				byStatus[s] += n
+				errs += n
+			}
 			for _, o := range observed {
 				if prev, ok := bodies[o.req]; ok {
 					if prev != o.hash {
@@ -120,6 +132,25 @@ func main() {
 	n := len(latencies)
 	fmt.Printf("ipcload: %d requests in %.2fs (%.1f req/s), %d errors\n",
 		n, wall.Seconds(), float64(n-errs)/wall.Seconds(), errs)
+	if len(byStatus) > 0 {
+		// Failed requests broken down by status code; 0 is a transport
+		// error (connection refused, read failure), the rest are the
+		// daemon's own refusals (429 backpressure, 503 drain, ...).
+		codes := make([]int, 0, len(byStatus))
+		for s := range byStatus {
+			codes = append(codes, s)
+		}
+		sort.Ints(codes)
+		parts := make([]string, 0, len(codes))
+		for _, s := range codes {
+			label := "transport"
+			if s != 0 {
+				label = fmt.Sprintf("%d", s)
+			}
+			parts = append(parts, fmt.Sprintf("%s x %d", label, byStatus[s]))
+		}
+		fmt.Printf("  failed: %s\n", strings.Join(parts, ", "))
+	}
 	if n > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		q := func(p float64) time.Duration {
@@ -180,17 +211,23 @@ func workloadPoints(endpoint string, nonlocal bool) []string {
 	return points
 }
 
-func post(client *http.Client, url, body string) ([]byte, bool) {
+// post issues one request. ok means a 2xx response with a readable
+// body; otherwise status reports the response code (0 for a transport
+// or body-read error) so the caller can break failures down by cause.
+func post(client *http.Client, url, body string) ([]byte, int, bool) {
 	resp, err := client.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
-		return nil, false
+		return nil, 0, false
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
-	if err != nil || resp.StatusCode != http.StatusOK {
-		return nil, false
+	if err != nil {
+		return nil, 0, false
 	}
-	return b, true
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, resp.StatusCode, false
+	}
+	return b, resp.StatusCode, true
 }
 
 func hashBytes(b []byte) uint64 {

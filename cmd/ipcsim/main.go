@@ -10,6 +10,7 @@
 //	ipcsim -reps 8 -parallel 4 ...         average eight replications, four at a time
 //	ipcsim ... -validate                   also solve the model and compare
 //	ipcsim ... -trace out.json             Chrome trace of replication 0 + activity breakdown
+//	ipcsim ... -counters                   hardware performance-counter report for replication 0
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/counters"
 	"repro/internal/des"
 	"repro/internal/gtpn"
 	"repro/internal/machine"
@@ -43,6 +45,7 @@ func main() {
 		validate = flag.Bool("validate", false, "compare against the GTPN model")
 		stats    = flag.Bool("cachestats", false, "print GTPN solve-cache statistics to stderr on exit")
 		traceOut = flag.String("trace", "", "write a Chrome trace of replication 0 to this file and print an activity breakdown")
+		ctrs     = flag.Bool("counters", false, "print replication 0's hardware performance-counter report")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -77,7 +80,13 @@ func main() {
 		tracer = trace.New(trace.DefaultCapacity, des.Microsecond)
 		tracer.RegisterProcess(0, "ipcsim")
 	}
-	res, rep0 := runReplicated(a, *nonlocal, *hosts, *seed, *reps, *parallel, p, *seconds*des.Second, tracer)
+	// Counters attach to replication 0 only, like the tracer, so the
+	// report is byte-identical at any -parallel setting.
+	var reg *counters.Registry
+	if *ctrs {
+		reg = counters.New()
+	}
+	res, rep0, samples := runReplicated(a, *nonlocal, *hosts, *seed, *reps, *parallel, p, *seconds*des.Second, tracer, reg)
 
 	locality := "local"
 	if *nonlocal {
@@ -137,18 +146,27 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *ctrs {
+		fmt.Printf("\nHardware counters (replication 0, %d round trips):\n", rep0.RoundTrips)
+		if err := counters.WriteText(os.Stdout, samples); err != nil {
+			fmt.Fprintf(os.Stderr, "ipcsim: counters: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // runReplicated runs reps independent machine simulations (seeds derived
 // from seed by replication index) on a bounded worker pool and averages
 // the measures in replication order, so the reported numbers are
-// identical at any worker count. The tracer (if any) attaches to
-// replication 0 only; rep0 is that replication's own result, whose
-// round-trip count scales the trace's activity breakdown.
-func runReplicated(a timing.Arch, nonlocal bool, hosts int, seed uint64, reps, workers int, p workload.Params, horizon int64, tracer *trace.Recorder) (agg, rep0 workload.Result) {
+// identical at any worker count. The tracer and the counter registry (if
+// any) attach to replication 0 only; rep0 is that replication's own
+// result, and samples is its counter snapshot at the horizon.
+func runReplicated(a timing.Arch, nonlocal bool, hosts int, seed uint64, reps, workers int, p workload.Params, horizon int64, tracer *trace.Recorder, reg *counters.Registry) (agg, rep0 workload.Result, samples []counters.Sample) {
 	if reps < 2 {
-		res := newMachine(a, nonlocal, machine.Config{Hosts: hosts, Seed: seed, Tracer: tracer}).Run(p, horizon)
-		return res, res
+		m := newMachine(a, nonlocal, machine.Config{Hosts: hosts, Seed: seed, Tracer: tracer, Counters: reg})
+		res := m.Run(p, horizon)
+		return res, res, m.CounterSnapshot()
 	}
 	seeds := make([]uint64, reps)
 	src := rng.New(seed)
@@ -172,9 +190,13 @@ func runReplicated(a timing.Arch, nonlocal bool, hosts int, seed uint64, reps, w
 				cfg := machine.Config{Hosts: hosts, Seed: seeds[i]}
 				if i == 0 {
 					cfg.Tracer = tracer
+					cfg.Counters = reg
 				}
 				m := newMachine(a, nonlocal, cfg)
 				results[i] = m.Run(p, horizon)
+				if i == 0 {
+					samples = m.CounterSnapshot()
+				}
 			}
 		}()
 	}
@@ -191,7 +213,7 @@ func runReplicated(a timing.Arch, nonlocal bool, hosts int, seed uint64, reps, w
 	}
 	agg.Throughput /= float64(reps)
 	agg.MeanRoundTrip /= float64(reps)
-	return agg, results[0]
+	return agg, results[0], samples
 }
 
 func newMachine(a timing.Arch, nonlocal bool, cfg machine.Config) *machine.Machine {

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/counters"
 	"repro/internal/des"
 	"repro/internal/timing"
 	"repro/internal/trace"
@@ -23,7 +24,7 @@ func traceRun(t *testing.T, workers int) []byte {
 	tracer := trace.New(trace.DefaultCapacity, des.Microsecond)
 	tracer.RegisterProcess(0, "ipcsim")
 	p := workload.Params{Conversations: 2, ComputeMean: 1140 * des.Microsecond}
-	_, rep0 := runReplicated(timing.ArchII, false, 1, 42, 3, workers, p, 50*des.Millisecond, tracer)
+	_, rep0, _ := runReplicated(timing.ArchII, false, 1, 42, 3, workers, p, 50*des.Millisecond, tracer, nil)
 	if rep0.RoundTrips == 0 {
 		t.Fatal("replication 0 completed no round trips")
 	}
@@ -97,6 +98,44 @@ func TestTraceParallelismInvariant(t *testing.T) {
 		if got := traceRun(t, workers); !bytes.Equal(base, got) {
 			t.Fatalf("workers=%d changed the replication-0 trace (%d vs %d bytes)",
 				workers, len(got), len(base))
+		}
+	}
+}
+
+// counterRun performs the fixed-seed replicated simulation that
+// -counters exposes and returns the rendered report of replication 0.
+func counterRun(t *testing.T, workers int) []byte {
+	t.Helper()
+	reg := counters.New()
+	p := workload.Params{Conversations: 2, ComputeMean: 1140 * des.Microsecond}
+	_, rep0, samples := runReplicated(timing.ArchII, false, 1, 42, 3, workers, p, 50*des.Millisecond, nil, reg)
+	if rep0.RoundTrips == 0 {
+		t.Fatal("replication 0 completed no round trips")
+	}
+	if len(samples) == 0 {
+		t.Fatal("no counter samples returned")
+	}
+	var buf bytes.Buffer
+	if err := counters.WriteText(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCountersParallelismInvariant is the counter twin of the trace
+// invariance test: the registry attaches to replication 0 only, so the
+// rendered snapshot is byte-identical at any -parallel setting.
+func TestCountersParallelismInvariant(t *testing.T) {
+	base := counterRun(t, 1)
+	for _, want := range []string{"res.node0.host0.busy", "sends.local", "tcb.ready"} {
+		if !bytes.Contains(base, []byte(want)) {
+			t.Errorf("counter report missing %q:\n%s", want, base)
+		}
+	}
+	for _, workers := range []int{2, 4} {
+		if got := counterRun(t, workers); !bytes.Equal(base, got) {
+			t.Fatalf("workers=%d changed the replication-0 counter report:\n%s\n---\n%s",
+				workers, got, base)
 		}
 	}
 }

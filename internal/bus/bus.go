@@ -3,6 +3,7 @@ package bus
 import (
 	"fmt"
 
+	"repro/internal/counters"
 	"repro/internal/des"
 	"repro/internal/memory"
 )
@@ -52,6 +53,25 @@ type Bus struct {
 	// track is the bus's timeline track on the engine's tracer,
 	// registered lazily (0 = not yet registered).
 	track int32
+
+	// Performance-counter handles, registered at construction when the
+	// engine carries a registry; nil handles make every update a no-op.
+	cGrants      *counters.Counter
+	cEdges       *counters.Counter
+	cIdleArb     *counters.Counter
+	cDataWords   *counters.Counter
+	cArbLosers   *counters.Counter // units that bid and lost an arbitration
+	cStreamEdges *counters.Counter // edges spent in streaming-mode data grants
+	cPreempt     *counters.Counter // data grant switched tags with the prior stream still open
+	cBusy        *counters.TimeAvg // 0/1 bus occupancy; mean = wire utilization
+	cTags        *counters.TimeAvg // open tag-table entries; mean = occupancy
+	cCmdGrants   [16]*counters.Counter
+	cCmdEdges    [16]*counters.Counter
+
+	// lastStreamTag is the tag of the most recent streaming-mode data
+	// grant, for preemption detection (valid when lastStreamSet).
+	lastStreamTag memory.Tag
+	lastStreamSet bool
 }
 
 type stream struct {
@@ -76,11 +96,27 @@ func New(eng *des.Engine) *Bus {
 // NewWith creates a smart bus over any Backend — in particular the
 // Appendix A microcoded controller.
 func NewWith(eng *des.Engine, backend Backend) *Bus {
-	return &Bus{
+	b := &Bus{
 		eng:     eng,
 		backend: backend,
 		streams: map[memory.Tag]*stream{},
 	}
+	if reg := eng.Counters(); reg != nil {
+		b.cGrants = reg.Counter("bus.grants")
+		b.cEdges = reg.Counter("bus.edges")
+		b.cIdleArb = reg.Counter("bus.idle_arbitrations")
+		b.cDataWords = reg.Counter("bus.data_words")
+		b.cArbLosers = reg.Counter("bus.arb.losers")
+		b.cStreamEdges = reg.Counter("bus.stream.edges")
+		b.cPreempt = reg.Counter("bus.stream.preemptions")
+		b.cBusy = reg.TimeAvg("bus.busy")
+		b.cTags = reg.TimeAvg("bus.tags.active")
+		for _, cmd := range Commands() {
+			b.cCmdGrants[cmd] = reg.Counter("bus.cmd." + cmd.Slug() + ".grants")
+			b.cCmdEdges[cmd] = reg.Counter("bus.cmd." + cmd.Slug() + ".edges")
+		}
+	}
+	return b
 }
 
 // Engine exposes the bus's discrete-event engine.
@@ -255,6 +291,7 @@ func (b *Bus) kick() {
 	}
 	if b.tryGrant(EdgesIdleArbitration) {
 		b.Stats.IdleArbits++
+		b.cIdleArb.Inc()
 	}
 }
 
@@ -263,7 +300,9 @@ func (b *Bus) kick() {
 // idle charge applies.
 func (b *Bus) rearm() {
 	b.busy = false
-	b.tryGrant(0)
+	if !b.tryGrant(0) {
+		b.cBusy.Set(b.eng.Now(), 0)
+	}
 }
 
 // tryGrant arbitrates among all pending work and starts the winner's
@@ -301,7 +340,11 @@ func (b *Bus) tryGrant(extraEdges int) bool {
 			break
 		}
 	}
+	if len(bids) > 1 {
+		b.cArbLosers.Add(int64(len(bids) - 1))
+	}
 	b.busy = true
+	b.cBusy.Set(b.eng.Now(), 1)
 	if win.isStream {
 		b.grantStream(win.str, extraEdges)
 	} else {
@@ -362,6 +405,7 @@ func (b *Bus) grantOp(u *Unit, extraEdges int) {
 			}
 			o.str.tag = tag
 			b.streams[tag] = o.str
+			b.cTags.Set(b.eng.Now(), int64(len(b.streams)))
 			if o.dir == memory.WriteDir {
 				// The unit masters the write-data bursts.
 				u.pending = &op{kind: opStreamWrite, str: o.str}
@@ -373,6 +417,16 @@ func (b *Bus) grantOp(u *Unit, extraEdges int) {
 
 func (b *Bus) grantStream(s *stream, extraEdges int) {
 	total := TransfersPerGrant*EdgesPerDataTransfer + extraEdges
+	// A data grant whose tag differs from the previous data grant's,
+	// while that previous stream is still open, preempted it — the
+	// tag-multiplexed interleaving of §5.3.1.
+	if b.lastStreamSet && b.lastStreamTag != s.tag {
+		if _, open := b.streams[b.lastStreamTag]; open {
+			b.cPreempt.Inc()
+		}
+	}
+	b.lastStreamTag, b.lastStreamSet = s.tag, true
+	b.cStreamEdges.Add(int64(total))
 	b.eng.After(int64(total)*EdgeTicks, func() {
 		switch s.dir {
 		case memory.ReadDir:
@@ -382,9 +436,11 @@ func (b *Bus) grantStream(s *stream, extraEdges int) {
 			}
 			s.in = append(s.in, data...)
 			b.Stats.DataWords += int64((len(data) + 1) / 2)
+			b.cDataWords.Add(int64((len(data) + 1) / 2))
 			b.account("memory", CmdBlockReadData, total, 0)
 			if done {
 				delete(b.streams, s.tag)
+				b.cTags.Set(b.eng.Now(), int64(len(b.streams)))
 				if s.done != nil {
 					s.done(s.in)
 				}
@@ -401,9 +457,11 @@ func (b *Bus) grantStream(s *stream, extraEdges int) {
 				panic(fmt.Sprintf("bus: write data: %v", err))
 			}
 			b.Stats.DataWords += int64((n + 1) / 2)
+			b.cDataWords.Add(int64((n + 1) / 2))
 			b.account(s.owner.name, CmdBlockWriteData, total, 0)
 			if done {
 				delete(b.streams, s.tag)
+				b.cTags.Set(b.eng.Now(), int64(len(b.streams)))
 				s.owner.pending = nil
 				if s.done != nil {
 					s.done(nil)
@@ -433,6 +491,12 @@ func (b *Bus) account(master string, cmd Command, edges int, addr uint16) {
 		b.Stats.ByCommand = map[Command]int64{}
 	}
 	b.Stats.ByCommand[cmd]++
+	b.cGrants.Inc()
+	b.cEdges.Add(int64(edges))
+	if int(cmd) < len(b.cCmdGrants) {
+		b.cCmdGrants[cmd].Inc()
+		b.cCmdEdges[cmd].Add(int64(edges))
+	}
 	if tr := b.eng.Tracer(); tr != nil {
 		if b.track == 0 {
 			b.track = tr.Track(0, "bus")

@@ -1,0 +1,87 @@
+package bus
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/des"
+)
+
+// The counter registry's view of bus activity must agree exactly with
+// the bus's own Stats bookkeeping: grants, edges, per-command
+// breakdown, data words, idle arbitrations, and wire occupancy are the
+// same events counted twice.
+func TestBusCountersAgreeWithStats(t *testing.T) {
+	eng := des.New(7)
+	reg := counters.New()
+	eng.SetCounters(reg)
+	b := New(eng)
+	nic := b.AttachUnit("nic", 1)
+	host := b.AttachUnit("host", 2)
+	mp := b.AttachUnit("mp", 5)
+
+	payload := bytes.Repeat([]byte{0xCC}, 200)
+	b.Ctrl.Mem.WriteBlock(0x1000, payload)
+
+	// A long low-priority read stream, a competing high-priority stream
+	// registered mid-way (tag-multiplexed preemption), and queue traffic
+	// for arbitration contention.
+	nic.ReadBlock(0x1000, 200, nil)
+	eng.At(3*des.Microsecond, func() {
+		host.ReadBlock(0x1000, 40, nil)
+		mp.Enqueue(0x0010, 0x0100, nil)
+	})
+	eng.Run(des.Second)
+
+	by := map[string]counters.Sample{}
+	for _, s := range reg.Snapshot(eng.Now()) {
+		by[s.Name] = s
+	}
+	if got := by["bus.grants"].Value; got != b.Stats.Grants {
+		t.Errorf("bus.grants = %d, Stats.Grants = %d", got, b.Stats.Grants)
+	}
+	if got := by["bus.edges"].Value; got != b.Stats.Edges {
+		t.Errorf("bus.edges = %d, Stats.Edges = %d", got, b.Stats.Edges)
+	}
+	if got := by["bus.data_words"].Value; got != b.Stats.DataWords {
+		t.Errorf("bus.data_words = %d, Stats.DataWords = %d", got, b.Stats.DataWords)
+	}
+	if got := by["bus.idle_arbitrations"].Value; got != b.Stats.IdleArbits {
+		t.Errorf("bus.idle_arbitrations = %d, Stats.IdleArbits = %d", got, b.Stats.IdleArbits)
+	}
+	var cmdGrants, cmdEdges int64
+	for _, cmd := range Commands() {
+		cmdGrants += by["bus.cmd."+cmd.Slug()+".grants"].Value
+		cmdEdges += by["bus.cmd."+cmd.Slug()+".edges"].Value
+		if got, want := by["bus.cmd."+cmd.Slug()+".grants"].Value, b.Stats.ByCommand[cmd]; got != want {
+			t.Errorf("bus.cmd.%s.grants = %d, Stats.ByCommand = %d", cmd.Slug(), got, want)
+		}
+	}
+	if cmdGrants != b.Stats.Grants || cmdEdges != b.Stats.Edges {
+		t.Errorf("per-command totals %d grants/%d edges, want %d/%d",
+			cmdGrants, cmdEdges, b.Stats.Grants, b.Stats.Edges)
+	}
+	// Grants are serial, so time-averaged occupancy x horizon is exactly
+	// the accumulated busy ticks.
+	if got, want := by["bus.busy"].Mean*float64(eng.Now()), float64(b.Stats.BusyTicks); got != want {
+		t.Errorf("bus.busy mean x horizon = %v, BusyTicks = %v", got, want)
+	}
+	// The higher-priority stream's data grants preempted the open
+	// low-priority stream at least once, and all tags closed.
+	if by["bus.stream.preemptions"].Value == 0 {
+		t.Error("no stream preemption counted despite tag-multiplexed interleave")
+	}
+	if by["bus.arb.losers"].Value == 0 {
+		t.Error("no arbitration losers counted despite contention")
+	}
+	if by["bus.tags.active"].Value != 0 {
+		t.Errorf("bus.tags.active level = %d at quiescence, want 0", by["bus.tags.active"].Value)
+	}
+	if by["bus.tags.active"].Mean <= 0 {
+		t.Error("bus.tags.active never moved")
+	}
+	if by["bus.stream.edges"].Value == 0 {
+		t.Error("bus.stream.edges never accumulated")
+	}
+}

@@ -44,6 +44,27 @@ func (c Command) String() string {
 	return "invalid command"
 }
 
+var commandSlugs = map[Command]string{
+	CmdSimpleRead:     "simple_read",
+	CmdBlockTransfer:  "block_transfer",
+	CmdBlockReadData:  "block_read_data",
+	CmdBlockWriteData: "block_write_data",
+	CmdEnqueue:        "enqueue",
+	CmdDequeue:        "dequeue",
+	CmdFirst:          "first",
+	CmdWriteTwoBytes:  "write_two_bytes",
+	CmdWriteByte:      "write_byte",
+}
+
+// Slug reports the command's identifier-safe name, used as the
+// per-transaction-type key in performance-counter metric names.
+func (c Command) Slug() string {
+	if s, ok := commandSlugs[c]; ok {
+		return s
+	}
+	return "invalid"
+}
+
 // Commands lists the valid command encodings in Table 5.2 order.
 func Commands() []Command {
 	return []Command{

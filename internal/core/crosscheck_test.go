@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/timing"
+)
+
+// Tolerances for the model-vs-measurement utilization cross-check.
+//
+// The two sides are not sampling the same stochastic process: the GTPN
+// model replaces every constant activity cost with a geometric stage of
+// the same mean (the Figure 6.7 device), while the machine simulator
+// charges the constant costs exactly and draws only the server compute
+// time from a distribution. That approximation plus finite-horizon
+// sampling noise puts the systematic deviation at 0-12% for local
+// conversations (empirically: worst case arch II at X=1140, ~11% on
+// Host) and a little more for the non-local fixed point, which layers
+// the §6.6.3 surrogate-delay approximation on top (~13% worst case).
+// The thesis's own Figure 6.15 validation saw the same order of
+// deviation between model and measurement. The bounds below are set
+// just above the observed worst cases: they catch a model or simulator
+// drifting (a missing cost term shows up as tens of percent) without
+// flaking on noise.
+const (
+	localUtilTol  = 0.15
+	localTputTol  = 0.12
+	nonLocalTol   = 0.20
+	highUtilFloor = 0.999 // a saturated resource must measure as saturated
+)
+
+// The executable Figure 6.15 comparison: for every architecture, the
+// measured utilization of each processor resource must track the GTPN
+// prediction within the documented tolerance, for local conversations.
+func TestCrossCheckLocalArchitectures(t *testing.T) {
+	for _, arch := range []timing.Arch{timing.ArchI, timing.ArchII, timing.ArchIII, timing.ArchIV} {
+		t.Run(arch.String(), func(t *testing.T) {
+			s := New(arch, WithSeed(42))
+			res, err := s.CrossCheck(Workload{Conversations: 2, ServerComputeUS: 1140}, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Resources) == 0 {
+				t.Fatal("no resources compared")
+			}
+			wantResources := 2 // Host + MP
+			if arch == timing.ArchI {
+				wantResources = 1 // the host is the communication processor
+			}
+			if len(res.Resources) != wantResources {
+				t.Errorf("compared %d resources, want %d: %+v", len(res.Resources), wantResources, res.Resources)
+			}
+			for _, c := range res.Resources {
+				// The solver's usage sum can land a few ulps above 1 for a
+				// saturated resource; allow that rounding headroom.
+				if c.Predicted <= 0 || c.Predicted > 1+1e-9 || c.Measured <= 0 || c.Measured > 1+1e-9 {
+					t.Errorf("%s: utilizations out of (0,1]: measured %v predicted %v", c.Resource, c.Measured, c.Predicted)
+				}
+				if c.RelErr > localUtilTol {
+					t.Errorf("%s: relative error %.4f exceeds %.2f (measured %.4f, predicted %.4f)",
+						c.Resource, c.RelErr, localUtilTol, c.Measured, c.Predicted)
+				}
+			}
+			if res.MaxRelErr > localUtilTol {
+				t.Errorf("MaxRelErr %.4f exceeds %.2f", res.MaxRelErr, localUtilTol)
+			}
+			if res.ThroughputRelErr > localTputTol {
+				t.Errorf("throughput deviation %.4f exceeds %.2f (measured %.1f, predicted %.1f)",
+					res.ThroughputRelErr, localTputTol, res.MeasuredThroughput, res.PredictedThroughput)
+			}
+		})
+	}
+}
+
+// Architecture I with no compute is host-saturated: both methods must
+// independently report the host pinned at 1 — an exact agreement point
+// that doesn't depend on the tolerance.
+func TestCrossCheckSaturatedHost(t *testing.T) {
+	s := New(timing.ArchI, WithSeed(42))
+	res, err := s.CrossCheck(Workload{Conversations: 2, ServerComputeUS: 0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Resources {
+		if c.Resource != "Host" {
+			continue
+		}
+		if c.Measured < highUtilFloor || c.Predicted < highUtilFloor {
+			t.Errorf("saturated host: measured %.6f predicted %.6f, want both >= %v",
+				c.Measured, c.Predicted, highUtilFloor)
+		}
+	}
+}
+
+// The non-local cross-check exercises the client/server fixed point and
+// the DMA-engine resources end to end.
+func TestCrossCheckNonLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("non-local fixed point is slow under -short")
+	}
+	s := New(timing.ArchII, WithSeed(42))
+	res, err := s.CrossCheck(Workload{Conversations: 2, ServerComputeUS: 1140, NonLocal: true}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"client.Host": true, "client.MP": true, "client.IoOut": true,
+		"client.IoIn": true, "server.Host": true, "server.MP": true,
+	}
+	for _, c := range res.Resources {
+		delete(want, c.Resource)
+		if c.RelErr > nonLocalTol {
+			t.Errorf("%s: relative error %.4f exceeds %.2f (measured %.4f, predicted %.4f)",
+				c.Resource, c.RelErr, nonLocalTol, c.Measured, c.Predicted)
+		}
+	}
+	for missing := range want {
+		t.Errorf("resource %s never compared", missing)
+	}
+	if res.ThroughputRelErr > nonLocalTol {
+		t.Errorf("throughput deviation %.4f exceeds %.2f", res.ThroughputRelErr, nonLocalTol)
+	}
+}

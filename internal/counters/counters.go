@@ -1,0 +1,295 @@
+// Package counters is the repository's hardware performance counter
+// subsystem: a deterministic registry of counters, gauges, and
+// time-weighted averages that every simulated hardware substrate
+// publishes into — smart-bus cycles by transaction type, memory
+// tag-table occupancy, network wire occupancy, kernel computation-list
+// lengths, processor busy time. It is the measurement half of the
+// chapter 6 model validation (Figure 6.15): the same utilizations the
+// GTPN solver predicts as resource-usage estimates are accumulated here
+// by the machine-level simulators, so the two can be compared
+// mechanically (core.CrossCheck).
+//
+// Overhead contract (mirroring internal/trace): a nil *Registry is a
+// valid "counters disabled" registry — handle constructors return nil
+// handles, and every update method is a cheap nil-check no-op, so
+// instrumented hot paths pay one branch when counting is off. When
+// counting is on, updates are allocation-free: handles are plain
+// structs mutated in place; allocation happens only at registration.
+//
+// Determinism contract: the registry is unsynchronized and belongs to
+// one discrete-event engine (one replication); values are integers
+// updated in event order, and Snapshot reports metrics sorted by name,
+// so a fixed-seed run yields a byte-identical rendered snapshot at any
+// replication worker count (the registry attaches to one replication,
+// exactly as the trace recorder does).
+package counters
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Kind distinguishes metric shapes in a snapshot.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing event count.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous level (settable).
+	KindGauge
+	// KindTimeAvg is a level integrated over virtual time; its snapshot
+	// reports the time-weighted mean over [0, now].
+	KindTimeAvg
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindTimeAvg:
+		return "timeavg"
+	default:
+		return "invalid"
+	}
+}
+
+// Counter is a monotonically increasing event count. Methods are no-ops
+// on a nil *Counter.
+type Counter struct{ v int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v += d
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous level. Methods are no-ops on a nil *Gauge.
+type Gauge struct{ v int64 }
+
+// Set stores the current level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Add adjusts the current level by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v += d
+}
+
+// Value reports the current level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// TimeAvg integrates a level over virtual time: each Set(now, v)
+// accumulates the previous level over the elapsed ticks, so
+// Mean(now) is the exact time-weighted average of the level over
+// [0, now] (the level is 0 until the first Set). A TimeAvg over a 0/1
+// busy level is a utilization; over a queue length it is the mean
+// queue length — the two quantities the chapter 6 validation compares.
+// Methods are no-ops on a nil *TimeAvg.
+type TimeAvg struct {
+	cur  int64
+	last int64
+	area int64 // sum of level x ticks over [0, last]
+}
+
+// Set records the level v as of tick now. now must not decrease across
+// calls (event order guarantees it on a discrete-event engine).
+func (t *TimeAvg) Set(now, v int64) {
+	if t == nil {
+		return
+	}
+	t.area += t.cur * (now - t.last)
+	t.last = now
+	t.cur = v
+}
+
+// Add adjusts the level by d as of tick now.
+func (t *TimeAvg) Add(now, d int64) {
+	if t == nil {
+		return
+	}
+	t.Set(now, t.cur+d)
+}
+
+// Value reports the current level (0 on nil).
+func (t *TimeAvg) Value() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.cur
+}
+
+// Mean reports the time-weighted average level over [0, now],
+// including the in-progress interval since the last Set.
+func (t *TimeAvg) Mean(now int64) float64 {
+	if t == nil || now <= 0 {
+		return 0
+	}
+	return float64(t.area+t.cur*(now-t.last)) / float64(now)
+}
+
+// Registry holds named metrics. The zero value is not usable; construct
+// with New. A nil *Registry is a valid "disabled" registry: handle
+// constructors return nil handles whose methods are no-ops.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	avgs     map[string]*TimeAvg
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		avgs:     map[string]*TimeAvg{},
+	}
+}
+
+// Enabled reports whether the registry records (false for nil).
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Counter returns the named counter, creating it on first use.
+// Registering the same name twice returns the same handle; a name may
+// hold only one metric kind (a second kind panics — it is a programming
+// error that would silently split the metric).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkFree(name, KindCounter)
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkFree(name, KindGauge)
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// TimeAvg returns the named time-weighted average, creating it on first
+// use.
+func (r *Registry) TimeAvg(name string) *TimeAvg {
+	if r == nil {
+		return nil
+	}
+	if t, ok := r.avgs[name]; ok {
+		return t
+	}
+	r.checkFree(name, KindTimeAvg)
+	t := &TimeAvg{}
+	r.avgs[name] = t
+	return t
+}
+
+func (r *Registry) checkFree(name string, want Kind) {
+	if _, ok := r.counters[name]; ok && want != KindCounter {
+		panic(fmt.Sprintf("counters: %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && want != KindGauge {
+		panic(fmt.Sprintf("counters: %q already registered as a gauge", name))
+	}
+	if _, ok := r.avgs[name]; ok && want != KindTimeAvg {
+		panic(fmt.Sprintf("counters: %q already registered as a timeavg", name))
+	}
+}
+
+// Sample is one metric's value in a snapshot. Counters and gauges carry
+// Value; time-weighted averages carry Value (the level at snapshot
+// time) and Mean (the time-weighted average over [0, now]).
+type Sample struct {
+	Name  string
+	Kind  Kind
+	Value int64
+	Mean  float64
+}
+
+// Snapshot reports every registered metric sorted by name, finalizing
+// time-weighted averages at tick now. Sorting (not registration order)
+// is what makes the rendering deterministic across construction-order
+// differences.
+func (r *Registry) Snapshot(now int64) []Sample {
+	if r == nil {
+		return nil
+	}
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+len(r.avgs))
+	for name, c := range r.counters {
+		out = append(out, Sample{Name: name, Kind: KindCounter, Value: c.v})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Kind: KindGauge, Value: g.v})
+	}
+	for name, t := range r.avgs {
+		out = append(out, Sample{Name: name, Kind: KindTimeAvg, Value: t.cur, Mean: t.Mean(now)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteText renders samples as an aligned, deterministic plain-text
+// report: one line per metric, time-weighted averages printed as their
+// mean. The output is a pure function of the samples, so two snapshots
+// with equal values render byte-identically.
+func WriteText(w io.Writer, samples []Sample) error {
+	width := 0
+	for _, s := range samples {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	for _, s := range samples {
+		var err error
+		switch s.Kind {
+		case KindTimeAvg:
+			_, err = fmt.Fprintf(w, "  %-*s  %s (timeavg)\n", width, s.Name,
+				strconv.FormatFloat(s.Mean, 'g', -1, 64))
+		default:
+			_, err = fmt.Fprintf(w, "  %-*s  %d (%s)\n", width, s.Name, s.Value, s.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

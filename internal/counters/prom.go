@@ -1,0 +1,57 @@
+package counters
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromName sanitizes a registry metric name into a legal Prometheus
+// metric name: every character outside [a-zA-Z0-9_] becomes '_', and a
+// leading digit gains an underscore prefix. Registry names use dots as
+// hierarchy separators ("bus.cmd.send_short"), so the mapping is
+// deterministic and injective for the names this repository registers.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders samples in the Prometheus text exposition format
+// (version 0.0.4): a "# TYPE" line followed by the sample line, one
+// family per metric, in the (already sorted) sample order. Counters map
+// to the counter type; gauges and time-weighted averages map to gauges
+// (a TimeAvg exposes its mean — an instantaneous summary of the run so
+// far, not a monotone count). Output is a pure function of the samples.
+func WriteProm(w io.Writer, prefix string, samples []Sample) error {
+	for _, s := range samples {
+		name := prefix + PromName(s.Name)
+		typ := "gauge"
+		val := strconv.FormatInt(s.Value, 10)
+		if s.Kind == KindCounter {
+			typ = "counter"
+		}
+		if s.Kind == KindTimeAvg {
+			val = strconv.FormatFloat(s.Mean, 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", name, typ, name, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"repro/internal/counters"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -57,6 +58,7 @@ type Engine struct {
 	events eventHeap
 	rng    *rng.Source
 	tracer *trace.Recorder
+	ctrs   *counters.Registry
 }
 
 // New returns an engine at time zero with a seeded random source.
@@ -79,6 +81,17 @@ func (e *Engine) SetTracer(r *trace.Recorder) { e.tracer = r }
 
 // Tracer reports the attached recorder (nil when tracing is off).
 func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
+
+// SetCounters attaches a performance-counter registry: the engine's
+// second observability hook, for aggregate levels rather than spans.
+// Resources and the simulators built on them publish into it in virtual
+// time. Attach before building the simulated machine so resources can
+// register their metrics at construction; a nil registry (the default)
+// keeps every update a nil-check no-op.
+func (e *Engine) SetCounters(r *counters.Registry) { e.ctrs = r }
+
+// Counters reports the attached registry (nil when counting is off).
+func (e *Engine) Counters() *counters.Registry { return e.ctrs }
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it
 // would silently reorder causality.

@@ -1,5 +1,7 @@
 package des
 
+import "repro/internal/counters"
+
 // Resource is a single server with a non-preemptive priority queue,
 // modeling a processor (host or message coprocessor) executing one
 // kernel activity at a time. Higher priority values are served first;
@@ -22,6 +24,12 @@ type Resource struct {
 	// track is this resource's timeline track on the engine's tracer,
 	// registered lazily at first emission (0 = not yet registered).
 	track int32
+
+	// Performance-counter handles, registered at construction when the
+	// engine carries a registry; nil handles make every update a no-op.
+	cBusy   *counters.TimeAvg // 0/1 occupancy level; mean = utilization
+	cQueue  *counters.TimeAvg // waiting requests; mean = time-avg queue length
+	cServed *counters.Counter // completed holds
 }
 
 type grant struct {
@@ -32,7 +40,13 @@ type grant struct {
 
 // NewResource returns an idle single-server resource.
 func NewResource(eng *Engine, name string) *Resource {
-	return &Resource{eng: eng, name: name}
+	r := &Resource{eng: eng, name: name}
+	if reg := eng.ctrs; reg != nil {
+		r.cBusy = reg.TimeAvg("res." + name + ".busy")
+		r.cQueue = reg.TimeAvg("res." + name + ".queue")
+		r.cServed = reg.Counter("res." + name + ".served")
+	}
+	return r
 }
 
 // Name reports the resource's name.
@@ -53,9 +67,11 @@ func (r *Resource) Acquire(pri int, fn func()) {
 	if !r.busy {
 		r.busy = true
 		r.lastStart = r.eng.Now()
+		r.cBusy.Set(r.eng.Now(), 1)
 		fn()
 		return
 	}
+	r.cQueue.Add(r.eng.Now(), 1)
 	// Insert by priority (desc), FCFS within a priority.
 	i := len(r.q)
 	for i > 0 && r.q[i-1].pri < pri {
@@ -133,14 +149,17 @@ func (r *Resource) Release() {
 	}
 	r.BusyTicks += r.eng.Now() - r.lastStart
 	r.Served++
+	r.cServed.Inc()
 	if len(r.q) == 0 {
 		r.busy = false
+		r.cBusy.Set(r.eng.Now(), 0)
 		return
 	}
 	g := r.q[0]
 	copy(r.q, r.q[1:])
 	r.q = r.q[:len(r.q)-1]
 	r.lastStart = r.eng.Now()
+	r.cQueue.Add(r.eng.Now(), -1)
 	g.fn()
 }
 

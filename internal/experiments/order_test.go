@@ -11,16 +11,16 @@ import (
 // chapter ≥ 7 artifact; these pairs pin the structured decomposition.
 func TestIDOrdering(t *testing.T) {
 	ordered := []struct{ lo, hi string }{
-		{"T3.7", "T5.1"},    // chapter before chapter
-		{"T6.4", "T6.24"},   // item is numeric, not lexical ("4" < "24")
-		{"T6.9", "T6.11"},   // same, across the two-digit boundary
-		{"T6.25", "F6.7"},   // all tables before all figures
-		{"F6.7", "F6.15"},   // figures order numerically too
+		{"T3.7", "T5.1"},     // chapter before chapter
+		{"T6.4", "T6.24"},    // item is numeric, not lexical ("4" < "24")
+		{"T6.9", "T6.11"},    // same, across the two-digit boundary
+		{"T6.25", "F6.7"},    // all tables before all figures
+		{"F6.7", "F6.15"},    // figures order numerically too
 		{"F6.17a", "F6.17b"}, // letter suffix breaks the tie
 		{"F6.17b", "F6.18"},
-		{"F6.23", "F7.1"},  // a future chapter-7 figure sorts after 6.x
-		{"F7.1", "TA.1"},   // figures before the appendix
-		{"TA.1", "X1"},     // appendix before extensions
+		{"F6.23", "F7.1"}, // a future chapter-7 figure sorts after 6.x
+		{"F7.1", "TA.1"},  // figures before the appendix
+		{"TA.1", "X1"},    // appendix before extensions
 		{"X1", "X2"},
 		{"X2", "X10"}, // extensions are numeric as well
 	}

@@ -26,6 +26,7 @@ package kernel
 import (
 	"fmt"
 
+	"repro/internal/counters"
 	"repro/internal/des"
 	"repro/internal/list"
 	"repro/internal/network"
@@ -92,6 +93,15 @@ type Kernel struct {
 	// lazily, 0 when tracing is off.
 	schedTrack int32
 
+	// Performance-counter handles (nil = no-op). The computation-list
+	// length and free-buffer level are time-weighted so their means are
+	// the §5.1 queueing quantities the models predict.
+	cTCB         *counters.TimeAvg
+	cBufFree     *counters.TimeAvg
+	cLocalSends  *counters.Counter
+	cRemoteSends *counters.Counter
+	cRetransmits *counters.Counter
+
 	// Stats
 	RoundTrips  int64 // completed remote-invocation rendezvous (as client node)
 	LocalSends  int64
@@ -155,7 +165,26 @@ func newNode(eng *des.Engine, cfg Config, node int, ifc *network.Interface, cl *
 		k.ioOut = des.NewResource(eng, fmt.Sprintf("node%d.ioOut", node))
 		k.ioIn = des.NewResource(eng, fmt.Sprintf("node%d.ioIn", node))
 	}
+	if reg := eng.Counters(); reg != nil {
+		prefix := fmt.Sprintf("node%d.", node)
+		k.cTCB = reg.TimeAvg(prefix + "tcb.ready")
+		k.cBufFree = reg.TimeAvg(prefix + "buffers.free")
+		k.cBufFree.Set(eng.Now(), int64(k.freeBuffers))
+		k.cLocalSends = reg.Counter(prefix + "sends.local")
+		k.cRemoteSends = reg.Counter(prefix + "sends.remote")
+		k.cRetransmits = reg.Counter(prefix + "retransmits")
+	}
 	return k
+}
+
+// noteCompList samples the computation-list length into the tcb.ready
+// time average; a no-op when counting is off (it never pays the O(n)
+// Len walk then).
+func (k *Kernel) noteCompList() {
+	if k.cTCB == nil {
+		return
+	}
+	k.cTCB.Set(k.eng.Now(), int64(k.compList.Len()))
 }
 
 // Engine exposes the node's event engine.
@@ -215,6 +244,7 @@ func (k *Kernel) makeReady(t *Task) {
 	t.state = stateReady
 	k.noteTCB("TCB Enqueue", t.id)
 	k.compList.Enqueue(&t.tcb)
+	k.noteCompList()
 	k.dispatch()
 }
 
@@ -231,6 +261,7 @@ func (k *Kernel) dispatch() {
 		}
 		t := k.compList.First().Value
 		k.noteTCB("TCB Dequeue", t.id)
+		k.noteCompList()
 		k.hostFree[h] = false
 		t.host = h
 		hres := k.hosts[h]
@@ -312,6 +343,7 @@ func (k *Kernel) runUntilBlocked(t *Task, hres *des.Resource) {
 func (k *Kernel) allocBuffer(grant func()) {
 	if k.freeBuffers > 0 {
 		k.freeBuffers--
+		k.cBufFree.Set(k.eng.Now(), int64(k.freeBuffers))
 		grant()
 		return
 	}
@@ -328,6 +360,7 @@ func (k *Kernel) freeBuffer() {
 		return
 	}
 	k.freeBuffers++
+	k.cBufFree.Set(k.eng.Now(), int64(k.freeBuffers))
 }
 
 // FreeBuffers reports the current size of the kernel buffer pool.

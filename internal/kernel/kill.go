@@ -15,6 +15,7 @@ func (k *Kernel) Kill(t *Task) {
 	// Dequeue from the computation list (a no-op if it is not there,
 	// exactly like the hardware primitive).
 	k.compList.Dequeue(&t.tcb)
+	k.noteCompList()
 	// Unhook from any services it was blocked on.
 	k.removeWaiter(t)
 	if wasRunning {

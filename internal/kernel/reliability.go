@@ -73,6 +73,7 @@ func (k *Kernel) armRetransmit(conv int, pkt *network.Packet) {
 			return // the reply arrived
 		}
 		k.Retransmits++
+		k.cRetransmits.Inc()
 		copyPkt := *pkt
 		k.ioOut.UseSpan(0, k.cfg.Costs.DMAOut+k.cfg.Costs.Checksum, "DMA Out", "kernel", func() {
 			k.ifc.Transmit(&copyPkt, nil)

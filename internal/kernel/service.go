@@ -73,6 +73,7 @@ func (k *Kernel) postSend(sender *Task, ref ServiceRef, payload []byte, memRef *
 				k.conv[conv] = p
 			}
 			k.RemoteSends++
+			k.cRemoteSends.Inc()
 			pkt := &network.Packet{
 				Type:     network.SendPacket,
 				Dst:      ref.Node,
@@ -103,6 +104,7 @@ func (k *Kernel) postSend(sender *Task, ref ServiceRef, payload []byte, memRef *
 		}
 		k.allocBuffer(func() {
 			k.LocalSends++
+			k.cLocalSends.Inc()
 			m := &Message{
 				Data:       append([]byte(nil), payload...), // kernel buffering copy
 				Ref:        memRef,

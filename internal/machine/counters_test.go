@@ -1,0 +1,95 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/des"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+func sampleMap(samples []counters.Sample) map[string]counters.Sample {
+	m := make(map[string]counters.Sample, len(samples))
+	for _, s := range samples {
+		m[s.Name] = s
+	}
+	return m
+}
+
+// The counter registry's view of processor occupancy must agree exactly
+// with the resources' own BusyTicks bookkeeping: both integrate the same
+// 0/1 level over the same virtual clock.
+func TestCountersMatchResourceUtilization(t *testing.T) {
+	reg := counters.New()
+	m := NewLocal(timing.ArchII, Config{Seed: 7, Counters: reg})
+	res := m.Run(workload.Params{Conversations: 2, ComputeMean: 1140 * des.Microsecond}, des.Second)
+	if res.RoundTrips == 0 {
+		t.Fatal("no round trips completed")
+	}
+	by := sampleMap(m.CounterSnapshot())
+
+	host, ok := by["res.node0.host0.busy"]
+	if !ok {
+		t.Fatal("host busy time-average never registered")
+	}
+	if got, want := host.Mean, m.Kernel.HostUtilization(); got != want {
+		t.Errorf("counter host utilization %v != resource utilization %v", got, want)
+	}
+	mp, ok := by["res.node0.mp.busy"]
+	if !ok {
+		t.Fatal("message coprocessor busy time-average never registered")
+	}
+	if got, want := mp.Mean, m.Kernel.CommUtilization(); got != want {
+		t.Errorf("counter MP utilization %v != resource utilization %v", got, want)
+	}
+	// Each round trip passes Process Send locally exactly once.
+	if got := by["node0.sends.local"].Value; got < res.RoundTrips {
+		t.Errorf("local sends %d < %d round trips", got, res.RoundTrips)
+	}
+	// The computation list saw activity and the buffer pool returned to
+	// full after shutdown-free steady state (level is sampled, mean > 0).
+	if by["node0.tcb.ready"].Mean <= 0 {
+		t.Error("tcb.ready time-average never moved")
+	}
+	if by["node0.buffers.free"].Mean <= 0 {
+		t.Error("buffers.free time-average never moved")
+	}
+}
+
+// A non-local run must publish network counters consistent with the
+// ring's own packet accounting, and DMA engines must appear.
+func TestCountersNonLocalNetworkPath(t *testing.T) {
+	reg := counters.New()
+	m := NewNonLocal(timing.ArchII, Config{Seed: 7, Counters: reg})
+	res := m.Run(workload.Params{Conversations: 2, ComputeMean: 1140 * des.Microsecond}, des.Second)
+	if res.RoundTrips == 0 {
+		t.Fatal("no round trips completed")
+	}
+	by := sampleMap(m.CounterSnapshot())
+	sent := by["net.packets.sent"].Value
+	if sent < 2*res.RoundTrips {
+		t.Errorf("net.packets.sent %d < 2 x %d round trips", sent, res.RoundTrips)
+	}
+	if by["net.packets.delivered"].Value != sent {
+		t.Errorf("reliable ring delivered %d of %d sent", by["net.packets.delivered"].Value, sent)
+	}
+	if by["net.bytes"].Value <= 0 {
+		t.Error("net.bytes never accumulated")
+	}
+	if by["res.ring.busy"].Mean <= 0 {
+		t.Error("wire occupancy time-average never moved")
+	}
+	for _, name := range []string{"res.node0.ioOut.busy", "res.node1.ioIn.busy"} {
+		if by[name].Mean <= 0 {
+			t.Errorf("%s never moved", name)
+		}
+	}
+	// Without counters the same run must behave identically (the no-op
+	// path): same round trips from the same seed.
+	m2 := NewNonLocal(timing.ArchII, Config{Seed: 7})
+	res2 := m2.Run(workload.Params{Conversations: 2, ComputeMean: 1140 * des.Microsecond}, des.Second)
+	if res2.RoundTrips != res.RoundTrips {
+		t.Errorf("counters perturbed the run: %d vs %d round trips", res.RoundTrips, res2.RoundTrips)
+	}
+}

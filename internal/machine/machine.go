@@ -16,6 +16,7 @@
 package machine
 
 import (
+	"repro/internal/counters"
 	"repro/internal/des"
 	"repro/internal/kernel"
 	"repro/internal/timing"
@@ -47,6 +48,11 @@ type Config struct {
 	// virtual time (kernel activities, DMA, scheduler transitions, wire
 	// occupancy). Nil keeps every emission a nil-check no-op.
 	Tracer *trace.Recorder
+	// Counters, when non-nil, receives the hardware performance counters
+	// of every substrate (processor occupancy, bus cycles, wire bytes,
+	// computation-list lengths) in virtual time. Nil keeps every update a
+	// nil-check no-op.
+	Counters *counters.Registry
 }
 
 func (c Config) kernelConfig(arch timing.Arch, local bool) kernel.Config {
@@ -66,6 +72,7 @@ func (c Config) kernelConfig(arch timing.Arch, local bool) kernel.Config {
 func NewLocal(arch timing.Arch, cfg Config) *Machine {
 	eng := des.New(cfg.Seed + 1)
 	eng.SetTracer(cfg.Tracer)
+	eng.SetCounters(cfg.Counters)
 	k := kernel.New(eng, cfg.kernelConfig(arch, true))
 	return &Machine{Arch: arch, Eng: eng, Kernel: k}
 }
@@ -75,6 +82,7 @@ func NewLocal(arch timing.Arch, cfg Config) *Machine {
 func NewNonLocal(arch timing.Arch, cfg Config) *Machine {
 	eng := des.New(cfg.Seed + 1)
 	eng.SetTracer(cfg.Tracer)
+	eng.SetCounters(cfg.Counters)
 	cl := kernel.NewCluster(eng, 2, cfg.kernelConfig(arch, false))
 	return &Machine{Arch: arch, Eng: eng, Cluster: cl}
 }
@@ -88,6 +96,16 @@ func (m *Machine) Run(p workload.Params, horizon int64) workload.Result {
 	}
 	defer m.Kernel.Shutdown()
 	return workload.RunLocal(m.Eng, m.Kernel, p, horizon)
+}
+
+// CounterSnapshot reads the attached registry at the engine's current
+// virtual time — call it after Run so time-weighted averages span the
+// whole measured horizon. Nil when no registry was attached.
+func (m *Machine) CounterSnapshot() []counters.Sample {
+	if m.Eng.Counters() == nil {
+		return nil
+	}
+	return m.Eng.Counters().Snapshot(m.Eng.Now())
 }
 
 func max(a, b int) int {

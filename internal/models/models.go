@@ -30,9 +30,32 @@ type netBuilder struct {
 	// stage weight fully determines the frequency function. Leaving it
 	// empty makes gated stages opaque (the net is then never cached).
 	gateKey string
+	// resNames maps resource places to their resource tag, so stage()
+	// tags every transition holding the place's token; resTokens records
+	// each tag's token count (its number of servers), which converts the
+	// solver's resource usage into a utilization.
+	resNames  map[gtpn.PlaceID]string
+	resTokens map[string]int
 }
 
-func newNetBuilder() *netBuilder { return &netBuilder{b: gtpn.NewBuilder()} }
+func newNetBuilder() *netBuilder {
+	return &netBuilder{
+		b:         gtpn.NewBuilder(),
+		resNames:  map[gtpn.PlaceID]string{},
+		resTokens: map[string]int{},
+	}
+}
+
+// resPlace creates a resource place — a pool of tokens representing
+// identical servers (hosts, the MP, a DMA engine) — and registers its
+// tag so stages holding it are resource-tagged for the solver's usage
+// estimates (utilization = usage / tokens).
+func (nb *netBuilder) resPlace(name string, tokens int) gtpn.PlaceID {
+	p := nb.b.Place(name, tokens)
+	nb.resNames[p] = name
+	nb.resTokens[name] = tokens
+	return p
+}
 
 // gateFunc inhibits a stage in states where it must not progress (the
 // "(NetIntr = 0) & ~Ti & ~Tj -> f, 0" expressions).
@@ -77,9 +100,24 @@ func (nb *netBuilder) stage(name string, in gtpn.PlaceID, res gtpn.PlaceID, hasR
 		loopIn = append(loopIn, res)
 		loopOut = append(loopOut, res)
 	}
-	setFreq(nb.b.Transition(name).From(endIn...).To(endOut...).Delay(1), p)
+	// Both the completion and the continuation hold the resource token,
+	// so both carry the tag: the solver's per-resource usage then counts
+	// every tick a server is occupied by this stage.
+	tag := ""
+	if hasRes {
+		tag = nb.resNames[res]
+	}
+	end := nb.b.Transition(name).From(endIn...).To(endOut...).Delay(1)
+	if tag != "" {
+		end.Resource(tag)
+	}
+	setFreq(end, p)
 	if p < 1 {
-		setFreq(nb.b.Transition(name+".loop").From(loopIn...).To(loopOut...).Delay(1), 1-p)
+		loop := nb.b.Transition(name + ".loop").From(loopIn...).To(loopOut...).Delay(1)
+		if tag != "" {
+			loop.Resource(tag)
+		}
+		setFreq(loop, 1-p)
 	}
 }
 
@@ -106,6 +144,11 @@ type LocalResult struct {
 	RoundTrip float64
 	// States is the size of the reachability graph.
 	States int
+	// Utilization maps each resource ("Host", "MP") to its predicted
+	// utilization: the solver's time-averaged busy servers divided by
+	// the resource's token count. This is the model half of the Figure
+	// 6.15 measurement cross-check.
+	Utilization map[string]float64
 }
 
 // LocalModel is the Figure 6.9/6.12 local-conversation net for one
@@ -115,6 +158,10 @@ type LocalModel struct {
 	Params timing.LocalParams
 	N      int
 	X      float64
+	// Hosts is the host-processor token count; ResTokens records the
+	// server count behind each resource tag in the net.
+	Hosts     int
+	ResTokens map[string]int
 }
 
 // BuildLocal constructs the local-conversation model: n simultaneous
@@ -127,10 +174,10 @@ func BuildLocal(arch timing.Arch, n, hosts int, xUS float64) *LocalModel {
 
 	clients := b.Place("Clients", n)
 	servers := b.Place("Servers", n)
-	host := b.Place("Host", hosts)
+	host := nb.resPlace("Host", hosts)
 	comm := host
 	if !p.Shared {
-		comm = b.Place("MP", 1)
+		comm = nb.resPlace("MP", 1)
 	}
 
 	// Client path: host stage, then send processing, into SentC.
@@ -155,10 +202,11 @@ func BuildLocal(arch timing.Arch, n, hosts int, xUS float64) *LocalModel {
 
 	// Rendezvous: match on the communication processor.
 	srvReady := b.Place("SrvReady", 0)
+	commTag := nb.resNames[comm]
 	nb.b.Transition("TMatch").From(sentC, rcvdS, comm).To(srvReady, comm).
-		Delay(1).FreqConst(1 / p.CommMatch)
+		Delay(1).FreqConst(1 / p.CommMatch).Resource(commTag)
 	nb.b.Transition("TMatch.loop").From(sentC, rcvdS, comm).To(sentC, rcvdS, comm).
-		Delay(1).FreqConst(1 - 1/p.CommMatch)
+		Delay(1).FreqConst(1 - 1/p.CommMatch).Resource(commTag)
 
 	// Compute + reply syscall on the host; reply processing on the MP
 	// completes the conversation, returning both tokens.
@@ -171,7 +219,8 @@ func BuildLocal(arch timing.Arch, n, hosts int, xUS float64) *LocalModel {
 		nb.stage("TCompute", srvReady, host, true, computeMean, nil, clients, servers)
 	}
 
-	return &LocalModel{Net: b.MustBuild(), Params: p, N: n, X: xUS}
+	return &LocalModel{Net: b.MustBuild(), Params: p, N: n, X: xUS,
+		Hosts: hosts, ResTokens: nb.resTokens}
 }
 
 // doneTransition names the transition whose completions mark the end of a
@@ -199,11 +248,27 @@ func (m *LocalModel) SolveContext(ctx context.Context, opts SolveOptions) (Local
 		return LocalResult{}, fmt.Errorf("models: local model (arch %v, n=%d) did not converge (residual %g)", m.Params.Arch, m.N, sol.Residual)
 	}
 	lam := sol.Rate(m.doneTransition())
-	res := LocalResult{Throughput: lam, States: sol.States}
+	res := LocalResult{Throughput: lam, States: sol.States,
+		Utilization: utilization(sol.ResourceUsage, m.ResTokens)}
 	if lam > 0 {
 		res.RoundTrip = float64(m.N) / lam
 	}
 	return res, nil
+}
+
+// utilization converts per-resource usage (mean busy servers) into
+// per-resource utilization by dividing by the server count.
+func utilization(usage map[string]float64, tokens map[string]int) map[string]float64 {
+	if len(usage) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(usage))
+	for r, u := range usage {
+		if n := tokens[r]; n > 0 {
+			out[r] = u / float64(n)
+		}
+	}
+	return out
 }
 
 // Simulate cross-checks the local model by Monte Carlo.

@@ -18,13 +18,13 @@ func buildClient(arch timing.Arch, n, hosts int, sd float64) (*gtpn.Net, string)
 	b := nb.b
 
 	clients := b.Place("Clients", n)
-	host := b.Place("Host", hosts)
+	host := nb.resPlace("Host", hosts)
 	comm := host
 	if !p.Shared {
-		comm = b.Place("MP", 1)
+		comm = nb.resPlace("MP", 1)
 	}
-	ioOut := b.Place("IoOut", 1)
-	ioIn := b.Place("IoIn", 1)
+	ioOut := nb.resPlace("IoOut", 1)
+	ioIn := nb.resPlace("IoIn", 1)
 	netIntr := b.Place("NetIntr", 0)
 
 	// Interrupt-priority gate: task-level stages on the communication
@@ -86,10 +86,10 @@ func buildServer(arch timing.Arch, n, hosts int, cd, xUS float64) (net *gtpn.Net
 	b := nb.b
 
 	servers := b.Place("Servers", n)
-	host := b.Place("Host", hosts)
+	host := nb.resPlace("Host", hosts)
 	comm := host
 	if !p.Shared {
-		comm = b.Place("MP", 1)
+		comm = nb.resPlace("MP", 1)
 	}
 	reqIntr := b.Place("ReqIntr", 0)
 
@@ -174,6 +174,10 @@ type NonLocalResult struct {
 	Iterations int
 	// ClientStates/ServerStates are the final reachability-graph sizes.
 	ClientStates, ServerStates int
+	// ClientUtilization/ServerUtilization map each node's resources
+	// ("Host", "MP", "IoOut", "IoIn") to their predicted utilization in
+	// the final fixed-point iterate.
+	ClientUtilization, ServerUtilization map[string]float64
 }
 
 // SolveNonLocal runs the §6.6.3 iteration: clients grouped on one node,
@@ -189,6 +193,18 @@ func SolveNonLocal(arch timing.Arch, n, hosts int, xUS float64, opts SolveOption
 // multi-iterate non-local solves.
 func SolveNonLocalContext(ctx context.Context, arch timing.Arch, n, hosts int, xUS float64, opts SolveOptions) (NonLocalResult, error) {
 	sp := timing.ServerParamsFor(arch)
+	cp := timing.ClientParamsFor(arch)
+
+	// Token counts behind each node's resource tags, mirroring the
+	// resPlace calls in buildClient/buildServer.
+	clientTokens := map[string]int{"Host": hosts, "IoOut": 1, "IoIn": 1}
+	if !cp.Shared {
+		clientTokens["MP"] = 1
+	}
+	serverTokens := map[string]int{"Host": hosts}
+	if !sp.Shared {
+		serverTokens["MP"] = 1
+	}
 
 	// "The client model is solved assuming an initial server delay equal
 	// to the sum of the communication time and compute time."
@@ -233,13 +249,15 @@ func SolveNonLocalContext(ctx context.Context, arch timing.Arch, n, hosts int, x
 		sdNew := nBusy/lamS + sp.DMAIn + sp.DMAOut
 
 		res = NonLocalResult{
-			Throughput:   lam,
-			RoundTrip:    t,
-			Sd:           sdNew,
-			Cd:           cd,
-			Iterations:   iter,
-			ClientStates: csol.States,
-			ServerStates: ssol.States,
+			Throughput:        lam,
+			RoundTrip:         t,
+			Sd:                sdNew,
+			Cd:                cd,
+			Iterations:        iter,
+			ClientStates:      csol.States,
+			ServerStates:      ssol.States,
+			ClientUtilization: utilization(csol.ResourceUsage, clientTokens),
+			ServerUtilization: utilization(ssol.ResourceUsage, serverTokens),
 		}
 		if diff := sdNew - sd; diff < 0 {
 			diff = -diff

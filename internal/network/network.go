@@ -10,6 +10,7 @@ package network
 import (
 	"fmt"
 
+	"repro/internal/counters"
 	"repro/internal/des"
 )
 
@@ -72,11 +73,27 @@ type Ring struct {
 
 	// Sent and Delivered count packets; Dropped counts losses.
 	Sent, Delivered, Dropped int64
+
+	// Performance-counter handles (nil = no-op). Wire occupancy itself
+	// comes from the medium resource's res.ring.busy time average.
+	cSent      *counters.Counter
+	cDelivered *counters.Counter
+	cDropped   *counters.Counter
+	cBytes     *counters.Counter // wire bytes including per-packet header
+	cOverruns  *counters.Counter
 }
 
 // NewRing creates a ring with the given engine and default speed.
 func NewRing(eng *des.Engine) *Ring {
-	return &Ring{eng: eng, medium: des.NewResource(eng, "ring"), BitsPerSec: DefaultBitsPerSecond}
+	r := &Ring{eng: eng, medium: des.NewResource(eng, "ring"), BitsPerSec: DefaultBitsPerSecond}
+	if reg := eng.Counters(); reg != nil {
+		r.cSent = reg.Counter("net.packets.sent")
+		r.cDelivered = reg.Counter("net.packets.delivered")
+		r.cDropped = reg.Counter("net.packets.dropped")
+		r.cBytes = reg.Counter("net.bytes")
+		r.cOverruns = reg.Counter("net.overruns")
+	}
+	return r
 }
 
 // Attach adds a node interface to the ring and returns it. Node ids are
@@ -123,6 +140,8 @@ func (i *Interface) Transmit(p *Packet, done func()) {
 	}
 	p.Src = i.node
 	i.ring.Sent++
+	i.ring.cSent.Inc()
+	i.ring.cBytes.Add(int64(len(p.Payload) + HeaderBytes))
 	span := "Packet Send"
 	if p.Type == ReplyPacket {
 		span = "Packet Reply"
@@ -130,6 +149,7 @@ func (i *Interface) Transmit(p *Packet, done func()) {
 	i.ring.medium.UseSpan(0, i.ring.wireTicks(p), span, "net", func() {
 		if i.ring.DropRate > 0 && i.ring.eng.Rand().Float64() < i.ring.DropRate {
 			i.ring.Dropped++
+			i.ring.cDropped.Inc()
 			if done != nil {
 				done() // the sender saw a normal transmission
 			}
@@ -138,9 +158,11 @@ func (i *Interface) Transmit(p *Packet, done func()) {
 		dst := i.ring.nodes[p.Dst]
 		if dst.RecvBuffers > 0 && len(dst.rq) >= dst.RecvBuffers {
 			dst.Overruns++
+			i.ring.cOverruns.Inc()
 		} else {
 			dst.rq = append(dst.rq, p)
 			i.ring.Delivered++
+			i.ring.cDelivered.Inc()
 			if dst.OnArrival != nil {
 				dst.OnArrival()
 			}

@@ -56,6 +56,9 @@ func (h *Histogram) Observe(us float64) {
 // Count reports the number of observations.
 func (h *Histogram) Count() int64 { return h.count }
 
+// Sum reports the sum of all observations in microseconds.
+func (h *Histogram) Sum() float64 { return h.sum }
+
 // Counts returns a copy of the per-bucket counts; the last entry is the
 // overflow bucket.
 func (h *Histogram) Counts() []int64 {

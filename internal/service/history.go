@@ -1,0 +1,113 @@
+package service
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/gtpn"
+)
+
+// HistoryPoint is one timestamped observation of the daemon's headline
+// counters — the fields an operator trends over minutes, not the full
+// per-route breakdown.
+type HistoryPoint struct {
+	UnixMilli        int64
+	RequestsTotal    int64
+	InFlight         int64
+	QueueDepth       int64
+	Coalesced        int64
+	Leaders          int64
+	RejectedBusy     int64
+	RejectedDraining int64
+	Errors           int64
+	CacheHits        int64
+	CacheMisses      int64
+}
+
+// historyRing is a fixed-capacity in-process time series: the last
+// `cap(buf)` sampled points, oldest evicted first. It trades durability
+// for zero dependencies — enough to answer "what happened over the last
+// hour" without a scrape stack.
+type historyRing struct {
+	mu   sync.Mutex
+	buf  []HistoryPoint
+	next int // index of the next write
+	full bool
+}
+
+func newHistoryRing(capacity int) *historyRing {
+	return &historyRing{buf: make([]HistoryPoint, capacity)}
+}
+
+func (h *historyRing) add(p HistoryPoint) {
+	h.mu.Lock()
+	h.buf[h.next] = p
+	h.next++
+	if h.next == len(h.buf) {
+		h.next = 0
+		h.full = true
+	}
+	h.mu.Unlock()
+}
+
+// points returns the retained samples, oldest first.
+func (h *historyRing) points() []HistoryPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.full {
+		return append([]HistoryPoint(nil), h.buf[:h.next]...)
+	}
+	out := make([]HistoryPoint, 0, len(h.buf))
+	out = append(out, h.buf[h.next:]...)
+	return append(out, h.buf[:h.next]...)
+}
+
+// SampleMetrics appends one observation of the current counters to the
+// in-process history ring, timestamped at t. ipcd calls this on a
+// ticker; tests call it with fixed times for determinism.
+func (s *Server) SampleMetrics(t time.Time) {
+	s.metrics.mu.Lock()
+	p := HistoryPoint{
+		UnixMilli:        t.UnixMilli(),
+		RequestsTotal:    s.metrics.requestsTotal,
+		InFlight:         s.metrics.inFlight,
+		Coalesced:        s.metrics.coalesced,
+		Leaders:          s.metrics.leaders,
+		RejectedBusy:     s.metrics.rejectedBusy,
+		RejectedDraining: s.metrics.rejectedDrain,
+		Errors:           s.metrics.errors,
+	}
+	s.metrics.mu.Unlock()
+	p.QueueDepth = s.queueDepth()
+	cs := gtpn.SolveCacheStats()
+	p.CacheHits = int64(cs.Hits)
+	p.CacheMisses = int64(cs.Misses)
+	s.history.add(p)
+}
+
+// handleMetricsHistory reports the retained samples, oldest first, as
+// deterministic JSON.
+func (s *Server) handleMetricsHistory(w http.ResponseWriter, _ *http.Request) {
+	pts := s.history.points()
+	list := make([]any, 0, len(pts))
+	for _, p := range pts {
+		list = append(list, map[string]any{
+			"unix_ms":           p.UnixMilli,
+			"requests_total":    p.RequestsTotal,
+			"in_flight":         p.InFlight,
+			"queue_depth":       p.QueueDepth,
+			"coalesced":         p.Coalesced,
+			"leaders":           p.Leaders,
+			"rejected_busy":     p.RejectedBusy,
+			"rejected_draining": p.RejectedDraining,
+			"errors":            p.Errors,
+			"cache_hits":        p.CacheHits,
+			"cache_misses":      p.CacheMisses,
+		})
+	}
+	writeDet(w, http.StatusOK, nil, marshalDet(map[string]any{
+		"capacity": int64(len(s.history.buf)),
+		"points":   list,
+	}))
+}

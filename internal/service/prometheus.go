@@ -1,0 +1,114 @@
+package service
+
+import (
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/gtpn"
+)
+
+// promWriter accumulates exposition lines with a sticky error, so the
+// render code reads as straight-line output.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) line(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = io.WriteString(p.w, s+"\n")
+}
+
+// family emits one unlabeled single-sample family: TYPE line plus value.
+func (p *promWriter) family(name, kind string, v int64) {
+	p.line("# TYPE " + name + " " + kind)
+	p.line(name + " " + strconv.FormatInt(v, 10))
+}
+
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// WritePrometheus renders the daemon's counters — the same data GET
+// /metrics reports as JSON — in the Prometheus text exposition format
+// (version 0.0.4). The output is a pure function of the counter values:
+// families appear in a fixed order and route labels are sorted, so two
+// snapshots of an unchanged server are byte-identical.
+func (s *Server) WritePrometheus(w io.Writer) error {
+	// Copy everything rendered below under the metrics lock, so the
+	// exposition is one coherent snapshot.
+	s.metrics.mu.Lock()
+	requestsTotal := s.metrics.requestsTotal
+	inFlight := s.metrics.inFlight
+	coalesced := s.metrics.coalesced
+	leaders := s.metrics.leaders
+	rejectedBusy := s.metrics.rejectedBusy
+	rejectedDrain := s.metrics.rejectedDrain
+	errs := s.metrics.errors
+	byRoute := make(map[string]int64, len(s.metrics.byRoute))
+	for r, n := range s.metrics.byRoute {
+		byRoute[r] = n
+	}
+	hists := make(map[string]*Histogram, len(s.metrics.latency))
+	for r, h := range s.metrics.latency {
+		hists[r] = h.clone()
+	}
+	s.metrics.mu.Unlock()
+	queueDepth := s.queueDepth()
+	cs := gtpn.SolveCacheStats()
+	es := gtpn.SolverEngineStats()
+
+	routes := make([]string, 0, len(byRoute))
+	for r := range byRoute {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	p := &promWriter{w: w}
+	p.family("ipcd_requests_total", "counter", requestsTotal)
+	p.line("# TYPE ipcd_route_requests_total counter")
+	for _, r := range routes {
+		p.line(`ipcd_route_requests_total{route="` + r + `"} ` + strconv.FormatInt(byRoute[r], 10))
+	}
+	p.family("ipcd_in_flight", "gauge", inFlight)
+	p.family("ipcd_queue_depth", "gauge", queueDepth)
+	p.family("ipcd_coalesced_total", "counter", coalesced)
+	p.family("ipcd_leaders_total", "counter", leaders)
+	p.family("ipcd_rejected_busy_total", "counter", rejectedBusy)
+	p.family("ipcd_rejected_draining_total", "counter", rejectedDrain)
+	p.family("ipcd_errors_total", "counter", errs)
+	p.family("ipcd_gtpn_cache_hits_total", "counter", int64(cs.Hits))
+	p.family("ipcd_gtpn_cache_misses_total", "counter", int64(cs.Misses))
+	p.family("ipcd_gtpn_cache_bypassed_total", "counter", int64(cs.Bypassed))
+	p.family("ipcd_gtpn_cache_entries", "gauge", int64(cs.Entries))
+	p.family("ipcd_gtpn_engine_graphs_built_total", "counter", int64(es.GraphsBuilt))
+	p.family("ipcd_gtpn_engine_states_explored_total", "counter", int64(es.StatesExplored))
+	p.family("ipcd_gtpn_engine_edges_built_total", "counter", int64(es.EdgesBuilt))
+	p.family("ipcd_gtpn_engine_parallel_class_solves_total", "counter", int64(es.ParallelClassSolves))
+
+	// Per-route latency histograms in the conventional cumulative-bucket
+	// encoding; the bounds are package service's fixed microsecond bounds.
+	p.line("# TYPE ipcd_request_duration_us histogram")
+	for _, r := range routes {
+		h := hists[r]
+		if h == nil {
+			continue
+		}
+		var cum int64
+		for i, c := range h.Counts() {
+			cum += c
+			le := "+Inf"
+			if i < len(histBounds) {
+				le = promFloat(histBounds[i])
+			}
+			p.line(`ipcd_request_duration_us_bucket{route="` + r + `",le="` + le + `"} ` +
+				strconv.FormatInt(cum, 10))
+		}
+		p.line(`ipcd_request_duration_us_sum{route="` + r + `"} ` + promFloat(h.Sum()))
+		p.line(`ipcd_request_duration_us_count{route="` + r + `"} ` + strconv.FormatInt(h.Count(), 10))
+	}
+	return p.err
+}

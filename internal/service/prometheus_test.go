@@ -1,0 +1,218 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promParse is a minimal exposition-format checker: every line is
+// either `# TYPE <name> <counter|gauge|histogram>` or
+// `<name>{labels} <value>` with a parseable float value and balanced,
+// quoted labels. It returns metric name -> sample count.
+func promParse(t *testing.T, body []byte) map[string]int {
+	t.Helper()
+	types := map[string]string{}
+	samples := map[string]int{}
+	for i, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty", i+1)
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE line %q", i+1, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", i+1, fields[1])
+			}
+			if _, dup := types[fields[0]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", i+1, fields[0])
+			}
+			types[fields[0]] = fields[1]
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("line %d: no value: %q", i+1, line)
+		}
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			labels := name[j:]
+			name = name[:j]
+			if !strings.HasSuffix(labels, "}") || !strings.Contains(labels, `="`) {
+				t.Fatalf("line %d: malformed labels %q", i+1, labels)
+			}
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Fatalf("line %d: bad value %q: %v", i+1, value, err)
+		}
+		// A sample must belong to a declared family; histogram series
+		// carry the _bucket/_sum/_count suffixes.
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suf); ok && types[f] == "histogram" {
+				family = f
+			}
+		}
+		if _, ok := types[family]; !ok {
+			t.Fatalf("line %d: sample %q precedes its TYPE line", i+1, name)
+		}
+		samples[family]++
+	}
+	return samples
+}
+
+// The acceptance-criterion pair: /metrics?format=prometheus parses under
+// the line-format checker, and the exposition of an unchanged server is
+// byte-identical across snapshots (WritePrometheus is called directly —
+// an HTTP round trip would observe itself through the request counters).
+func TestPrometheusExposition(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	if code, _, b := post(t, ts.URL+"/v1/solve", solveBody); code != 200 {
+		t.Fatalf("solve: %d %s", code, b)
+	}
+	code, body := get(t, ts.URL+"/metrics?format=prometheus")
+	if code != 200 {
+		t.Fatalf("prometheus metrics: %d %s", code, body)
+	}
+	samples := promParse(t, body)
+	for _, want := range []string{
+		"ipcd_requests_total", "ipcd_route_requests_total", "ipcd_in_flight",
+		"ipcd_queue_depth", "ipcd_coalesced_total", "ipcd_leaders_total",
+		"ipcd_rejected_busy_total", "ipcd_rejected_draining_total", "ipcd_errors_total",
+		"ipcd_gtpn_cache_hits_total", "ipcd_gtpn_engine_states_explored_total",
+		"ipcd_request_duration_us",
+	} {
+		if samples[want] == 0 && want != "ipcd_request_duration_us" {
+			t.Errorf("family %s missing or empty", want)
+		}
+	}
+	// The solve above must have produced a full histogram series for its
+	// route: len(bounds)+1 buckets plus _sum and _count.
+	if got, want := samples["ipcd_request_duration_us"], 0; got <= want {
+		t.Errorf("no histogram samples emitted")
+	}
+
+	var one, two bytes.Buffer
+	if err := s.WritePrometheus(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePrometheus(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatalf("exposition of an unchanged server differs:\n%s\n---\n%s", one.Bytes(), two.Bytes())
+	}
+}
+
+// The cumulative bucket counts must be monotone per route and end at the
+// route's _count, and _count must match the JSON view's histogram count.
+func TestPrometheusHistogramConsistency(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		if code, _, b := post(t, ts.URL+"/v1/solve", solveBody); code != 200 {
+			t.Fatalf("solve: %d %s", code, b)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var last int64 = -1
+	var lastBucket, count int64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, `ipcd_request_duration_us_bucket{route="solve"`) {
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < last {
+				t.Fatalf("bucket counts not cumulative: %d after %d", v, last)
+			}
+			last, lastBucket = v, v
+		}
+		if strings.HasPrefix(line, `ipcd_request_duration_us_count{route="solve"}`) {
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count = v
+		}
+	}
+	if count != 3 || lastBucket != count {
+		t.Fatalf("solve histogram: +Inf bucket %d, count %d, want both 3", lastBucket, count)
+	}
+}
+
+// The history ring keeps the newest HistorySize samples in order across
+// a wrap, and the endpoint reports them oldest first.
+func TestMetricsHistoryRing(t *testing.T) {
+	s, ts := testServer(t, Config{HistorySize: 4})
+	base := time.UnixMilli(1_000_000)
+	for i := 0; i < 7; i++ {
+		s.SampleMetrics(base.Add(time.Duration(i) * time.Second))
+	}
+	code, body := get(t, ts.URL+"/metrics/history")
+	if code != 200 {
+		t.Fatalf("history: %d %s", code, body)
+	}
+	var doc struct {
+		Capacity int64 `json:"capacity"`
+		Points   []struct {
+			UnixMS        int64 `json:"unix_ms"`
+			RequestsTotal int64 `json:"requests_total"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("history not JSON: %v\n%s", err, body)
+	}
+	if doc.Capacity != 4 || len(doc.Points) != 4 {
+		t.Fatalf("capacity %d, %d points, want 4/4", doc.Capacity, len(doc.Points))
+	}
+	for i, p := range doc.Points {
+		// Samples 3..6 survive the wrap, oldest first.
+		if want := base.Add(time.Duration(i+3) * time.Second).UnixMilli(); p.UnixMS != want {
+			t.Errorf("point %d: unix_ms %d, want %d", i, p.UnixMS, want)
+		}
+	}
+	s.SampleMetrics(base.Add(10 * time.Second))
+	_, body = get(t, ts.URL+"/metrics/history")
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	last := doc.Points[len(doc.Points)-1]
+	if last.UnixMS != base.Add(10*time.Second).UnixMilli() {
+		t.Fatalf("newest sample not last: %+v", doc.Points)
+	}
+	// The sample above ran after one /metrics/history request completed.
+	if last.RequestsTotal < 1 {
+		t.Fatalf("sampled counters empty: %+v", last)
+	}
+}
+
+// All observability endpoints stay reachable during a drain — and
+// healthz's 503 carries the exact deterministic draining body.
+func TestObservabilityDuringDrain(t *testing.T) {
+	s, ts := testServer(t, Config{HistorySize: 4})
+	s.SampleMetrics(time.UnixMilli(5))
+	s.BeginDrain()
+
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || string(body) != "{\"status\":\"draining\"}\n" {
+		t.Fatalf("healthz during drain: %d %q", code, body)
+	}
+	if code, body := get(t, ts.URL+"/metrics?format=prometheus"); code != 200 {
+		t.Fatalf("prometheus metrics during drain: %d %s", code, body)
+	} else {
+		promParse(t, body)
+	}
+	if code, body := get(t, ts.URL+"/metrics/history"); code != 200 || !bytes.Contains(body, []byte(`"unix_ms":5`)) {
+		t.Fatalf("history during drain: %d %s", code, body)
+	}
+}

@@ -54,6 +54,11 @@ type Config struct {
 	// TraceEvery is the trace sampling interval; 0 means 100 (trace one
 	// request in a hundred).
 	TraceEvery int
+	// HistorySize bounds the in-process metrics time series served by
+	// GET /metrics/history: a fixed-capacity ring of counter samples
+	// appended by SampleMetrics. 0 means 360 (an hour at ipcd's default
+	// ten-second sampling interval).
+	HistorySize int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +80,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceEvery <= 0 {
 		c.TraceEvery = 100
 	}
+	if c.HistorySize <= 0 {
+		c.HistorySize = 360
+	}
 	return c
 }
 
@@ -88,6 +96,7 @@ type Server struct {
 	draining atomic.Bool
 	flights  flightGroup
 	metrics  *metrics
+	history  *historyRing
 	traceSeq atomic.Int64 // computing requests seen, for trace sampling
 
 	// testHookAdmitted, when set, runs in a computation leader after it
@@ -102,6 +111,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg.withDefaults(),
 		metrics: newMetrics(),
 	}
+	s.history = newHistoryRing(s.cfg.HistorySize)
 	s.slots = make(chan struct{}, s.cfg.Workers)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
@@ -110,6 +120,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("experiment", s.handleExperiment))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /metrics/history", s.instrument("history", s.handleMetricsHistory))
 	return s
 }
 
@@ -117,8 +128,9 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // BeginDrain stops admitting new work: every subsequent request except
-// /healthz and /metrics is refused with 503 and Connection: close, while
-// requests already in flight run to completion. Used on SIGTERM.
+// the observability endpoints (/healthz, /metrics, /metrics/history) is
+// refused with 503 and Connection: close, while requests already in
+// flight run to completion. Used on SIGTERM.
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Draining reports whether BeginDrain has been called.
@@ -158,12 +170,17 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// drainExempt reports whether a route stays reachable during a drain —
+// the observability endpoints, so orchestrators can watch it progress.
+func drainExempt(route string) bool {
+	return route == "healthz" || route == "metrics" || route == "history"
+}
+
 // instrument wraps a route handler with drain refusal and the request
-// counters. /healthz and /metrics stay reachable during a drain so
-// orchestrators can watch it progress.
+// counters.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() && route != "healthz" && route != "metrics" {
+		if s.draining.Load() && !drainExempt(route) {
 			s.metrics.add(&s.metrics.requestsTotal, 1)
 			s.metrics.add(&s.metrics.rejectedDrain, 1)
 			w.Header().Set("Connection", "close")
@@ -188,9 +205,9 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 
 // sampleTrace decides whether this request is traced; the zeroth,
 // TraceEvery-th, 2·TraceEvery-th, … computing request each gets a fresh
-// wall-clock recorder. /healthz and /metrics are never traced.
+// wall-clock recorder. The observability endpoints are never traced.
 func (s *Server) sampleTrace(route string) (*trace.Recorder, int64) {
-	if s.cfg.TraceDir == "" || route == "healthz" || route == "metrics" {
+	if s.cfg.TraceDir == "" || drainExempt(route) {
 		return nil, 0
 	}
 	n := s.traceSeq.Add(1)
@@ -549,7 +566,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeDet(w, http.StatusOK, nil, marshalDet(map[string]any{"status": "ok"}))
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = s.WritePrometheus(w)
+		return
+	}
 	cs := gtpn.SolveCacheStats()
 	es := gtpn.SolverEngineStats()
 	body := map[string]any{

@@ -383,7 +383,6 @@ func TestMetricsCacheCounters(t *testing.T) {
 	}
 }
 
-
 // TestMetricsEngineCounters checks the solver engine counters surface
 // through /metrics and move when a cold solve builds a graph: a miss
 // costs a graph build and some explored states, a cache hit costs
