@@ -22,6 +22,22 @@ go vet ./...
 # timeout — give the suite explicit headroom so a loaded runner doesn't
 # flake.
 go test -race -timeout 30m ./...
+# Coverage floor: print per-package coverage and hold internal/gtpn — the
+# numerical core the exactness contract lives in — at its recorded floor.
+# Raise the floor when coverage genuinely improves; never lower it to
+# make a change pass.
+GTPN_COVER_FLOOR=89
+cover_out=$(go test -cover ./... | tee /dev/stderr)
+gtpn_cover=$(printf '%s\n' "$cover_out" | awk '$2 ~ /internal\/gtpn$/ { for (i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%$/) { sub(/%/,"",$i); print $i; exit } }')
+test -n "$gtpn_cover"
+awk -v c="$gtpn_cover" -v f="$GTPN_COVER_FLOOR" 'BEGIN { exit (c+0 >= f+0) ? 0 : 1 }' || {
+    echo "check.sh: internal/gtpn coverage ${gtpn_cover}% fell below the ${GTPN_COVER_FLOOR}% floor" >&2
+    exit 1
+}
+# Fuzz smoke: both fuzz targets run briefly so a crasher or a broken
+# corpus fails the gate long before a dedicated fuzzing run.
+go test ./internal/gtpn -run '^$' -fuzz FuzzParseNet -fuzztime 20s
+go test ./internal/service -run '^$' -fuzz FuzzSolveRequest -fuzztime 20s
 go test -run '^$' -bench . -benchtime 1x . ./internal/gtpn
 # The benchmark recorder itself must stay runnable (parse + schema).
 go run ./cmd/ipcbench -benchtime 1x -bench 'ResolveInstant' -out /dev/null

@@ -10,9 +10,10 @@
 //
 // With -compare BASELINE.json the freshly measured results are judged
 // against the committed baseline instead of written out: any benchmark
-// whose ns/op or allocs/op grew by more than -tolerance (relative), or
-// that disappeared, is reported and the exit status is non-zero — a CI
-// gate against hot-path regressions. ns/op is only compared when the
+// whose ns/op or allocs/op grew by more than -tolerance (relative),
+// that disappeared, or that the baseline has no entry for (refresh the
+// snapshot to admit new benchmarks), is reported and the exit status is
+// non-zero — a CI gate against hot-path regressions. ns/op is only compared when the
 // baseline's environment (go version, GOOS/GOARCH, GOMAXPROCS) matches
 // the current one; allocs/op is environment-independent and is always
 // compared.
@@ -62,7 +63,7 @@ type snapshot struct {
 func main() {
 	var (
 		out       = flag.String("out", "BENCH_gtpn.json", "output file (\"-\" for stdout)")
-		bench     = flag.String("bench", "GTPN|Flat|Reference", "benchmark regex passed to go test -bench")
+		bench     = flag.String("bench", "GTPN|Flat|Reference|Sweep", "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "200ms", "per-benchmark time passed to -benchtime")
 		count     = flag.Int("count", 1, "repetitions passed to -count (repeats are averaged)")
 		compare   = flag.String("compare", "", "baseline snapshot to compare against instead of writing -out; regressions exit non-zero")
@@ -238,15 +239,28 @@ func envComparable(a, b snapshot) bool {
 }
 
 // compareSnapshots judges cur against base: every baseline benchmark
-// must still exist, and its ns/op (unless skipNs) and allocs/op must
-// not have grown by more than tol relative. Improvements and brand-new
-// benchmarks never fail the comparison.
+// must still exist, its ns/op (unless skipNs) and allocs/op must not
+// have grown by more than tol relative, and every current benchmark
+// must be present in the baseline — a brand-new benchmark fails the
+// comparison until the snapshot is refreshed, so the gate can never
+// silently skip an entry it has no baseline for. Improvements never
+// fail.
 func compareSnapshots(base, cur snapshot, tol float64, skipNs bool) []string {
 	byKey := map[string]benchResult{}
 	for _, r := range cur.Benchmarks {
 		byKey[r.Pkg+"\x00"+r.Name] = r
 	}
+	inBase := map[string]bool{}
+	for _, b := range base.Benchmarks {
+		inBase[b.Pkg+"\x00"+b.Name] = true
+	}
 	var regressions []string
+	for _, c := range cur.Benchmarks {
+		if !inBase[c.Pkg+"\x00"+c.Name] {
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s: benchmark missing from baseline (refresh the snapshot)", c.Pkg, c.Name))
+		}
+	}
 	for _, b := range base.Benchmarks {
 		c, ok := byKey[b.Pkg+"\x00"+b.Name]
 		if !ok {

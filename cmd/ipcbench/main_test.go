@@ -26,10 +26,24 @@ func TestCompareSnapshots(t *testing.T) {
 		cur := snap("go1.24.0",
 			bench("BenchmarkA", 1200, 40), // +20% < 25%
 			bench("BenchmarkB", 1500, 90), // improved
-			bench("BenchmarkNew", 1, 1),   // new benchmarks never fail
 		)
 		if regs := compareSnapshots(base, cur, 0.25, false); len(regs) != 0 {
 			t.Fatalf("unexpected regressions: %v", regs)
+		}
+	})
+
+	t.Run("missing from baseline", func(t *testing.T) {
+		// A benchmark the baseline has no entry for must fail the gate —
+		// otherwise a new hot path ships unguarded until someone remembers
+		// to refresh the snapshot.
+		cur := snap("go1.24.0",
+			bench("BenchmarkA", 1000, 40),
+			bench("BenchmarkB", 2000, 100),
+			bench("BenchmarkNew", 1, 1),
+		)
+		regs := compareSnapshots(base, cur, 0.25, false)
+		if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkNew") || !strings.Contains(regs[0], "missing from baseline") {
+			t.Fatalf("want one missing-from-baseline regression, got %v", regs)
 		}
 	})
 

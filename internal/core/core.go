@@ -164,6 +164,100 @@ func (s *System) AnalyzeContext(ctx context.Context, w Workload) (Prediction, er
 	return p, nil
 }
 
+// AnalyzeSweep solves an ordered grid of workload points with the
+// sweep-native solver.
+func (s *System) AnalyzeSweep(ws []Workload) ([]Prediction, error) {
+	return s.AnalyzeSweepContext(context.Background(), ws)
+}
+
+// AnalyzeSweepContext solves an ordered grid of workload points,
+// returning one Prediction per point in grid order. Consecutive local
+// points chain through the sweep-native solver, so a sweep that varies
+// only the server computation time (the paper's X axis) reuses one
+// reachability graph and warm-starts every stationary solve after the
+// first; non-local points fall back to the per-point §6.6.3 iteration
+// and break the chain. The canonical C round-trip (for OfferedLoad) is
+// solved once per locality, not per point. The first failing point
+// aborts the sweep.
+func (s *System) AnalyzeSweepContext(ctx context.Context, ws []Workload) ([]Prediction, error) {
+	for i, w := range ws {
+		if w.Conversations <= 0 {
+			return nil, fmt.Errorf("core: sweep point %d needs at least one conversation", i)
+		}
+	}
+	defer trace.ScopeFrom(ctx).Begin("core.analyze_sweep", "core").End()
+	a := s.NewSweepAnalyzer()
+	out := make([]Prediction, len(ws))
+	for i, w := range ws {
+		p, err := a.AnalyzeNext(ctx, w)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep point %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// SweepAnalyzer analyzes an ordered sequence of workload points one at
+// a time, carrying the sweep-native solver's warm chain between calls:
+// consecutive local points that share a net shape (same architecture,
+// population, and hosts — only the server time moving) reuse the
+// reachability graph and warm-start the stationary iteration. It is the
+// incremental form of AnalyzeSweep, for callers that emit each point as
+// it completes. Not safe for concurrent use.
+type SweepAnalyzer struct {
+	sys   *System
+	local *models.LocalSweepSolver
+	c     map[bool]float64 // canonical round-trip C per locality
+}
+
+// NewSweepAnalyzer starts a fresh sweep chain over this system.
+func (s *System) NewSweepAnalyzer() *SweepAnalyzer {
+	return &SweepAnalyzer{sys: s,
+		local: models.NewLocalSweepSolver(models.SolveOptions{}),
+		c:     map[bool]float64{}}
+}
+
+// Reset drops the warm chain; the next point solves cold.
+func (a *SweepAnalyzer) Reset() { a.local.Reset() }
+
+// AnalyzeNext solves the next point of the sweep.
+func (a *SweepAnalyzer) AnalyzeNext(ctx context.Context, w Workload) (Prediction, error) {
+	if w.Conversations <= 0 {
+		return Prediction{}, fmt.Errorf("core: workload needs at least one conversation")
+	}
+	var p Prediction
+	if w.NonLocal {
+		// Non-local points solve per point (the §6.6.3 iteration is its own
+		// fixed point, not a chainable stationary solve) and invalidate the
+		// local chain's adjacency.
+		a.local.Reset()
+		res, err := models.SolveNonLocalContext(ctx, a.sys.arch, w.Conversations, a.sys.hosts, w.ServerComputeUS, models.SolveOptions{})
+		if err != nil {
+			return Prediction{}, err
+		}
+		p = Prediction{Throughput: res.Throughput * 1e6, RoundTripUS: res.RoundTrip,
+			States: res.ClientStates + res.ServerStates}
+	} else {
+		res, err := a.local.SolveNext(ctx, models.LocalSweepPoint{
+			Arch: a.sys.arch, N: w.Conversations, Hosts: a.sys.hosts, XUS: w.ServerComputeUS})
+		if err != nil {
+			return Prediction{}, err
+		}
+		p = Prediction{Throughput: res.Throughput * 1e6, RoundTripUS: res.RoundTrip, States: res.States}
+	}
+	c, ok := a.c[w.NonLocal]
+	if !ok {
+		var err error
+		if c, err = a.sys.roundTripC(ctx, w.NonLocal); err != nil {
+			return Prediction{}, err
+		}
+		a.c[w.NonLocal] = c
+	}
+	p.OfferedLoad = timing.OfferedLoad(c, w.ServerComputeUS)
+	return p, nil
+}
+
 func (s *System) roundTripC(ctx context.Context, nonLocal bool) (float64, error) {
 	if nonLocal {
 		res, err := models.SolveNonLocalContext(ctx, s.arch, 1, s.hosts, 0, models.SolveOptions{})

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAnalyzeSweepMatchesAnalyze: the sweep path must agree with
+// per-point Analyze to solver tolerance on every point, with identical
+// OfferedLoad, and preserve grid order across a locality switch.
+func TestAnalyzeSweepMatchesAnalyze(t *testing.T) {
+	s := New(MessageCoprocessor)
+	ws := []Workload{
+		{Conversations: 2, ServerComputeUS: 0},
+		{Conversations: 2, ServerComputeUS: 1140},
+		{Conversations: 2, ServerComputeUS: 5700},
+		{Conversations: 1, ServerComputeUS: 0, NonLocal: true},
+		{Conversations: 2, ServerComputeUS: 22800},
+	}
+	swept, err := s.AnalyzeSweep(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != len(ws) {
+		t.Fatalf("got %d predictions for %d points", len(swept), len(ws))
+	}
+	for i, w := range ws {
+		single, err := s.Analyze(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(swept[i].Throughput - single.Throughput); d > 1e-4*single.Throughput {
+			t.Fatalf("point %d: sweep throughput %g vs analyze %g", i, swept[i].Throughput, single.Throughput)
+		}
+		if swept[i].OfferedLoad != single.OfferedLoad {
+			t.Fatalf("point %d: offered load %g vs %g", i, swept[i].OfferedLoad, single.OfferedLoad)
+		}
+		if swept[i].States != single.States {
+			t.Fatalf("point %d: states %d vs %d", i, swept[i].States, single.States)
+		}
+	}
+}
+
+// TestAnalyzeSweepRejectsBadPoint: validation covers every point before
+// any solving happens.
+func TestAnalyzeSweepRejectsBadPoint(t *testing.T) {
+	s := New(MessageCoprocessor)
+	if _, err := s.AnalyzeSweep([]Workload{{Conversations: 1}, {Conversations: 0}}); err == nil {
+		t.Fatal("expected error for zero-conversation point")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -138,13 +139,22 @@ func maxLoadFigure(w io.Writer, cfg Config, local bool, archs []timing.Arch) err
 	for i, a := range archs {
 		series[i].Name = fmt.Sprintf("arch %v", a)
 	}
-	for _, n := range conversationRange(cfg) {
+	ns := conversationRange(cfg)
+	// One batch sweep per architecture down the conversation axis. The
+	// state space changes with n, so no graph is reused, but the figures
+	// go through the same sweep-native entry points as the service.
+	tputs := make([][]float64, len(archs))
+	for i, a := range archs {
+		ts, err := sweepThroughputs(a, local, ns, 0)
+		if err != nil {
+			return err
+		}
+		tputs[i] = ts
+	}
+	for j, n := range ns {
 		line := fmt.Sprintf("%d", n)
-		for i, a := range archs {
-			tput, err := solveThroughput(a, local, n, 0)
-			if err != nil {
-				return err
-			}
+		for i := range archs {
+			tput := tputs[i][j]
 			series[i].X = append(series[i].X, float64(n))
 			series[i].Y = append(series[i].Y, tput*1e6)
 			line += fmt.Sprintf("\t%.2f", tput*1e6)
@@ -198,16 +208,33 @@ func realisticFigure(w io.Writer, cfg Config, local bool, archs []timing.Arch) e
 	for i, a := range archs {
 		series[i].Name = fmt.Sprintf("arch %v n=%d", a, nMax)
 	}
-	for _, sms := range serverTimesMS(cfg) {
-		xUS := sms * 1000
-		load := timing.OfferedLoad(cI, xUS)
-		line := fmt.Sprintf("%.2f\t%.3f", sms, load)
-		for i, a := range archs {
-			for _, n := range conversationRange(cfg) {
-				tput, err := solveThroughput(a, local, n, xUS)
-				if err != nil {
-					return err
-				}
+	sms := serverTimesMS(cfg)
+	xsUS := make([]float64, len(sms))
+	for k, s := range sms {
+		xsUS[k] = s * 1000
+	}
+	ns := conversationRange(cfg)
+	// Each (architecture, population) pair sweeps the server-time axis as
+	// one warm chain: the net shape is fixed along the axis, so the sweep
+	// solver builds the reachability graph once and warm-starts every
+	// point after the first.
+	tputs := make([][][]float64, len(archs)) // [arch][n index][server-time index]
+	for i, a := range archs {
+		tputs[i] = make([][]float64, len(ns))
+		for j, n := range ns {
+			ts, err := sweepThroughputsX(a, local, n, xsUS)
+			if err != nil {
+				return err
+			}
+			tputs[i][j] = ts
+		}
+	}
+	for k, s := range sms {
+		load := timing.OfferedLoad(cI, xsUS[k])
+		line := fmt.Sprintf("%.2f\t%.3f", s, load)
+		for i := range archs {
+			for j, n := range ns {
+				tput := tputs[i][j][k]
 				if n == nMax {
 					series[i].X = append(series[i].X, load)
 					series[i].Y = append(series[i].Y, tput*1e6)
@@ -225,6 +252,8 @@ func realisticFigure(w io.Writer, cfg Config, local bool, archs []timing.Arch) e
 		"offered load (arch I)", "round trips/s", series)
 }
 
+// solveThroughput solves a single workload point (the ablations' mixed
+// grids, where no axis is swept in order).
 func solveThroughput(a timing.Arch, local bool, n int, xUS float64) (float64, error) {
 	if local {
 		res, err := models.BuildLocal(a, n, 1, xUS).Solve(models.SolveOptions{})
@@ -238,6 +267,59 @@ func solveThroughput(a timing.Arch, local bool, n int, xUS float64) (float64, er
 		return 0, err
 	}
 	return res.Throughput, nil
+}
+
+// sweepThroughputs solves one architecture's conversation axis. Local
+// grids run through the sweep-native batch solver; the non-local model
+// composes per-host solutions, so it stays on point solves.
+func sweepThroughputs(a timing.Arch, local bool, ns []int, xUS float64) ([]float64, error) {
+	if local {
+		rs, err := models.SolveLocalSweep(context.Background(),
+			models.NGridLocal(a, ns, 1, xUS), models.SolveOptions{})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(rs))
+		for i, r := range rs {
+			out[i] = r.Throughput
+		}
+		return out, nil
+	}
+	out := make([]float64, len(ns))
+	for i, n := range ns {
+		res, err := models.SolveNonLocal(a, n, 1, xUS, models.SolveOptions{})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res.Throughput
+	}
+	return out, nil
+}
+
+// sweepThroughputsX solves one (architecture, population) server-time
+// axis — locally as a single warm chain over a shared graph.
+func sweepThroughputsX(a timing.Arch, local bool, n int, xsUS []float64) ([]float64, error) {
+	if local {
+		rs, err := models.SolveLocalSweep(context.Background(),
+			models.XGridLocal(a, n, 1, xsUS), models.SolveOptions{})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(rs))
+		for i, r := range rs {
+			out[i] = r.Throughput
+		}
+		return out, nil
+	}
+	out := make([]float64, len(xsUS))
+	for i, x := range xsUS {
+		res, err := models.SolveNonLocal(a, n, 1, x, models.SolveOptions{})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res.Throughput
+	}
+	return out, nil
 }
 
 func roundTripC(a timing.Arch, local bool) (float64, error) {

@@ -1,6 +1,7 @@
 package gtpn_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gtpn"
@@ -118,6 +119,57 @@ func BenchmarkSolveEndToEndReference(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := n.SolveReference(gtpn.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sweepGridNets is the benchmark sweep axis: the benchNet shape with the
+// server-computation time running over Table 6.24's grid. Every net
+// shares one shape, so a warm sweep reuses one reachability graph.
+func sweepGridNets() []*gtpn.Net {
+	xs := []float64{0, 570, 1140, 2850, 5700, 11400, 22800, 45600}
+	nets := make([]*gtpn.Net, len(xs))
+	for i, x := range xs {
+		nets[i] = models.BuildLocal(timing.ArchII, 2, 1, x).Net
+	}
+	return nets
+}
+
+// BenchmarkSolveSweepCold: one op is one grid point solved with no
+// carried state — the chain resets before every point, so each op pays
+// the full graph build. allocs/op is the per-point cold cost.
+func BenchmarkSolveSweepCold(b *testing.B) {
+	nets := sweepGridNets()
+	sw := gtpn.NewSweepSolver(gtpn.SolveOptions{})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Reset()
+		if _, err := sw.SolveNext(ctx, nets[i%len(nets)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveSweepWarm: one op is one grid point of a continuing
+// warm chain cycling through the grid — the graph is reused and each
+// point warm-starts from its predecessor. allocs/op is the per-point
+// warm cost; the gap to SolveSweepCold is what sweep-native solving
+// saves per point.
+func BenchmarkSolveSweepWarm(b *testing.B) {
+	nets := sweepGridNets()
+	sw := gtpn.NewSweepSolver(gtpn.SolveOptions{})
+	ctx := context.Background()
+	// Prime the chain so every measured op is warm.
+	if _, err := sw.SolveNext(ctx, nets[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.SolveNext(ctx, nets[(i+1)%len(nets)]); err != nil {
 			b.Fatal(err)
 		}
 	}

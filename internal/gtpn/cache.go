@@ -75,8 +75,13 @@ func ResetSolveCache() {
 }
 
 // solveKey derives the cache key for solving n under opts (which must
-// already be normalized). ok is false when the cache cannot be used.
+// already be normalized). ok is false when the cache cannot be used —
+// the net is unsigned, or the solve carries a stationary start vector,
+// whose bits are start-contract-specific rather than canonical.
 func (n *Net) solveKey(opts SolveOptions) (string, bool) {
+	if opts.StationaryStart != nil {
+		return "", false
+	}
 	sig, ok := n.Signature()
 	if !ok {
 		return "", false

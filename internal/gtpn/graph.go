@@ -145,3 +145,119 @@ func (n *Net) buildGraph(ctx context.Context, maxStates int) (*graph, error) {
 	engineStats.edges.Add(uint64(len(g.succ)))
 	return g, nil
 }
+
+// reweight rewrites g's weight-dependent data — dt, prob, compVal, and
+// the initial distribution — in place for net n2, which must share g's
+// net shape: the same reachable state set interned in the same discovery
+// order with the same successor and completion skeletons (the
+// ShapeSignature contract). It re-runs exactly the per-state advance and
+// resolution walk of buildGraph over the frozen state table in the same
+// order, so every rewritten float is bit-identical to what a cold build
+// for n2 would have produced; the skeleton entries (succ, compT, dead,
+// row shapes) are verified against the walk rather than trusted. What it
+// skips relative to a cold build is every allocation and every state
+// insertion — the arrays and the interning table are already exactly
+// right-sized and populated.
+//
+// It reports false when the walk deviates from the recorded skeleton (a
+// shape-key contract violation): g is then partially rewritten and MUST
+// be discarded; the caller rebuilds cold. A ctx error aborts with the
+// same discard obligation.
+func (g *graph) reweight(ctx context.Context, n2 *Net) (bool, error) {
+	n := n2
+	np := len(n.places)
+	nt := len(n.trans)
+	w := np + n.firingLen
+	if g.st.w != w || len(g.n.places) != np || len(g.n.trans) != nt {
+		return false, nil
+	}
+	r := newResolver(n)
+
+	// Initial instant: same outcome set in the same order, new weights.
+	start := make([]int32, w)
+	for i, p := range n.places {
+		start[i] = int32(p.Initial)
+	}
+	if err := r.resolve(start, 1); err != nil {
+		return false, err
+	}
+	if len(r.outs) != len(g.initIdx) {
+		return false, nil
+	}
+	for x, id := range r.outs {
+		idx, fresh := g.st.intern(r.nodeCfg(id))
+		if fresh || idx != g.initIdx[x] {
+			return false, nil
+		}
+		g.initProb[x] = r.prob[id]
+	}
+
+	work := make([]int32, w)
+	completed := make([]int32, nt)
+	comp := make([]float64, nt)
+	ns := g.numStates()
+	for i := 0; i < ns; i++ {
+		if (i+1)%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
+		copy(work, g.st.state(i))
+		c := n.wrap(work)
+		dt, ok := n.advanceInto(&c, completed)
+		if !ok {
+			// Dead-ness depends only on the marking and firing vector, so a
+			// same-shape net must agree with the recorded skeleton.
+			if !g.dead[i] {
+				return false, nil
+			}
+			g.dt[i] = 1
+			g.prob[g.rowPtr[i]] = 1
+			continue
+		}
+		if g.dead[i] {
+			return false, nil
+		}
+		g.dt[i] = float64(dt)
+		for t := 0; t < nt; t++ {
+			comp[t] = float64(completed[t])
+		}
+		if err := r.resolve(work, 1); err != nil {
+			return false, err
+		}
+		row := g.rowPtr[i]
+		if g.rowPtr[i+1]-row != len(r.outs) {
+			return false, nil
+		}
+		for x, id := range r.outs {
+			pr := r.prob[id]
+			fired := r.nodeFired(id)
+			for t, f := range fired {
+				if f != 0 {
+					comp[t] += f * pr
+				}
+			}
+			j, fresh := g.st.intern(r.nodeCfg(id))
+			if fresh || g.succ[row+x] != j {
+				return false, nil
+			}
+			g.prob[row+x] = pr
+		}
+		ce := g.compPtr[i]
+		for t := 0; t < nt; t++ {
+			if comp[t] != 0 {
+				if ce >= g.compPtr[i+1] || g.compT[ce] != int32(t) {
+					return false, nil
+				}
+				g.compVal[ce] = comp[t]
+				ce++
+			}
+			comp[t] = 0
+		}
+		if ce != g.compPtr[i+1] {
+			return false, nil
+		}
+	}
+	g.n = n
+	return true, nil
+}

@@ -64,6 +64,14 @@ type Transition struct {
 	// keys. A transition whose frequency was set through the opaque Freq
 	// setter has no key, which makes the whole net uncacheable.
 	FreqKey string
+	// ShapeKey, when non-empty, is a canonical description of Freq's
+	// support — the set of states in which it returns a positive weight —
+	// without the weight values themselves. It is deliberately coarser
+	// than FreqKey: two nets that differ only in positive weights share
+	// shape keys, and therefore (see ShapeSignature) the same reachable
+	// state set and chain skeleton, which is what lets the sweep engine
+	// reuse one point's reachability graph for the next.
+	ShapeKey string
 }
 
 // Net is an immutable Generalized Timed Petri Net.
@@ -91,6 +99,10 @@ type Net struct {
 	// Net is immutable, so it may be solved and simulated concurrently.
 	sig   string
 	sigOK bool
+	// shapeSig is the support-only analogue of sig (see ShapeSignature);
+	// shapeOK reports whether every transition carried a shape key.
+	shapeSig string
+	shapeOK  bool
 }
 
 type placeMult struct {
@@ -189,7 +201,7 @@ func (b *Builder) Transition(name string) *TransitionBuilder {
 		b.errs = append(b.errs, fmt.Errorf("gtpn: duplicate transition %q", name))
 	}
 	b.names["t:"+name] = true
-	tb := &TransitionBuilder{t: Transition{Name: name, Freq: Const(1), FreqKey: constKey(1)}}
+	tb := &TransitionBuilder{t: Transition{Name: name, Freq: Const(1), FreqKey: constKey(1), ShapeKey: constShapeKey(1)}}
 	b.trans = append(b.trans, tb)
 	return tb
 }
@@ -218,20 +230,25 @@ func (tb *TransitionBuilder) Delay(d int) *TransitionBuilder {
 }
 
 // Freq sets the firing-weight function. The function is opaque, so the
-// transition loses its frequency key and the net becomes invisible to
-// the solve cache; prefer FreqConst or FreqKeyed when the frequency has
-// a canonical description.
+// transition loses its frequency and shape keys and the net becomes
+// invisible to the solve cache and the sweep engine's graph reuse;
+// prefer FreqConst or FreqKeyed when the frequency has a canonical
+// description.
 func (tb *TransitionBuilder) Freq(f FreqFunc) *TransitionBuilder {
 	tb.t.Freq = f
 	tb.t.FreqKey = ""
+	tb.t.ShapeKey = ""
 	return tb
 }
 
 // FreqConst sets a state-independent firing weight and keys it so the
-// net stays eligible for the solve cache.
+// net stays eligible for the solve cache. Its shape key records only
+// whether the weight is positive: any two positive constants enable the
+// transition in exactly the same states.
 func (tb *TransitionBuilder) FreqConst(w float64) *TransitionBuilder {
 	tb.t.Freq = Const(w)
 	tb.t.FreqKey = constKey(w)
+	tb.t.ShapeKey = constShapeKey(w)
 	return tb
 }
 
@@ -239,10 +256,28 @@ func (tb *TransitionBuilder) FreqConst(w float64) *TransitionBuilder {
 // key. The caller guarantees that any two nets with equal structural
 // signatures and equal keys evaluate f identically in every state; under
 // that contract the solve cache may reuse one net's solution for the
-// other.
+// other. The shape key defaults to the frequency key — identical
+// frequencies trivially share a support — so keyed nets stay eligible
+// for graph reuse at least across repeats; use FreqKeyedShape to widen
+// reuse across weight-only variations.
 func (tb *TransitionBuilder) FreqKeyed(key string, f FreqFunc) *TransitionBuilder {
 	tb.t.Freq = f
 	tb.t.FreqKey = "k:" + key
+	tb.t.ShapeKey = tb.t.FreqKey
+	return tb
+}
+
+// FreqKeyedShape is FreqKeyed with an explicit support key. The caller
+// guarantees, beyond the FreqKeyed contract, that any two nets with
+// equal shape signatures and equal shape keys have frequencies that are
+// positive in exactly the same states — the weights may differ, the
+// support may not. Under that contract the sweep engine may reuse one
+// net's reachability graph (states, successor and completion skeletons)
+// for the other, rebuilding only the edge weights.
+func (tb *TransitionBuilder) FreqKeyedShape(key, shapeKey string, f FreqFunc) *TransitionBuilder {
+	tb.t.Freq = f
+	tb.t.FreqKey = "k:" + key
+	tb.t.ShapeKey = "s:" + shapeKey
 	return tb
 }
 
@@ -250,6 +285,16 @@ func (tb *TransitionBuilder) FreqKeyed(key string, f FreqFunc) *TransitionBuilde
 // form is exact, so two weights key equal iff they are the same float64.
 func constKey(w float64) string {
 	return "c:" + strconv.FormatFloat(w, 'x', -1, 64)
+}
+
+// constShapeKey is the canonical shape key of Const(w): a positive
+// constant enables everywhere its inputs are marked, a non-positive one
+// nowhere.
+func constShapeKey(w float64) string {
+	if w > 0 {
+		return "c:+"
+	}
+	return "c:0"
 }
 
 // Resource tags the transition with a named resource; the solver reports
@@ -341,19 +386,34 @@ func (n *Net) freeze() {
 // identically (the sweep-point and fixed-point case) produce equal
 // signatures, which is what the solve cache keys on.
 func (n *Net) computeSignature() {
-	var sb strings.Builder
+	var sb, shb strings.Builder
 	for _, p := range n.places {
 		fmt.Fprintf(&sb, "p%q=%d;", p.Name, p.Initial)
 	}
+	shb.WriteString(sb.String())
 	n.sigOK = true
+	n.shapeOK = true
 	for _, t := range n.trans {
 		if t.FreqKey == "" {
 			n.sigOK = false
+		} else if n.sigOK {
+			fmt.Fprintf(&sb, "t%q:i%v:o%v:d%d:r%q:f%q;", t.Name, t.In, t.Out, t.Delay, t.Resource, t.FreqKey)
+		}
+		if t.ShapeKey == "" {
+			n.shapeOK = false
+		} else if n.shapeOK {
+			fmt.Fprintf(&shb, "t%q:i%v:o%v:d%d:r%q:f%q;", t.Name, t.In, t.Out, t.Delay, t.Resource, t.ShapeKey)
+		}
+		if !n.sigOK && !n.shapeOK {
 			return
 		}
-		fmt.Fprintf(&sb, "t%q:i%v:o%v:d%d:r%q:f%q;", t.Name, t.In, t.Out, t.Delay, t.Resource, t.FreqKey)
 	}
-	n.sig = sb.String()
+	if n.sigOK {
+		n.sig = sb.String()
+	}
+	if n.shapeOK {
+		n.shapeSig = shb.String()
+	}
 }
 
 // Signature reports the canonical net signature, and whether one exists:
@@ -361,4 +421,17 @@ func (n *Net) computeSignature() {
 // FreqKey) has no signature and is never cached.
 func (n *Net) Signature() (string, bool) {
 	return n.sig, n.sigOK
+}
+
+// ShapeSignature reports the canonical net shape: the full structural
+// signature (places, initial marking, input/output multisets, delays,
+// resources) with every frequency reduced to its support key. Two nets
+// with equal shape signatures have identical reachable state sets and
+// identical chain skeletons — the same states in the same discovery
+// order with the same successor and completion structure — differing
+// only in edge weights, which is the precondition for the sweep
+// engine's graph reuse. A net containing a transition without a shape
+// key has no shape signature and is never shape-matched.
+func (n *Net) ShapeSignature() (string, bool) {
+	return n.shapeSig, n.shapeOK
 }

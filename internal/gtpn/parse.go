@@ -271,7 +271,15 @@ func (p *parser) buildTrans(pt pendingTrans) error {
 		}
 		// The key names the gating place and operator, so the closure is
 		// fully determined by (signature, key) — the FreqKeyed contract.
-		tb.FreqKeyed(fmt.Sprintf("when:%s%s0:%x", pt.gate.place, op, base), func(v View) float64 {
+		// The shape key drops the weight: for base > 0 the support is the
+		// set of states satisfying the gate, independent of base, so parsed
+		// nets differing only in gated weights remain shape-compatible.
+		sign := "+"
+		if base <= 0 {
+			sign = "0"
+		}
+		shapeKey := fmt.Sprintf("when:%s%s0:%s", pt.gate.place, op, sign)
+		tb.FreqKeyedShape(fmt.Sprintf("when:%s%s0:%x", pt.gate.place, op, base), shapeKey, func(v View) float64 {
 			if (v.Tokens(gp) == 0) == zero {
 				return base
 			}

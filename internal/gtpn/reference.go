@@ -535,9 +535,14 @@ func refClassStationary(ctx context.Context, states []*stateRec, members []int, 
 		}
 	}
 
-	pi = make([]float64, m)
-	for k := range pi {
-		pi[k] = 1 / float64(m)
+	// The warm-start restriction mirrors classStationary exactly (shared
+	// helper), so a given StationaryStart yields the same trajectory on
+	// both paths.
+	if pi = warmClassStart(opts.StationaryStart, len(states), members); pi == nil {
+		pi = make([]float64, m)
+		for k := range pi {
+			pi[k] = 1 / float64(m)
+		}
 	}
 	resid := func() float64 {
 		var r float64
@@ -679,4 +684,47 @@ func (n *Net) SolveReferenceContext(ctx context.Context, opts SolveOptions) (*So
 		return nil, err
 	}
 	return n.refMeasures(states, pi, converged, residual), nil
+}
+
+// SolveReferenceSweep solves an ordered sequence of nets entirely on the
+// reference pipeline under the sweep contract: every point's reference
+// graph is rebuilt cold from scratch — no state-table, skeleton, or any
+// other reuse — and point i's StationaryStart is point i-1's reference
+// stationary vector whenever the two nets share a shape signature (the
+// chain resets on a shape change, exactly when SolveSweep's does). It is
+// the independent comparator the sweep differential harness holds
+// SolveSweep to: the two must agree bit for bit on every point, which
+// pins the production path's graph reuse, in-place reweighting, and
+// warm-start plumbing against the frozen layout. Like SolveReference it
+// never touches the solve cache and exists only for tests.
+func SolveReferenceSweep(ctx context.Context, nets []*Net, opts SolveOptions) ([]*Solution, error) {
+	opts = opts.normalize()
+	out := make([]*Solution, len(nets))
+	var prevPi []float64
+	prevShape := ""
+	for i, n := range nets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		states, init, err := n.refBuildGraph(ctx, opts.MaxStates)
+		if err != nil {
+			return nil, err
+		}
+		shape, shapeOK := n.ShapeSignature()
+		popts := opts
+		if shapeOK && shape == prevShape && prevPi != nil {
+			popts.StationaryStart = prevPi
+		}
+		pi, converged, residual, err := refSolveStationary(ctx, states, init, popts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n.refMeasures(states, pi, converged, residual)
+		if shapeOK {
+			prevPi, prevShape = pi, shape
+		} else {
+			prevPi, prevShape = nil, ""
+		}
+	}
+	return out, nil
 }

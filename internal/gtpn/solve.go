@@ -17,6 +17,22 @@ type SolveOptions struct {
 	Tolerance float64
 	// MaxSweeps bounds Gauss-Seidel sweeps; 0 means 200000.
 	MaxSweeps int
+	// StationaryStart, when non-nil, seeds the iterative stationary solve:
+	// indexed by state id in discovery order, it is restricted to each
+	// terminal class and normalized as that class's Gauss-Seidel start
+	// vector in place of the uniform default (classes where the restriction
+	// is unusable — zero mass, negative or non-finite entries, or a length
+	// mismatch with the explored graph — fall back to uniform; the direct
+	// dense solve ignores it entirely). The start vector is part of the
+	// solve's numerical contract: floating-point Gauss-Seidel fixed points
+	// are start-dependent at the ulp level, so the solved bits are a
+	// deterministic function of (net, options including this start) — and
+	// of nothing else. SolveReference honors the same contract, which is
+	// what lets the sweep differential harness pin warm-started solves
+	// bit-for-bit. Solves with a start vector bypass the solve cache in
+	// both directions: their bits are not the canonical (uniform-start)
+	// bits the cache stores. The slice is read, never written.
+	StationaryStart []float64
 }
 
 // normalize fills in the documented defaults.
@@ -249,10 +265,22 @@ type EngineStats struct {
 	// ParallelClassSolves counts stationary solves that ran two or more
 	// terminal classes concurrently.
 	ParallelClassSolves uint64
+	// GraphsReused counts sweep points that reweighted an existing
+	// reachability graph instead of building one.
+	GraphsReused uint64
+	// WarmStarts counts iterative class solves seeded from a caller-
+	// provided stationary start vector instead of the uniform default.
+	WarmStarts uint64
+	// StationarySweeps is the total number of Gauss-Seidel sweeps run by
+	// iterative class solves (the direct dense path contributes none).
+	// Comparing this across a warm-started and a cold solve of the same
+	// point is how the sweep tests assert warm starts converge faster.
+	StationarySweeps uint64
 }
 
 var engineStats struct {
 	graphs, states, edges, parallelClassSolves atomic.Uint64
+	graphsReused, warmStarts, stationarySweeps atomic.Uint64
 }
 
 // SolverEngineStats reports the engine counters.
@@ -262,6 +290,9 @@ func SolverEngineStats() EngineStats {
 		StatesExplored:      engineStats.states.Load(),
 		EdgesBuilt:          engineStats.edges.Load(),
 		ParallelClassSolves: engineStats.parallelClassSolves.Load(),
+		GraphsReused:        engineStats.graphsReused.Load(),
+		WarmStarts:          engineStats.warmStarts.Load(),
+		StationarySweeps:    engineStats.stationarySweeps.Load(),
 	}
 }
 
@@ -271,4 +302,7 @@ func ResetSolverEngineStats() {
 	engineStats.states.Store(0)
 	engineStats.edges.Store(0)
 	engineStats.parallelClassSolves.Store(0)
+	engineStats.graphsReused.Store(0)
+	engineStats.warmStarts.Store(0)
+	engineStats.stationarySweeps.Store(0)
 }

@@ -297,9 +297,39 @@ func absorptionMass(ctx context.Context, g *graph, comp []int, terminal []bool, 
 	return out, nil
 }
 
+// warmClassStart restricts a full-length stationary start vector to one
+// class and normalizes it into a Gauss-Seidel start, or returns nil when
+// the restriction is unusable (nil or mis-sized vector; negative, NaN or
+// infinite entries; zero total mass). It is shared by the CSR and
+// reference class solves so a given start vector yields bit-identical
+// seeds — and therefore bit-identical trajectories — on both paths.
+func warmClassStart(start []float64, totalStates int, members []int) []float64 {
+	if len(start) != totalStates {
+		return nil
+	}
+	pi := make([]float64, len(members))
+	var tot float64
+	for k, i := range members {
+		v := start[i]
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+		pi[k] = v
+		tot += v
+	}
+	if tot <= 0 || math.IsInf(tot, 0) {
+		return nil
+	}
+	for k := range pi {
+		pi[k] /= tot
+	}
+	return pi
+}
+
 // classStationary solves pi = pi P restricted to one terminal class
 // (irreducible by construction). Small classes are solved directly;
-// larger ones by Gauss-Seidel from a uniform start with a damped power
+// larger ones by Gauss-Seidel from a uniform start (or the caller's
+// StationaryStart restriction — see SolveOptions) with a damped power
 // iteration fallback. The incoming edges of the class are gathered into
 // a local CSR (inPtr/inFrom/inP) in the same order the reference path
 // appended them, so the sweep accumulations are bit-identical. local is
@@ -359,10 +389,16 @@ func classStationary(ctx context.Context, g *graph, comp []int, class int, membe
 		}
 	}
 
-	pi = make([]float64, m)
-	for k := range pi {
-		pi[k] = 1 / float64(m)
+	if pi = warmClassStart(opts.StationaryStart, g.numStates(), members); pi != nil {
+		engineStats.warmStarts.Add(1)
+	} else {
+		pi = make([]float64, m)
+		for k := range pi {
+			pi[k] = 1 / float64(m)
+		}
 	}
+	sweeps := 0
+	defer func() { engineStats.stationarySweeps.Add(uint64(sweeps)) }()
 	resid := func() float64 {
 		var r float64
 		for k := 0; k < m; k++ {
@@ -378,6 +414,7 @@ func classStationary(ctx context.Context, g *graph, comp []int, class int, membe
 		return r
 	}
 	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		sweeps = sweep + 1
 		if sweep%8 == 7 {
 			if err := ctx.Err(); err != nil {
 				return nil, false, 0, err

@@ -1,0 +1,150 @@
+package gtpn
+
+import (
+	"context"
+
+	"repro/internal/trace"
+)
+
+// SweepSolver solves an ordered sequence of nets, exploiting the two
+// regularities of a parameter sweep:
+//
+//   - Graph reuse. Consecutive nets that share a net shape (see
+//     Net.ShapeSignature) have identical reachable state sets, discovery
+//     orders, and CSR skeletons — only the edge weights, mean holding
+//     times, and expected completions differ. The solver keeps the last
+//     point's graph and reweights it in place (graph.reweight) instead of
+//     re-exploring, which skips all interning and allocation. The rewrite
+//     re-runs the exact cold-build walk in the same order, so the
+//     rewritten floats are bit-identical to a cold build's.
+//
+//   - Warm starts. Neighboring points have nearby stationary
+//     distributions, so the previous point's distribution seeds the next
+//     point's Gauss-Seidel (SolveOptions.StationaryStart), cutting sweep
+//     counts. Because floating-point Gauss-Seidel fixed points are
+//     start-dependent at the ulp level, the start vector is part of the
+//     numerical contract: the bits a warm solve produces are a
+//     deterministic function of the whole chain of nets solved so far,
+//     and SolveReferenceSweep reproduces them independently by chaining
+//     the same starts through cold reference solves. Warm solves bypass
+//     the canonical solve cache in both directions.
+//
+// A SweepSolver is not safe for concurrent use; run one per goroutine.
+type SweepSolver struct {
+	opts SolveOptions
+
+	g      *graph
+	shape  string
+	prevPi []float64
+}
+
+// NewSweepSolver returns a sweep solver applying opts to every point.
+func NewSweepSolver(opts SolveOptions) *SweepSolver {
+	return &SweepSolver{opts: opts.normalize()}
+}
+
+// Reset drops the carried graph and warm-start vector, so the next
+// SolveNext behaves like the first point of a fresh sweep.
+func (s *SweepSolver) Reset() {
+	s.g = nil
+	s.shape = ""
+	s.prevPi = nil
+}
+
+// SolveNext solves the next point of the sweep. It never consults or
+// populates the solve cache: warm-started bits are chain-specific, not
+// canonical. On error the carried state is reset, so a subsequent call
+// starts cold.
+func (s *SweepSolver) SolveNext(ctx context.Context, n *Net) (*Solution, error) {
+	sol, err := s.solveNext(ctx, n)
+	if err != nil {
+		s.Reset()
+		return nil, err
+	}
+	return sol, nil
+}
+
+func (s *SweepSolver) solveNext(ctx context.Context, n *Net) (*Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sc := trace.ScopeFrom(ctx)
+
+	shape, shapeOK := n.ShapeSignature()
+	g, warmable := s.reuseGraph(ctx, sc, n, shape, shapeOK)
+	if g == nil {
+		sp := sc.Begin("gtpn.build", "gtpn")
+		var err error
+		g, err = n.buildGraph(ctx, s.opts.MaxStates)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	popts := s.opts
+	if warmable && s.prevPi != nil {
+		popts.StationaryStart = s.prevPi
+	}
+	sp := sc.Begin("gtpn.stationary", "gtpn")
+	pi, converged, residual, err := solveStationary(ctx, g, popts)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	sp = sc.Begin("gtpn.measures", "gtpn")
+	sol := n.measures(g, pi, converged, residual)
+	sp.End()
+
+	if shapeOK {
+		s.g = g
+		s.shape = shape
+		s.prevPi = pi
+	} else {
+		// An unsigned shape can't prove reuse safety for the next point;
+		// don't carry anything across it.
+		s.Reset()
+	}
+	return sol, nil
+}
+
+// reuseGraph attempts to reweight the carried graph for n. It returns
+// the graph to solve on (nil means build cold) and whether warm-starting
+// from the carried distribution is permitted — only when the point
+// verifiably continues the same-shape chain. A failed reweight discards
+// the carried graph (it is partially rewritten) and reports the shape
+// contract violation as a plain cold build; the differential harness
+// surfaces such bugs as bit mismatches against the reference chain.
+func (s *SweepSolver) reuseGraph(ctx context.Context, sc *trace.Scope, n *Net, shape string, shapeOK bool) (*graph, bool) {
+	if s.g == nil || !shapeOK || shape != s.shape {
+		return nil, false
+	}
+	sp := sc.Begin("gtpn.graph_reuse", "gtpn")
+	ok, err := s.g.reweight(ctx, n)
+	sp.End()
+	if err != nil || !ok {
+		s.g = nil
+		return nil, false
+	}
+	engineStats.graphsReused.Add(1)
+	return s.g, true
+}
+
+// SolveSweep solves every net of an ordered sweep with graph reuse and
+// warm starts, returning one solution per net in order. It is
+// all-or-nothing: the first failing point aborts the sweep. The solve
+// cache is bypassed entirely (see SweepSolver). The result for each
+// point is bit-identical to SolveReferenceSweep over the same nets and
+// options.
+func SolveSweep(ctx context.Context, nets []*Net, opts SolveOptions) ([]*Solution, error) {
+	s := NewSweepSolver(opts)
+	out := make([]*Solution, len(nets))
+	for i, n := range nets {
+		sol, err := s.SolveNext(ctx, n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sol
+	}
+	return out, nil
+}

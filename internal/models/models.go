@@ -88,7 +88,11 @@ func (nb *netBuilder) stage(name string, in gtpn.PlaceID, res gtpn.PlaceID, hasR
 			tb.Freq(fn) // unkeyed gate: leave the net uncacheable
 			return
 		}
-		tb.FreqKeyed(fmt.Sprintf("%s:%x", nb.gateKey, f), fn)
+		// The weight f is always positive here, so the frequency's support —
+		// which states the stage can progress in — is determined by the gate
+		// alone: the shape key is the gate key, making every same-gate
+		// variant of the net shape-compatible for sweep graph reuse.
+		tb.FreqKeyedShape(fmt.Sprintf("%s:%x", nb.gateKey, f), nb.gateKey, fn)
 	}
 	endIn := []gtpn.PlaceID{in}
 	endOut := append([]gtpn.PlaceID{}, outs...)
@@ -244,6 +248,12 @@ func (m *LocalModel) SolveContext(ctx context.Context, opts SolveOptions) (Local
 	if err != nil {
 		return LocalResult{}, err
 	}
+	return m.localResult(sol)
+}
+
+// localResult converts a solved net into the model-level result; shared
+// by the single-point and sweep solve paths.
+func (m *LocalModel) localResult(sol *gtpn.Solution) (LocalResult, error) {
 	if !sol.Converged {
 		return LocalResult{}, fmt.Errorf("models: local model (arch %v, n=%d) did not converge (residual %g)", m.Params.Arch, m.N, sol.Residual)
 	}

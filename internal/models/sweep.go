@@ -1,0 +1,118 @@
+package models
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/gtpn"
+	"repro/internal/timing"
+)
+
+// LocalSweepPoint identifies one point of a local-model sweep grid: the
+// workload parameters of §6.3 for one solve.
+type LocalSweepPoint struct {
+	// Arch selects the architecture's timing tables.
+	Arch timing.Arch
+	// N is the number of simultaneous conversations.
+	N int
+	// Hosts is the host-processor count.
+	Hosts int
+	// XUS is the mean server computation per conversation, microseconds.
+	XUS float64
+}
+
+// String names the point for logs and errors.
+func (p LocalSweepPoint) String() string {
+	return fmt.Sprintf("arch=%v n=%d hosts=%d x=%gus", p.Arch, p.N, p.Hosts, p.XUS)
+}
+
+// XGridLocal is the paper's server-computation-time axis (the Figure
+// 6.18/6.19 sweeps): one architecture and population, X varying. Every
+// point shares a net shape — only stage weights move — so the sweep
+// solver reuses one reachability graph and warm-starts every point
+// after the first.
+func XGridLocal(arch timing.Arch, n, hosts int, xsUS []float64) []LocalSweepPoint {
+	out := make([]LocalSweepPoint, len(xsUS))
+	for i, x := range xsUS {
+		out[i] = LocalSweepPoint{Arch: arch, N: n, Hosts: hosts, XUS: x}
+	}
+	return out
+}
+
+// NGridLocal is the conversation-population axis (the Figure 6.17/6.20
+// sweeps): X fixed, n varying. Each point's state space differs, so the
+// sweep solver rebuilds per point; the grid still runs through the same
+// batch entry points.
+func NGridLocal(arch timing.Arch, ns []int, hosts int, xUS float64) []LocalSweepPoint {
+	out := make([]LocalSweepPoint, len(ns))
+	for i, n := range ns {
+		out[i] = LocalSweepPoint{Arch: arch, N: n, Hosts: hosts, XUS: xUS}
+	}
+	return out
+}
+
+// PGridLocal is the processor axis (the §6.5 two-hosts-per-node
+// variant): n and X fixed, host count varying.
+func PGridLocal(arch timing.Arch, n int, hosts []int, xUS float64) []LocalSweepPoint {
+	out := make([]LocalSweepPoint, len(hosts))
+	for i, h := range hosts {
+		out[i] = LocalSweepPoint{Arch: arch, N: n, Hosts: h, XUS: xUS}
+	}
+	return out
+}
+
+// LocalSweepSolver solves local-model sweep points one at a time on the
+// sweep-native gtpn engine: consecutive same-shape points reuse the
+// reachability graph and warm-start the stationary iteration. It is the
+// incremental form of SolveLocalSweep, for callers (the /v1/sweep
+// stream) that emit each point as it completes. Warm-started solutions
+// match gtpn.SolveReferenceSweep bit for bit but are not the canonical
+// single-solve bits, so the solver bypasses the solve cache. Not safe
+// for concurrent use.
+type LocalSweepSolver struct {
+	sw   *gtpn.SweepSolver
+	opts SolveOptions
+}
+
+// NewLocalSweepSolver returns a sweep solver applying opts per point.
+func NewLocalSweepSolver(opts SolveOptions) *LocalSweepSolver {
+	return &LocalSweepSolver{sw: gtpn.NewSweepSolver(opts.gtpnOpts()), opts: opts}
+}
+
+// Reset drops the carried graph and warm-start chain; the next point
+// solves cold, as the first point of a fresh sweep.
+func (ls *LocalSweepSolver) Reset() { ls.sw.Reset() }
+
+// SolveNext solves the next grid point. On error the chain resets.
+func (ls *LocalSweepSolver) SolveNext(ctx context.Context, pt LocalSweepPoint) (LocalResult, error) {
+	if pt.N <= 0 || pt.Hosts <= 0 {
+		return LocalResult{}, fmt.Errorf("models: sweep point %v: n and hosts must be positive", pt)
+	}
+	m := BuildLocal(pt.Arch, pt.N, pt.Hosts, pt.XUS)
+	sol, err := ls.sw.SolveNext(ctx, m.Net)
+	if err != nil {
+		return LocalResult{}, err
+	}
+	res, err := m.localResult(sol)
+	if err != nil {
+		ls.Reset()
+		return LocalResult{}, err
+	}
+	return res, nil
+}
+
+// SolveLocalSweep solves an ordered grid of local-model points with the
+// sweep-native solver. Results come back in grid order; the first
+// failing point aborts the sweep.
+func SolveLocalSweep(ctx context.Context, points []LocalSweepPoint, opts SolveOptions) ([]LocalResult, error) {
+	ls := NewLocalSweepSolver(opts)
+	out := make([]LocalResult, len(points))
+	for i, pt := range points {
+		res, err := ls.SolveNext(ctx, pt)
+		if err != nil {
+			return nil, fmt.Errorf("models: sweep point %d (%v): %w", i, pt, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}

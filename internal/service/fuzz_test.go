@@ -1,0 +1,69 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSolveRequest drives the /v1/solve and /v1/sweep request decoders
+// with arbitrary bodies: decoding and validation must never panic, and
+// whatever validate accepts must satisfy the bounds the solver layers
+// rely on (they are what keeps a single request from detonating the
+// state space).
+func FuzzSolveRequest(f *testing.F) {
+	f.Add([]byte(solveBody))
+	f.Add([]byte(sweepBody))
+	f.Add([]byte(`{"arch":4,"conversations":8,"server_compute_us":1e7,"hosts":4,"non_local":true}`))
+	f.Add([]byte(`{"arch":0}`))
+	f.Add([]byte(`{"arch":2,"points":[],"parallelism":9}`))
+	f.Add([]byte(`{"arch":2,"points":[{"conversations":1,"server_compute_us":-1}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sq solveRequest
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sq); err == nil {
+			if err := sq.validate(); err == nil {
+				if sq.Arch < 1 || sq.Arch > 4 || sq.Conversations < 1 || sq.Conversations > 8 ||
+					sq.Hosts < 1 || sq.Hosts > 4 || sq.ServerComputeUS < 0 || sq.ServerComputeUS > 1e7 {
+					t.Fatalf("validate accepted out-of-bounds solve request: %+v", sq)
+				}
+			}
+		}
+
+		var wq sweepRequest
+		dec = json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&wq); err != nil {
+			return
+		}
+		if err := wq.validate(); err != nil {
+			return
+		}
+		if len(wq.Points) == 0 || len(wq.Points) > maxSweepPoints {
+			t.Fatalf("validate accepted a sweep with %d points", len(wq.Points))
+		}
+		if wq.Parallelism < 1 || wq.Parallelism > 4 || wq.Hosts < 1 || wq.Hosts > 4 {
+			t.Fatalf("validate accepted out-of-bounds sweep request: %+v", wq)
+		}
+		for i, pt := range wq.Points {
+			if pt.Conversations < 1 || pt.Conversations > 8 || pt.ServerComputeUS < 0 || pt.ServerComputeUS > 1e7 {
+				t.Fatalf("validate accepted out-of-bounds point %d: %+v", i, pt)
+			}
+		}
+		// Row partitioning must cover every point exactly once, in order —
+		// the property that makes the streamed bytes parallelism-invariant.
+		next := 0
+		for _, row := range wq.rows() {
+			if row.start != next || row.end <= row.start {
+				t.Fatalf("rows() skipped or reordered points: %+v", wq.rows())
+			}
+			next = row.end
+		}
+		if next != len(wq.Points) {
+			t.Fatalf("rows() covered %d of %d points", next, len(wq.Points))
+		}
+	})
+}

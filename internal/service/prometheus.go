@@ -88,6 +88,9 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.family("ipcd_gtpn_engine_states_explored_total", "counter", int64(es.StatesExplored))
 	p.family("ipcd_gtpn_engine_edges_built_total", "counter", int64(es.EdgesBuilt))
 	p.family("ipcd_gtpn_engine_parallel_class_solves_total", "counter", int64(es.ParallelClassSolves))
+	p.family("ipcd_gtpn_engine_graphs_reused_total", "counter", int64(es.GraphsReused))
+	p.family("ipcd_gtpn_engine_warm_starts_total", "counter", int64(es.WarmStarts))
+	p.family("ipcd_gtpn_engine_stationary_sweeps_total", "counter", int64(es.StationarySweeps))
 
 	// Per-route latency histograms in the conventional cumulative-bucket
 	// encoding; the bounds are package service's fixed microsecond bounds.

@@ -95,14 +95,25 @@ type Server struct {
 	admitted atomic.Int64  // computations running or queued for a slot
 	draining atomic.Bool
 	flights  flightGroup
-	metrics  *metrics
-	history  *historyRing
-	traceSeq atomic.Int64 // computing requests seen, for trace sampling
+	// sweepFlights coalesces /v1/sweep points, keyed by chain prefix. It
+	// is a separate group from flights: sweep leaders run on the request
+	// context and publish retry markers on cancellation, semantics the
+	// solve/simulate flights must never observe.
+	sweepFlights flightGroup
+	metrics      *metrics
+	history      *historyRing
+	traceSeq     atomic.Int64 // computing requests seen, for trace sampling
 
 	// testHookAdmitted, when set, runs in a computation leader after it
 	// holds a worker slot and before it computes — tests use it to hold
 	// requests in flight deterministically.
 	testHookAdmitted func(route string)
+	// testHookSweepPoint, when set, runs in a sweep point's leader right
+	// after the solve returns, with the stream's context, the point index,
+	// and the solve error — tests use it to observe mid-stream
+	// cancellation deterministically (the context is the request's, so a
+	// hook can wait for the server to notice a client disconnect).
+	testHookSweepPoint func(ctx context.Context, index int, err error)
 }
 
 // New creates a Server.
@@ -115,6 +126,7 @@ func New(cfg Config) *Server {
 	s.slots = make(chan struct{}, s.cfg.Workers)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperimentList))
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("experiment", s.handleExperiment))
@@ -168,6 +180,15 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer, preserving http.Flusher
+// through the instrumentation wrapper — without this the sweep NDJSON
+// stream would buffer until the handler returns.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // drainExempt reports whether a route stays reachable during a drain —
@@ -587,6 +608,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"states_explored":       es.StatesExplored,
 			"edges_built":           es.EdgesBuilt,
 			"parallel_class_solves": es.ParallelClassSolves,
+			"graphs_reused":         es.GraphsReused,
+			"warm_starts":           es.WarmStarts,
+			"stationary_sweeps":     es.StationarySweeps,
 		},
 		"serving": s.metrics.snapshot(),
 	}
