@@ -8,10 +8,58 @@
 # solver benchmark trajectory at measurement length and rewrites
 # BENCH_gtpn.json (see cmd/ipcbench). Commit the refreshed file whenever
 # a change is meant to move the solver numbers.
+#
+# `./check.sh cluster` runs only the three-node cluster smoke — the
+# same block the full gate ends with.
 set -eux
 
 if [ "${1:-}" = "bench" ]; then
     go run ./cmd/ipcbench -out BENCH_gtpn.json
+    exit 0
+fi
+
+# Cluster smoke: three real ipcd processes on loopback form a ring; the
+# same solve through each node must answer byte-identical responses, the
+# aggregated metrics view must see every member, and a round-robin
+# ipcload pass across all three must finish with zero errors and zero
+# cross-node response mismatches (its digest is computed over bodies
+# from every target).
+cluster_smoke() {
+    go build -o /tmp/ipcd.check ./cmd/ipcd
+    CLUSTER_PIDS=""
+    cleanup_cluster() {
+        for p in $CLUSTER_PIDS; do kill "$p" 2>/dev/null || true; done
+        CLUSTER_PIDS=""
+    }
+    trap cleanup_cluster EXIT
+    CLUSTER_PEERS="http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083"
+    for port in 18081 18082 18083; do
+        /tmp/ipcd.check -addr 127.0.0.1:$port -cluster-self "http://127.0.0.1:$port" -peers "$CLUSTER_PEERS" &
+        CLUSTER_PIDS="$CLUSTER_PIDS $!"
+    done
+    for port in 18081 18082 18083; do
+        i=0
+        until curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+            i=$((i + 1))
+            test "$i" -lt 100
+            sleep 0.1
+        done
+    done
+    solve_body='{"arch":2,"conversations":1,"server_compute_us":1140}'
+    for port in 18081 18082 18083; do
+        curl -fsS -X POST -H 'Content-Type: application/json' -d "$solve_body" \
+            "http://127.0.0.1:$port/v1/solve" >"/tmp/cluster_solve_$port.json"
+    done
+    cmp /tmp/cluster_solve_18081.json /tmp/cluster_solve_18082.json
+    cmp /tmp/cluster_solve_18081.json /tmp/cluster_solve_18083.json
+    curl -fsS "http://127.0.0.1:18081/metrics?scope=cluster" | grep -q '"unreachable":\[\]'
+    go run ./cmd/ipcload -targets "$CLUSTER_PEERS" -c 6 -duration 3s
+    cleanup_cluster
+    trap - EXIT
+}
+
+if [ "${1:-}" = "cluster" ]; then
+    cluster_smoke
     exit 0
 fi
 
@@ -22,18 +70,29 @@ go vet ./...
 # timeout — give the suite explicit headroom so a loaded runner doesn't
 # flake.
 go test -race -timeout 30m ./...
-# Coverage floor: print per-package coverage and hold internal/gtpn — the
-# numerical core the exactness contract lives in — at its recorded floor.
-# Raise the floor when coverage genuinely improves; never lower it to
+# Coverage floors: print per-package coverage and hold the contract-
+# bearing packages at their recorded floors — internal/gtpn (the
+# exactness contract), internal/service (the serving/coalescing
+# contract), internal/cluster (the routing byte-identity contract).
+# Raise a floor when coverage genuinely improves; never lower one to
 # make a change pass.
 GTPN_COVER_FLOOR=89
+SERVICE_COVER_FLOOR=88
+CLUSTER_COVER_FLOOR=84
 cover_out=$(go test -cover ./... | tee /dev/stderr)
-gtpn_cover=$(printf '%s\n' "$cover_out" | awk '$2 ~ /internal\/gtpn$/ { for (i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%$/) { sub(/%/,"",$i); print $i; exit } }')
-test -n "$gtpn_cover"
-awk -v c="$gtpn_cover" -v f="$GTPN_COVER_FLOOR" 'BEGIN { exit (c+0 >= f+0) ? 0 : 1 }' || {
-    echo "check.sh: internal/gtpn coverage ${gtpn_cover}% fell below the ${GTPN_COVER_FLOOR}% floor" >&2
-    exit 1
+check_floor() {
+    pkg=$1
+    floor=$2
+    got=$(printf '%s\n' "$cover_out" | awk -v p="$pkg" '$2 ~ p"$" { for (i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%$/) { sub(/%/,"",$i); print $i; exit } }')
+    test -n "$got"
+    awk -v c="$got" -v f="$floor" 'BEGIN { exit (c+0 >= f+0) ? 0 : 1 }' || {
+        echo "check.sh: ${pkg} coverage ${got}% fell below the ${floor}% floor" >&2
+        exit 1
+    }
 }
+check_floor 'internal/gtpn' "$GTPN_COVER_FLOOR"
+check_floor 'internal/service' "$SERVICE_COVER_FLOOR"
+check_floor 'internal/cluster' "$CLUSTER_COVER_FLOOR"
 # Fuzz smoke: both fuzz targets run briefly so a crasher or a broken
 # corpus fails the gate long before a dedicated fuzzing run.
 go test ./internal/gtpn -run '^$' -fuzz FuzzParseNet -fuzztime 20s
@@ -50,3 +109,4 @@ go run ./cmd/ipcbench -compare BENCH_gtpn.json -tolerance 0.25
 # (the Prometheus exposition and history ring are covered by the
 # internal/service unit tests above).
 go run ./cmd/ipcsim -arch 2 -n 2 -x 1140 -seconds 1 -counters | grep -q 'res.node0.host0.busy'
+cluster_smoke

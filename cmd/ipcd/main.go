@@ -10,6 +10,19 @@
 //	ipcd -pprof localhost:6060   net/http/pprof on a separate listener (off by default)
 //	ipcd -trace-dir traces       sample per-request Chrome traces (every -trace-every requests)
 //
+// Cluster mode shards the solve keyspace across a fleet of nodes by
+// consistent hashing on the canonical coalescing key:
+//
+//	ipcd -addr :8080 -cluster-self http://10.0.0.1:8080 \
+//	     -peers http://10.0.0.2:8080,http://10.0.0.3:8080
+//
+// Each node owns a slice of the ring, forwards misses to the owning
+// peer (coalescing cluster-wide on the owner's in-flight solve), and
+// replicates hot entries to the key's next ring successor. Responses
+// are byte-identical whichever node answers. -cluster-listen moves the
+// cluster traffic (forwards, membership, replication) onto a separate
+// listener; peers must then advertise that address in -peers.
+//
 // Endpoints:
 //
 //	POST /v1/solve            analytic GTPN solution of a workload point
@@ -19,11 +32,15 @@
 //	GET  /healthz             200 ok, 503 while draining
 //	GET  /metrics             counters: requests, coalescing, queue, cache, latency
 //	GET  /metrics?format=prometheus  the same counters in Prometheus text format
+//	GET  /metrics?scope=cluster      cluster-wide fan-out merge of every member's counters
 //	GET  /metrics/history     in-process counter time series (-history-every samples)
+//	GET  /metrics/history?scope=cluster  merged member time series, ordered by (time, node)
+//	POST /cluster/v1/{join,leave,replicate}, GET /cluster/v1/members  (cluster mode)
 //
-// On SIGTERM/SIGINT the daemon drains: in-flight requests complete, new
-// ones are refused with 503, and the process exits once idle or after
-// -drain at the latest.
+// On SIGTERM/SIGINT the daemon drains: in cluster mode it first leaves
+// the ring — handing its key slots to the surviving members — then
+// in-flight requests complete, new ones are refused with 503, and the
+// process exits once idle or after -drain at the latest.
 package main
 
 import (
@@ -36,9 +53,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -54,6 +73,12 @@ func main() {
 		traceEvery   = flag.Int("trace-every", 100, "with -trace-dir, trace every Nth computing request")
 		historyEvery = flag.Duration("history-every", 10*time.Second, "sampling interval for the /metrics/history ring; 0 disables sampling")
 		historySize  = flag.Int("history-size", 0, "samples retained by /metrics/history (0 = 360, an hour at the default interval)")
+
+		peers         = flag.String("peers", "", "comma-separated base URLs of the cluster's nodes (may include this one); empty = single-node")
+		clusterSelf   = flag.String("cluster-self", "", "this node's advertised base URL on the ring (required with -peers)")
+		clusterListen = flag.String("cluster-listen", "", "serve cluster traffic (forwards, membership, replication) on this separate address; empty = the main listener")
+		vnodes        = flag.Int("cluster-vnodes", 0, "virtual nodes per member on the hash ring (0 = 64)")
+		replicas      = flag.Int("cluster-replicas", 0, "ring successors receiving each hot entry (0 = 1, negative disables replication)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -67,14 +92,37 @@ func main() {
 			log.Fatalf("ipcd: trace dir: %v", err)
 		}
 	}
-	srv := service.New(service.Config{
+	var node *cluster.Node
+	if *peers != "" {
+		if *clusterSelf == "" {
+			log.Fatalf("ipcd: -peers requires -cluster-self (this node's advertised URL)")
+		}
+		var err error
+		node, err = cluster.New(cluster.Config{
+			Self:         *clusterSelf,
+			Peers:        strings.Split(*peers, ","),
+			VirtualNodes: *vnodes,
+			Replicas:     *replicas,
+		})
+		if err != nil {
+			log.Fatalf("ipcd: cluster: %v", err)
+		}
+	}
+	cfg := service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
 		TraceDir:       *traceDir,
 		TraceEvery:     *traceEvery,
 		HistorySize:    *historySize,
-	})
+	}
+	if node != nil {
+		cfg.Cluster = node
+	}
+	srv := service.New(cfg)
+	if node != nil {
+		node.Bind(srv)
+	}
 	if *historyEvery > 0 {
 		go func() {
 			tick := time.NewTicker(*historyEvery)
@@ -84,10 +132,26 @@ func main() {
 			}
 		}()
 	}
+	// In cluster mode the cluster endpoints either share the main
+	// listener or get their own; either way forwarded /v1/* requests
+	// reach the same serving mux.
+	handler := srv.Handler()
+	if node != nil && *clusterListen == "" {
+		handler = node.Handler()
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if node != nil && *clusterListen != "" {
+		csrv := &http.Server{Addr: *clusterListen, Handler: node.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("ipcd: cluster listener on %s", *clusterListen)
+			if err := csrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("ipcd: cluster listener: %v", err)
+			}
+		}()
 	}
 
 	// Profiling stays off the serving mux and off by default: the
@@ -115,6 +179,19 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("ipcd: serving on %s", *addr)
+	if node != nil {
+		// Announce this node to the fleet once the listeners are up; peers
+		// listed statically already route to us, so a failed announcement
+		// only matters for members our own -peers list missed.
+		go func() {
+			jctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			defer cancel()
+			if err := node.Join(jctx); err != nil {
+				log.Printf("ipcd: cluster join: %v", err)
+			}
+			log.Printf("ipcd: cluster members %v", node.Members())
+		}()
+	}
 
 	select {
 	case err := <-errCh:
@@ -122,6 +199,16 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	if node != nil {
+		// Hand the ring slots off BEFORE refusing traffic: peers stop
+		// routing here, and anything still arriving mid-drain is forwarded
+		// to the new owner — byte-identical either way.
+		lctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := node.Leave(lctx); err != nil {
+			log.Printf("ipcd: cluster leave: %v", err)
+		}
+		cancel()
+	}
 	log.Printf("ipcd: draining (up to %v)", *drain)
 	srv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)

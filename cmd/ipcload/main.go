@@ -12,14 +12,23 @@
 // print the same digest. Any request that yields two different bodies
 // within a run is counted as a mismatch and fails the client.
 //
-// Failures are broken down by cause in the summary — one bucket per
-// non-2xx status code (429 backpressure, 503 drain, ...) plus a
-// "transport" bucket for connection-level errors — and any failed
-// request makes the exit status non-zero.
+// Failures are broken down by cause in the summary — one labeled bucket
+// per non-2xx status code (429 backpressure, 503 drain/unavailable,
+// 508 forwarding loop, ...) plus a "transport" bucket for
+// connection-level errors — and any failed request makes the exit
+// status non-zero.
+//
+// -targets drives a cluster without an external load balancer: a
+// comma-separated node list each worker walks round-robin (workers
+// start at staggered offsets, so the spread stays even at any -c).
+// Because a cluster's responses are byte-identical whichever node
+// answers, the response digest — and the mismatch counter — double as
+// an end-to-end check of the cluster's determinism contract.
 //
 // Usage:
 //
 //	ipcload -addr http://localhost:8080 -c 32 -duration 5s
+//	ipcload -targets http://n1:8080,http://n2:8080,http://n3:8080 -c 32 -duration 5s
 //	ipcload -endpoint simulate -c 8 -duration 10s -seed 7
 //	ipcload -nonlocal ...   include non-local workload points (slow solves)
 package main
@@ -43,6 +52,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "http://localhost:8080", "ipcd base URL")
+		targets  = flag.String("targets", "", "comma-separated ipcd base URLs walked round-robin (overrides -addr); lets a cluster run without an external LB")
 		c        = flag.Int("c", 8, "concurrent closed-loop workers")
 		duration = flag.Duration("duration", 5*time.Second, "load duration")
 		seed     = flag.Uint64("seed", 1, "workload stream seed")
@@ -61,10 +71,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	bases := []string{*addr}
+	if *targets != "" {
+		bases = bases[:0]
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				bases = append(bases, t)
+			}
+		}
+		if len(bases) == 0 {
+			fmt.Fprintln(os.Stderr, "ipcload: -targets must name at least one URL")
+			os.Exit(2)
+		}
+	}
 	points := workloadPoints(*endpoint, *nonlocal)
-	url := strings.TrimRight(*addr, "/") + "/v1/" + *endpoint
+	urls := make([]string, len(bases))
+	for i, b := range bases {
+		urls[i] = strings.TrimRight(b, "/") + "/v1/" + *endpoint
+	}
 	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        *c,
+		MaxIdleConns:        *c * len(urls),
 		MaxIdleConnsPerHost: *c,
 	}}
 
@@ -88,7 +114,7 @@ func main() {
 	var wg sync.WaitGroup
 	for w := 0; w < *c; w++ {
 		wg.Add(1)
-		go func(stream *rng.Source) {
+		go func(w int, stream *rng.Source) {
 			defer wg.Done()
 			var local []time.Duration
 			localStatus := map[int]int{}
@@ -97,10 +123,12 @@ func main() {
 				hash uint64
 			}
 			var observed []seen
-			for time.Now().Before(deadline) {
+			// Each worker walks the target list round-robin from its own
+			// staggered offset, so the spread stays even at any -c.
+			for i := 0; time.Now().Before(deadline); i++ {
 				req := points[stream.Intn(len(points))]
 				t0 := time.Now()
-				body, status, ok := post(client, url, req)
+				body, status, ok := post(client, urls[(w+i)%len(urls)], req)
 				local = append(local, time.Since(t0))
 				if !ok {
 					localStatus[status]++
@@ -124,7 +152,7 @@ func main() {
 				}
 			}
 			mu.Unlock()
-		}(rng.New(workerSeeds[w]))
+		}(w, rng.New(workerSeeds[w]))
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -133,9 +161,9 @@ func main() {
 	fmt.Printf("ipcload: %d requests in %.2fs (%.1f req/s), %d errors\n",
 		n, wall.Seconds(), float64(n-errs)/wall.Seconds(), errs)
 	if len(byStatus) > 0 {
-		// Failed requests broken down by status code; 0 is a transport
-		// error (connection refused, read failure), the rest are the
-		// daemon's own refusals (429 backpressure, 503 drain, ...).
+		// Failed requests broken down by cause: connection-level errors
+		// ("transport") separately from each of the daemon's own refusal
+		// codes, the known ones labeled.
 		codes := make([]int, 0, len(byStatus))
 		for s := range byStatus {
 			codes = append(codes, s)
@@ -143,11 +171,7 @@ func main() {
 		sort.Ints(codes)
 		parts := make([]string, 0, len(codes))
 		for _, s := range codes {
-			label := "transport"
-			if s != 0 {
-				label = fmt.Sprintf("%d", s)
-			}
-			parts = append(parts, fmt.Sprintf("%s x %d", label, byStatus[s]))
+			parts = append(parts, fmt.Sprintf("%s x %d", statusLabel(s), byStatus[s]))
 		}
 		fmt.Printf("  failed: %s\n", strings.Join(parts, ", "))
 	}
@@ -228,6 +252,24 @@ func post(client *http.Client, url, body string) ([]byte, int, bool) {
 		return nil, resp.StatusCode, false
 	}
 	return b, resp.StatusCode, true
+}
+
+// statusLabel names a failure bucket: 0 is a connection-level error,
+// the well-known refusal codes carry their meaning, anything else is
+// just the code.
+func statusLabel(s int) string {
+	switch s {
+	case 0:
+		return "transport"
+	case 429:
+		return "429 (backpressure)"
+	case 503:
+		return "503 (unavailable)"
+	case 508:
+		return "508 (forward loop)"
+	default:
+		return fmt.Sprintf("%d", s)
+	}
 }
 
 func hashBytes(b []byte) uint64 {

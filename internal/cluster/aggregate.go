@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+
+	"repro/internal/service"
+)
+
+// Cluster-aggregated observability: GET /metrics?scope=cluster and
+// GET /metrics/history?scope=cluster fan out to every member's local
+// view and merge the snapshots. Ordering is deterministic — members are
+// visited and emitted in sorted order, merged history points are
+// ordered by (unix_ms, node) — so the merged shape never depends on map
+// or arrival order, and a history merge over unchanged samples is
+// byte-identical. (Counter aggregation observes its own collection: the
+// fan-out's GETs are themselves requests the members count.) The
+// fan-out always requests the LOCAL scope, so aggregation can never
+// recurse through the cluster.
+
+// totalKeys are the serving counters summed across nodes into the
+// aggregated view's "totals" section.
+var totalKeys = []string{
+	"cluster_served", "coalesced", "errors", "in_flight", "leaders",
+	"rejected_busy", "rejected_draining", "rejected_hops", "requests_total",
+}
+
+// AggregateMetrics implements service.ClusterRouter.
+func (n *Node) AggregateMetrics(ctx context.Context) []byte {
+	members := n.Members()
+	nodes := map[string]any{}
+	totals := map[string]any{}
+	unreachable := []string{}
+	var sums = map[string]float64{}
+	var cacheHits, cacheMisses float64
+	for _, m := range members {
+		doc, err := n.fetchMemberJSON(ctx, m, "/metrics")
+		if err != nil {
+			unreachable = append(unreachable, m)
+			continue
+		}
+		nodes[m] = doc
+		if serving, ok := doc["serving"].(map[string]any); ok {
+			for _, k := range totalKeys {
+				if v, ok := serving[k].(float64); ok {
+					sums[k] += v
+				}
+			}
+		}
+		if cache, ok := doc["gtpn_cache"].(map[string]any); ok {
+			if v, ok := cache["hits"].(float64); ok {
+				cacheHits += v
+			}
+			if v, ok := cache["misses"].(float64); ok {
+				cacheMisses += v
+			}
+		}
+	}
+	for _, k := range totalKeys {
+		totals[k] = sums[k]
+	}
+	totals["gtpn_cache_hits"] = cacheHits
+	totals["gtpn_cache_misses"] = cacheMisses
+	return service.MarshalDeterministic(map[string]any{
+		"epoch":       n.Epoch(),
+		"members":     members,
+		"nodes":       nodes,
+		"self":        n.self,
+		"totals":      totals,
+		"unreachable": unreachable,
+	})
+}
+
+// AggregateHistory implements service.ClusterRouter.
+func (n *Node) AggregateHistory(ctx context.Context) []byte {
+	members := n.Members()
+	type tagged struct {
+		unixMS float64
+		node   string
+		seq    int // original per-node order, for a stable tie-break
+		point  map[string]any
+	}
+	var merged []tagged
+	unreachable := []string{}
+	for _, m := range members {
+		doc, err := n.fetchMemberJSON(ctx, m, "/metrics/history")
+		if err != nil {
+			unreachable = append(unreachable, m)
+			continue
+		}
+		points, _ := doc["points"].([]any)
+		for i, p := range points {
+			pm, ok := p.(map[string]any)
+			if !ok {
+				continue
+			}
+			pm["node"] = m
+			ts, _ := pm["unix_ms"].(float64)
+			merged = append(merged, tagged{unixMS: ts, node: m, seq: i, point: pm})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].unixMS != merged[j].unixMS {
+			return merged[i].unixMS < merged[j].unixMS
+		}
+		if merged[i].node != merged[j].node {
+			return merged[i].node < merged[j].node
+		}
+		return merged[i].seq < merged[j].seq
+	})
+	points := make([]any, 0, len(merged))
+	for _, t := range merged {
+		points = append(points, t.point)
+	}
+	return service.MarshalDeterministic(map[string]any{
+		"members":     members,
+		"points":      points,
+		"self":        n.self,
+		"unreachable": unreachable,
+	})
+}
+
+// fetchMemberJSON reads one member's local observability body — in
+// process for self, over HTTP for a peer — as a generic JSON tree.
+func (n *Node) fetchMemberJSON(ctx context.Context, member, path string) (map[string]any, error) {
+	var raw []byte
+	if member == n.self {
+		switch path {
+		case "/metrics":
+			raw = n.local.MetricsJSON()
+		default:
+			raw = n.local.HistoryJSON()
+		}
+	} else {
+		ctx, cancel := context.WithTimeout(ctx, n.cfg.ControlTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, member+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := n.cfg.Client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, err = io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		if err != nil {
+			return nil, err
+		}
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}

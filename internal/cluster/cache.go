@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+)
+
+// replicaCache is a bounded LRU of replicated response bodies, keyed by
+// the flight key. Entries are pure functions of their key (responses
+// are deterministic), so there is no invalidation — only capacity
+// eviction. A replica serves a hit without forwarding to the owner,
+// which is what makes a hot key survive its owner's drain without a
+// traffic spike at the new owner.
+type replicaCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // key -> element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newReplicaCache(max int) *replicaCache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &replicaCache{
+		max:     max,
+		order:   list.New(),
+		entries: map[string]*list.Element{},
+	}
+}
+
+// get returns the cached body for key, marking it most recently used.
+func (c *replicaCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry
+// beyond capacity. Storing an existing key refreshes its recency (the
+// body is identical by the determinism contract).
+func (c *replicaCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	if c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *replicaCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestReplicaCachePutGet(t *testing.T) {
+	c := newReplicaCache(4)
+	if _, ok := c.get("missing"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.put("k1", []byte("v1"))
+	got, ok := c.get("k1")
+	if !ok || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("get(k1) = %q, %v", got, ok)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+func TestReplicaCacheLRUEviction(t *testing.T) {
+	c := newReplicaCache(2)
+	c.put("a", []byte("1"))
+	c.put("b", []byte("2"))
+	// Touch a so b is the least recently used, then overflow.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.put("c", []byte("3"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction though it was least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted though it was recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing right after insert")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want the capacity 2", c.len())
+	}
+}
+
+func TestReplicaCacheRefreshExisting(t *testing.T) {
+	c := newReplicaCache(2)
+	c.put("a", []byte("1"))
+	c.put("b", []byte("2"))
+	c.put("a", []byte("1")) // refresh, no growth
+	if c.len() != 2 {
+		t.Fatalf("len = %d after refreshing an existing key, want 2", c.len())
+	}
+	c.put("c", []byte("3")) // evicts b, the LRU after a's refresh
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived though a's refresh made it the LRU")
+	}
+}
+
+func TestReplicaCacheBounded(t *testing.T) {
+	c := newReplicaCache(8)
+	for i := 0; i < 100; i++ {
+		c.put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if c.len() != 8 {
+		t.Fatalf("len = %d after 100 inserts, want the capacity 8", c.len())
+	}
+}

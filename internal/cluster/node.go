@@ -1,0 +1,410 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Config tunes one cluster node.
+type Config struct {
+	// Self is this node's advertised base URL — the address peers use
+	// to reach it (its cluster listener when one is configured, its
+	// serving listener otherwise). Required; it is the node's identity
+	// on the ring.
+	Self string
+	// Peers is the static member list: base URLs of the other nodes
+	// (Self may be included; it is deduplicated). All nodes that agree
+	// on the member set agree on every key's owner.
+	Peers []string
+	// VirtualNodes per member on the ring. 0 means DefaultVirtualNodes.
+	VirtualNodes int
+	// Replicas is how many successor nodes beyond the owner receive a
+	// hot entry. 0 means 1; negative disables replication.
+	Replicas int
+	// CacheEntries bounds the replica cache. 0 means 1024.
+	CacheEntries int
+	// ControlTimeout bounds one membership/replication/aggregation
+	// call. 0 means 5 seconds.
+	ControlTimeout time.Duration
+	// Client issues intra-cluster HTTP requests. Nil means a dedicated
+	// client with pooled connections.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Self == "" {
+		return c, errors.New("cluster: Config.Self is required")
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas < 0 {
+		c.Replicas = 0
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.ControlTimeout <= 0 {
+		c.ControlTimeout = 5 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+		}}
+	}
+	return c, nil
+}
+
+// Local is the node's own serving core — implemented by
+// *service.Server. The node mounts its handler under the cluster
+// endpoints and reads its snapshots for the self entry of aggregated
+// views.
+type Local interface {
+	Handler() http.Handler
+	MetricsJSON() []byte
+	HistoryJSON() []byte
+}
+
+// Node is one member of the cluster tier. It implements
+// service.ClusterRouter; wire it into service.Config.Cluster, then
+// Bind the resulting server back so the node can mount and introspect
+// it.
+type Node struct {
+	cfg   Config
+	self  string
+	local Local
+
+	mu      sync.Mutex // guards members and the ring swap
+	members map[string]bool
+	ring    atomic.Pointer[Ring]
+	epoch   atomic.Int64 // bumped on every membership change
+
+	cache *replicaCache
+
+	forwardsOut       atomic.Int64 // forwards attempted
+	forwardServed     atomic.Int64 // forwards answered 200 by the owner
+	forwardFallback   atomic.Int64 // forwards that fell back to local compute
+	replicaHits       atomic.Int64 // requests served from the replica cache
+	replicaStores     atomic.Int64 // entries stored on behalf of an owner
+	replicaPushes     atomic.Int64 // entries pushed to a replica
+	replicaPushErrors atomic.Int64 // pushes that failed (best-effort)
+	hopCapLocal       atomic.Int64 // unowned keys computed locally: hop budget spent
+}
+
+var _ service.ClusterRouter = (*Node)(nil)
+
+// New creates a Node with the static member set Peers ∪ {Self}.
+func New(cfg Config) (*Node, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     cfg,
+		self:    cfg.Self,
+		members: map[string]bool{cfg.Self: true},
+		cache:   newReplicaCache(cfg.CacheEntries),
+	}
+	for _, p := range cfg.Peers {
+		if p != "" {
+			n.members[p] = true
+		}
+	}
+	n.rebuildRingLocked()
+	return n, nil
+}
+
+// Bind attaches the node's serving core. Must be called once, before
+// Handler or any aggregated view.
+func (n *Node) Bind(local Local) { n.local = local }
+
+// Self reports this node's advertised URL.
+func (n *Node) Self() string { return n.self }
+
+// Members reports the current member set, sorted.
+func (n *Node) Members() []string { return n.ring.Load().Members() }
+
+// Epoch reports the membership epoch: the number of membership changes
+// this node has applied since start.
+func (n *Node) Epoch() int64 { return n.epoch.Load() }
+
+// OwnerOf reports which member owns a flight key — a test and
+// diagnostics aid.
+func (n *Node) OwnerOf(key string) string { return n.ring.Load().Owner(key) }
+
+// ReplicasOf reports the owner and replica members for a flight key.
+func (n *Node) ReplicasOf(key string) []string {
+	return n.ring.Load().Replicas(key, 1+n.cfg.Replicas)
+}
+
+// rebuildRingLocked recomputes the ring from the member set; callers
+// hold n.mu (or are the constructor).
+func (n *Node) rebuildRingLocked() {
+	members := make([]string, 0, len(n.members))
+	for m := range n.members {
+		members = append(members, m)
+	}
+	n.ring.Store(BuildRing(members, n.cfg.VirtualNodes))
+}
+
+// AddMember adds url to the member set, reporting whether membership
+// changed.
+func (n *Node) AddMember(url string) bool {
+	if url == "" {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.members[url] {
+		return false
+	}
+	n.members[url] = true
+	n.rebuildRingLocked()
+	n.epoch.Add(1)
+	return true
+}
+
+// RemoveMember removes url from the member set, reporting whether
+// membership changed.
+func (n *Node) RemoveMember(url string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.members[url] {
+		return false
+	}
+	delete(n.members, url)
+	n.rebuildRingLocked()
+	n.epoch.Add(1)
+	return true
+}
+
+// Join announces this node to every known peer and merges the member
+// sets they return, so a late joiner also learns of nodes its static
+// list missed. Unreachable peers are reported joined into one error;
+// the local member set already includes them, so routing proceeds.
+func (n *Node) Join(ctx context.Context) error {
+	var errs []error
+	for _, m := range n.Members() {
+		if m == n.self {
+			continue
+		}
+		var resp struct {
+			Members []string `json:"members"`
+		}
+		err := n.postJSON(ctx, m+"/cluster/v1/join", map[string]any{"node": n.self}, &resp)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("join %s: %w", m, err))
+			continue
+		}
+		for _, peer := range resp.Members {
+			n.AddMember(peer)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Leave hands this node's ring slots off: it removes itself from its
+// own ring first — so any request still reaching it routes to the new
+// owner instead of computing here — then announces the departure to
+// every remaining member. Call it BEFORE service.Server.BeginDrain; the
+// window between the two is the drain handoff, and both sides of it
+// produce byte-identical responses.
+func (n *Node) Leave(ctx context.Context) error {
+	peers := n.Members()
+	n.RemoveMember(n.self)
+	var errs []error
+	for _, m := range peers {
+		if m == n.self {
+			continue
+		}
+		if err := n.postJSON(ctx, m+"/cluster/v1/leave", map[string]any{"node": n.self}, nil); err != nil {
+			errs = append(errs, fmt.Errorf("leave %s: %w", m, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Route implements service.ClusterRouter: serve spec from the cluster
+// when another member owns its key — replica-cache hit first, then a
+// forward to the owner. ok=false sends the caller to local compute,
+// which is always byte-equivalent (the determinism contract).
+func (n *Node) Route(ctx context.Context, spec service.ComputeSpec) (service.RoutedResult, bool) {
+	owner := n.ring.Load().Owner(spec.Key)
+	if owner == "" || owner == n.self {
+		return service.RoutedResult{}, false
+	}
+	if body, ok := n.cache.get(spec.Key); ok {
+		n.replicaHits.Add(1)
+		return service.RoutedResult{Status: http.StatusOK, Body: body}, true
+	}
+	if spec.Hops+1 >= service.MaxHops {
+		// A forwarded request for a key we don't own: the sender's ring
+		// disagrees with ours (a membership change in flight). Computing
+		// locally is byte-identical and cannot loop.
+		n.hopCapLocal.Add(1)
+		return service.RoutedResult{}, false
+	}
+	n.forwardsOut.Add(1)
+	res, err := n.forward(ctx, owner, spec)
+	if err != nil {
+		// Owner unreachable, draining, or shedding load: compute locally.
+		// Capacity degrades to this node's own admission control, and the
+		// bytes stay identical.
+		n.forwardFallback.Add(1)
+		return service.RoutedResult{}, false
+	}
+	n.forwardServed.Add(1)
+	return res, true
+}
+
+// forward replays spec on the owner, hop count incremented. Any
+// non-200 answer is an error: the caller falls back to local compute.
+func (n *Node) forward(ctx context.Context, owner string, spec service.ComputeSpec) (service.RoutedResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		owner+"/v1/"+spec.Route, bytes.NewReader(spec.Body))
+	if err != nil {
+		return service.RoutedResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.HopsHeader, strconv.Itoa(spec.Hops+1))
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return service.RoutedResult{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return service.RoutedResult{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return service.RoutedResult{}, fmt.Errorf("owner %s answered %d", owner, resp.StatusCode)
+	}
+	return service.RoutedResult{Status: http.StatusOK, Body: body}, nil
+}
+
+// Offer implements service.ClusterRouter: push a locally computed 200
+// to the key's replica members, asynchronously and best-effort — a
+// lost replica costs a future forward, never correctness.
+func (n *Node) Offer(spec service.ComputeSpec, body []byte) {
+	if n.cfg.Replicas <= 0 {
+		return
+	}
+	for _, m := range n.ring.Load().Replicas(spec.Key, 1+n.cfg.Replicas) {
+		if m == n.self {
+			continue
+		}
+		go n.pushReplica(m, spec.Key, body)
+	}
+}
+
+func (n *Node) pushReplica(member, key string, body []byte) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ControlTimeout)
+	defer cancel()
+	err := n.postJSON(ctx, member+"/cluster/v1/replicate",
+		map[string]any{"key": key, "body": string(body)}, nil)
+	if err != nil {
+		n.replicaPushErrors.Add(1)
+		return
+	}
+	n.replicaPushes.Add(1)
+}
+
+// postJSON issues one control-plane POST with a deterministic JSON body
+// and optionally decodes a JSON response into out.
+func (n *Node) postJSON(ctx context.Context, url string, body map[string]any, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.ControlTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url,
+		bytes.NewReader(service.MarshalDeterministic(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s answered %d: %s", url, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	if out != nil {
+		// Lenient on responses: peers may grow fields this version does
+		// not know; strictness is for requests we serve, not answers we
+		// read.
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// Stats is a snapshot of the node's cluster counters.
+type Stats struct {
+	Members           int
+	Epoch             int64
+	ForwardsOut       int64
+	ForwardServed     int64
+	ForwardFallback   int64
+	ReplicaHits       int64
+	ReplicaStores     int64
+	ReplicaPushes     int64
+	ReplicaPushErrors int64
+	HopCapLocal       int64
+	CacheEntries      int
+}
+
+// Stats reports the current counter values.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Members:           n.ring.Load().Size(),
+		Epoch:             n.epoch.Load(),
+		ForwardsOut:       n.forwardsOut.Load(),
+		ForwardServed:     n.forwardServed.Load(),
+		ForwardFallback:   n.forwardFallback.Load(),
+		ReplicaHits:       n.replicaHits.Load(),
+		ReplicaStores:     n.replicaStores.Load(),
+		ReplicaPushes:     n.replicaPushes.Load(),
+		ReplicaPushErrors: n.replicaPushErrors.Load(),
+		HopCapLocal:       n.hopCapLocal.Load(),
+		CacheEntries:      n.cache.len(),
+	}
+}
+
+// MetricsSnapshot implements service.ClusterRouter: the node's cluster
+// counters as a deterministically encodable tree, merged into the
+// node's own GET /metrics body under "cluster".
+func (n *Node) MetricsSnapshot() map[string]any {
+	st := n.Stats()
+	return map[string]any{
+		"self":                n.self,
+		"members":             n.Members(),
+		"epoch":               st.Epoch,
+		"forwards_out":        st.ForwardsOut,
+		"forward_served":      st.ForwardServed,
+		"forward_fallback":    st.ForwardFallback,
+		"replica_hits":        st.ReplicaHits,
+		"replica_stores":      st.ReplicaStores,
+		"replica_pushes":      st.ReplicaPushes,
+		"replica_push_errors": st.ReplicaPushErrors,
+		"hop_cap_local":       st.HopCapLocal,
+		"cache_entries":       int64(st.CacheEntries),
+	}
+}

@@ -17,6 +17,7 @@ type HistoryPoint struct {
 	InFlight         int64
 	QueueDepth       int64
 	Coalesced        int64
+	ClusterServed    int64
 	Leaders          int64
 	RejectedBusy     int64
 	RejectedDraining int64
@@ -73,6 +74,7 @@ func (s *Server) SampleMetrics(t time.Time) {
 		RequestsTotal:    s.metrics.requestsTotal,
 		InFlight:         s.metrics.inFlight,
 		Coalesced:        s.metrics.coalesced,
+		ClusterServed:    s.metrics.clusterServed,
 		Leaders:          s.metrics.leaders,
 		RejectedBusy:     s.metrics.rejectedBusy,
 		RejectedDraining: s.metrics.rejectedDrain,
@@ -87,8 +89,20 @@ func (s *Server) SampleMetrics(t time.Time) {
 }
 
 // handleMetricsHistory reports the retained samples, oldest first, as
-// deterministic JSON.
-func (s *Server) handleMetricsHistory(w http.ResponseWriter, _ *http.Request) {
+// deterministic JSON. ?scope=cluster fans out to every cluster member
+// and merges the sampled points ordered by (unix_ms, node).
+func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("scope") == "cluster" && s.cfg.Cluster != nil {
+		writeDet(w, http.StatusOK, nil, s.cfg.Cluster.AggregateHistory(r.Context()))
+		return
+	}
+	writeDet(w, http.StatusOK, nil, s.HistoryJSON())
+}
+
+// HistoryJSON renders this node's own /metrics/history body — the local
+// scope. The cluster tier calls it for the self entry of an aggregated
+// view.
+func (s *Server) HistoryJSON() []byte {
 	pts := s.history.points()
 	list := make([]any, 0, len(pts))
 	for _, p := range pts {
@@ -98,6 +112,7 @@ func (s *Server) handleMetricsHistory(w http.ResponseWriter, _ *http.Request) {
 			"in_flight":         p.InFlight,
 			"queue_depth":       p.QueueDepth,
 			"coalesced":         p.Coalesced,
+			"cluster_served":    p.ClusterServed,
 			"leaders":           p.Leaders,
 			"rejected_busy":     p.RejectedBusy,
 			"rejected_draining": p.RejectedDraining,
@@ -106,8 +121,8 @@ func (s *Server) handleMetricsHistory(w http.ResponseWriter, _ *http.Request) {
 			"cache_misses":      p.CacheMisses,
 		})
 	}
-	writeDet(w, http.StatusOK, nil, marshalDet(map[string]any{
+	return marshalDet(map[string]any{
 		"capacity": int64(len(s.history.buf)),
 		"points":   list,
-	}))
+	})
 }

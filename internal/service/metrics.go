@@ -19,7 +19,9 @@ type metrics struct {
 	leaders       int64            // underlying computations performed
 	rejectedBusy  int64            // 429: admission queue full
 	rejectedDrain int64            // 503: refused while draining
-	errors        int64            // 4xx/5xx other than the two above
+	rejectedHops  int64            // 508: forwarding hop limit exceeded
+	clusterServed int64            // requests answered by the cluster tier (forward or replica hit)
+	errors        int64            // 4xx/5xx other than the refusals above
 
 	latency map[string]*Histogram // per-route request latency
 }
@@ -77,12 +79,14 @@ func (m *metrics) snapshot() map[string]any {
 	for r, h := range m.latency {
 		hists[r] = h.clone()
 	}
+	clusterServed := m.clusterServed
 	coalesced := m.coalesced
 	errs := m.errors
 	inFlight := m.inFlight
 	leaders := m.leaders
 	rejectedBusy := m.rejectedBusy
 	rejectedDrain := m.rejectedDrain
+	rejectedHops := m.rejectedHops
 	requestsTotal := m.requestsTotal
 	m.mu.Unlock()
 
@@ -92,12 +96,14 @@ func (m *metrics) snapshot() map[string]any {
 	}
 	return map[string]any{
 		"by_route":          byRoute,
+		"cluster_served":    clusterServed,
 		"coalesced":         coalesced,
 		"errors":            errs,
 		"in_flight":         inFlight,
 		"leaders":           leaders,
 		"rejected_busy":     rejectedBusy,
 		"rejected_draining": rejectedDrain,
+		"rejected_hops":     rejectedHops,
 		"requests_total":    requestsTotal,
 		"latency_us":        latency,
 	}

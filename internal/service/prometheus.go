@@ -44,9 +44,11 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	requestsTotal := s.metrics.requestsTotal
 	inFlight := s.metrics.inFlight
 	coalesced := s.metrics.coalesced
+	clusterServed := s.metrics.clusterServed
 	leaders := s.metrics.leaders
 	rejectedBusy := s.metrics.rejectedBusy
 	rejectedDrain := s.metrics.rejectedDrain
+	rejectedHops := s.metrics.rejectedHops
 	errs := s.metrics.errors
 	byRoute := make(map[string]int64, len(s.metrics.byRoute))
 	for r, n := range s.metrics.byRoute {
@@ -76,9 +78,11 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.family("ipcd_in_flight", "gauge", inFlight)
 	p.family("ipcd_queue_depth", "gauge", queueDepth)
 	p.family("ipcd_coalesced_total", "counter", coalesced)
+	p.family("ipcd_cluster_served_total", "counter", clusterServed)
 	p.family("ipcd_leaders_total", "counter", leaders)
 	p.family("ipcd_rejected_busy_total", "counter", rejectedBusy)
 	p.family("ipcd_rejected_draining_total", "counter", rejectedDrain)
+	p.family("ipcd_rejected_hops_total", "counter", rejectedHops)
 	p.family("ipcd_errors_total", "counter", errs)
 	p.family("ipcd_gtpn_cache_hits_total", "counter", int64(cs.Hits))
 	p.family("ipcd_gtpn_cache_misses_total", "counter", int64(cs.Misses))

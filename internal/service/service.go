@@ -59,6 +59,12 @@ type Config struct {
 	// appended by SampleMetrics. 0 means 360 (an hour at ipcd's default
 	// ten-second sampling interval).
 	HistorySize int
+	// Cluster, when non-nil, makes this server one node of a
+	// consistent-hash cluster: solve/simulate computations whose key
+	// another node owns are routed there instead of computed locally,
+	// and local results are offered back for replication. See
+	// ClusterRouter.
+	Cluster ClusterRouter
 }
 
 func (c Config) withDefaults() Config {
@@ -309,9 +315,30 @@ func (s *Server) queueDepth() int64 {
 // admission queue: concurrent requests with the same key share one
 // leader's computation (and its bytes); the leader itself runs on the
 // bounded worker pool under the request-timeout context.
-func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, key string, fn func(ctx context.Context) flightResult) {
+//
+// With a cluster configured, the leader first asks the cluster tier to
+// serve the key — a replica-cache hit or a forward to the owning peer —
+// before taking a worker slot: routed requests cost this node I/O, not
+// compute, so they never occupy the admission queue. Only a locally
+// owned (or cluster-unserveable) key admits and computes here, and a
+// fresh 200 is offered back for replication.
+func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, spec ComputeSpec, fn func(ctx context.Context) flightResult) {
 	sc := trace.ScopeFrom(r.Context())
-	res, leader, err := s.flights.do(r.Context(), key, func() flightResult {
+	res, leader, err := s.flights.do(r.Context(), spec.Key, func() flightResult {
+		if s.cfg.Cluster != nil && spec.Body != nil {
+			// The routing deadline is the server's, like the computation's
+			// below: a forward keeps serving the leader's followers even if
+			// the leader's own client disconnects.
+			rctx, rcancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+			sp := sc.Begin("cluster.route", "serve")
+			rr, served := s.cfg.Cluster.Route(rctx, spec)
+			sp.End()
+			rcancel()
+			if served {
+				s.metrics.add(&s.metrics.clusterServed, 1)
+				return flightResult{status: rr.Status, header: rr.Header, body: rr.Body}
+			}
+		}
 		sp := sc.Begin("admission.wait", "serve")
 		release, ok, full := s.acquire(r.Context())
 		sp.End()
@@ -328,7 +355,7 @@ func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, key string, fn
 		defer release()
 		s.metrics.add(&s.metrics.leaders, 1)
 		if s.testHookAdmitted != nil {
-			s.testHookAdmitted(key)
+			s.testHookAdmitted(spec.Key)
 		}
 		// The computation deadline is the server's, detached from the
 		// leader's connection: a leader whose client disconnects must
@@ -336,7 +363,11 @@ func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, key string, fn
 		// along so the solver's spans land on this request's track.
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 		defer cancel()
-		return fn(trace.NewContext(ctx, sc))
+		res := fn(trace.NewContext(ctx, sc))
+		if s.cfg.Cluster != nil && spec.Body != nil && res.status == http.StatusOK {
+			s.cfg.Cluster.Offer(spec, res.body)
+		}
+		return res
 	})
 	if err != nil {
 		// The follower's client went away while waiting; the connection
@@ -419,7 +450,37 @@ func (q *solveRequest) echo() map[string]any {
 	}
 }
 
+// canonicalBody re-encodes the validated request deterministically, so a
+// forwarded request carries one canonical byte form regardless of how
+// the client formatted it (defaults applied, keys sorted, floats fixed).
+func (q *solveRequest) canonicalBody() []byte {
+	return marshalDet(q.echo())
+}
+
+// SolveKey is the coalescing/routing key for one solve point: the
+// canonical GTPN net signature, prefixed with the request parameters so
+// the echoed fields stay honest even if two distinct points ever signed
+// identically. Exported so cluster tooling and tests can locate a
+// point's owner on the ring without re-deriving the format.
+func SolveKey(arch, conversations, hosts int, serverComputeUS float64, nonLocal bool) (string, error) {
+	sys := core.New(core.Arch(arch), core.WithHosts(hosts))
+	sig, err := sys.CoalesceKey(core.Workload{
+		Conversations:   conversations,
+		ServerComputeUS: serverComputeUS,
+		NonLocal:        nonLocal,
+	})
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("solve|a=%d|n=%d|h=%d|x=%s|nl=%t|%s",
+		arch, conversations, hosts, formatFloatKey(serverComputeUS), nonLocal, sig), nil
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	hops, rejected := s.checkHops(w, r)
+	if rejected {
+		return
+	}
 	var q solveRequest
 	if !s.decodeBody(w, r, &q) {
 		return
@@ -429,18 +490,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sys := q.system()
-	sig, err := sys.CoalesceKey(q.workload())
+	key, err := SolveKey(q.Arch, q.Conversations, q.Hosts, q.ServerComputeUS, q.NonLocal)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err.Error(), nil)
 		return
 	}
-	// The coalescing key is the canonical GTPN net signature; the param
-	// prefix keeps the echoed request fields honest even if two distinct
-	// parameter points ever signed identically.
-	key := fmt.Sprintf("solve|a=%d|n=%d|h=%d|x=%s|nl=%t|%s",
-		q.Arch, q.Conversations, q.Hosts,
-		formatFloatKey(q.ServerComputeUS), q.NonLocal, sig)
-	s.coalesce(w, r, key, func(ctx context.Context) flightResult {
+	spec := ComputeSpec{Route: "solve", Key: key, Body: q.canonicalBody(), Hops: hops}
+	s.coalesce(w, r, spec, func(ctx context.Context) flightResult {
 		pred, err := sys.AnalyzeContext(ctx, q.workload())
 		if err != nil {
 			return solveError(err)
@@ -489,7 +545,21 @@ func (q *simulateRequest) validate() error {
 	return nil
 }
 
+// canonicalBody re-encodes the validated simulate request
+// deterministically for forwarding, defaults applied.
+func (q *simulateRequest) canonicalBody() []byte {
+	body := q.echo()
+	body["seconds"] = q.Seconds
+	body["seed"] = q.Seed
+	body["replications"] = q.Replications
+	return marshalDet(body)
+}
+
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	hops, rejected := s.checkHops(w, r)
+	if rejected {
+		return
+	}
 	var q simulateRequest
 	if !s.decodeBody(w, r, &q) {
 		return
@@ -501,7 +571,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("sim|a=%d|n=%d|h=%d|x=%s|nl=%t|s=%d|seed=%d|reps=%d",
 		q.Arch, q.Conversations, q.Hosts, formatFloatKey(q.ServerComputeUS),
 		q.NonLocal, q.Seconds, q.Seed, q.Replications)
-	s.coalesce(w, r, key, func(ctx context.Context) flightResult {
+	spec := ComputeSpec{Route: "simulate", Key: key, Body: q.canonicalBody(), Hops: hops}
+	s.coalesce(w, r, spec, func(ctx context.Context) flightResult {
 		sys := core.New(core.Arch(q.Arch), core.WithHosts(q.Hosts), core.WithSeed(q.Seed))
 		// One worker per ensemble: the HTTP pool is the concurrency bound.
 		meas, err := sys.MeasureManyContext(ctx, q.workload(), q.Seconds, q.Replications, 1)
@@ -552,7 +623,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	quick := r.URL.Query().Get("full") != "1"
 	key := fmt.Sprintf("exp|%s|quick=%t", e.ID, quick)
-	s.coalesce(w, r, key, func(ctx context.Context) flightResult {
+	// Experiments are not cluster-routed (Body nil): the registry is
+	// identical on every node and the outputs are large — coalescing
+	// in-process is enough.
+	s.coalesce(w, r, ComputeSpec{Route: "experiment", Key: key}, func(ctx context.Context) flightResult {
 		// Experiments drive the registry's own Run functions, which
 		// pre-date the context plumbing; the worker-pool bound and the
 		// quick default keep them tame.
@@ -594,6 +668,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		_ = s.WritePrometheus(w)
 		return
 	}
+	if r.URL.Query().Get("scope") == "cluster" && s.cfg.Cluster != nil {
+		writeDet(w, http.StatusOK, nil, s.cfg.Cluster.AggregateMetrics(r.Context()))
+		return
+	}
+	writeDet(w, http.StatusOK, nil, s.MetricsJSON())
+}
+
+// MetricsJSON renders this node's own /metrics body — the local scope.
+// The cluster tier calls it for the self entry of an aggregated view.
+func (s *Server) MetricsJSON() []byte {
 	cs := gtpn.SolveCacheStats()
 	es := gtpn.SolverEngineStats()
 	body := map[string]any{
@@ -615,5 +699,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"serving": s.metrics.snapshot(),
 	}
 	body["serving"].(map[string]any)["queue_depth"] = s.queueDepth()
-	writeDet(w, http.StatusOK, nil, marshalDet(body))
+	if s.cfg.Cluster != nil {
+		body["cluster"] = s.cfg.Cluster.MetricsSnapshot()
+	}
+	return marshalDet(body)
 }
+
+// SetAdmittedTestHook installs a hook that runs in a computation leader
+// after it holds a worker slot and before it computes, with the flight
+// key. A test aid (the cluster harness uses it to hold an owner's solve
+// in flight deterministically); never set it in production.
+func (s *Server) SetAdmittedTestHook(fn func(key string)) { s.testHookAdmitted = fn }
+
+// FlightWaiters reports the followers blocked on key's open flight — a
+// test aid for deterministic coalescing assertions across nodes.
+func (s *Server) FlightWaiters(key string) int64 { return s.flights.waitersFor(key) }
