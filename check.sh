@@ -5,12 +5,13 @@
 # engine; run it before sending a change.
 #
 # `./check.sh bench` instead records a benchmark snapshot: it runs the
-# solver benchmark trajectory at measurement length and rewrites
+# solver and serving benchmarks at measurement length and rewrites
 # BENCH_gtpn.json (see cmd/ipcbench). Commit the refreshed file whenever
-# a change is meant to move the solver numbers.
+# a change is meant to move the solver or serving-path numbers.
 #
-# `./check.sh cluster` runs only the three-node cluster smoke — the
-# same block the full gate ends with.
+# `./check.sh cluster` runs only the three-node cluster smoke, and
+# `./check.sh openloop` only the open-loop load smoke — the same blocks
+# the full gate ends with.
 set -eux
 
 if [ "${1:-}" = "bench" ]; then
@@ -58,8 +59,44 @@ cluster_smoke() {
     trap - EXIT
 }
 
+# Open-loop smoke: one real ipcd on loopback, driven by ipcload in
+# open-loop mode. The summary line must report BOTH raw and
+# coordinated-omission-corrected percentiles, and corrected must
+# dominate raw — a request is never sent before its intended arrival
+# time, so (completion - intended) >= (completion - send) pointwise.
+openloop_smoke() {
+    go build -o /tmp/ipcd.check ./cmd/ipcd
+    /tmp/ipcd.check -addr 127.0.0.1:18091 &
+    OPENLOOP_PID=$!
+    cleanup_openloop() {
+        kill "$OPENLOOP_PID" 2>/dev/null || true
+    }
+    trap cleanup_openloop EXIT
+    i=0
+    until curl -fsS "http://127.0.0.1:18091/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        test "$i" -lt 100
+        sleep 0.1
+    done
+    go run ./cmd/ipcload -addr http://127.0.0.1:18091 -rate 200 -c 4 -duration 3s | tee /tmp/openloop.out
+    grep -q '"p50_raw_us"' /tmp/openloop.out
+    grep -q '"p50_corrected_us"' /tmp/openloop.out
+    raw=$(sed -n 's/.*"p50_raw_us":\([0-9][0-9]*\).*/\1/p' /tmp/openloop.out)
+    corr=$(sed -n 's/.*"p50_corrected_us":\([0-9][0-9]*\).*/\1/p' /tmp/openloop.out)
+    test -n "$raw"
+    test -n "$corr"
+    awk -v c="$corr" -v r="$raw" 'BEGIN { exit (c + 0 >= r + 0 && r + 0 >= 0) ? 0 : 1 }'
+    cleanup_openloop
+    trap - EXIT
+}
+
 if [ "${1:-}" = "cluster" ]; then
     cluster_smoke
+    exit 0
+fi
+
+if [ "${1:-}" = "openloop" ]; then
+    openloop_smoke
     exit 0
 fi
 
@@ -97,7 +134,7 @@ check_floor 'internal/cluster' "$CLUSTER_COVER_FLOOR"
 # corpus fails the gate long before a dedicated fuzzing run.
 go test ./internal/gtpn -run '^$' -fuzz FuzzParseNet -fuzztime 20s
 go test ./internal/service -run '^$' -fuzz FuzzSolveRequest -fuzztime 20s
-go test -run '^$' -bench . -benchtime 1x . ./internal/gtpn
+go test -run '^$' -bench . -benchtime 1x . ./internal/gtpn ./internal/service
 # The benchmark recorder itself must stay runnable (parse + schema).
 go run ./cmd/ipcbench -benchtime 1x -bench 'ResolveInstant' -out /dev/null
 # Performance regression gate: fresh measurements against the committed
@@ -110,3 +147,4 @@ go run ./cmd/ipcbench -compare BENCH_gtpn.json -tolerance 0.25
 # internal/service unit tests above).
 go run ./cmd/ipcsim -arch 2 -n 2 -x 1140 -seconds 1 -counters | grep -q 'res.node0.host0.busy'
 cluster_smoke
+openloop_smoke

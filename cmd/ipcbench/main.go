@@ -75,14 +75,14 @@ type snapshot struct {
 func main() {
 	var (
 		out       = flag.String("out", "BENCH_gtpn.json", "output file (\"-\" for stdout)")
-		bench     = flag.String("bench", "GTPN|Flat|Reference|Sweep", "benchmark regex passed to go test -bench")
+		bench     = flag.String("bench", "GTPN|Flat|Reference|Sweep|Serve|Decode", "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "200ms", "per-benchmark time passed to -benchtime")
 		count     = flag.Int("count", 3, "repetitions passed to -count (ns/op keeps the fastest run; other metrics are averaged)")
 		compare   = flag.String("compare", "", "baseline snapshot to compare against instead of writing -out; regressions exit non-zero")
 		tolerance = flag.Float64("tolerance", 0.25, "with -compare, allowed relative growth in ns/op and allocs/op")
 	)
 	flag.Parse()
-	pkgs := []string{".", "./internal/gtpn"}
+	pkgs := []string{".", "./internal/gtpn", "./internal/service"}
 
 	results, err := measure(pkgs, *bench, *benchtime, *count)
 	if err != nil {

@@ -9,6 +9,7 @@
 //	ipcd -queue 16 -timeout 30s  16 queued beyond the workers; 30s deadline
 //	ipcd -pprof localhost:6060   net/http/pprof on a separate listener (off by default)
 //	ipcd -trace-dir traces       sample per-request Chrome traces (every -trace-every requests)
+//	ipcd -resp-cache 4096        preencoded-response cache entries (negative disables)
 //
 // Cluster mode shards the solve keyspace across a fleet of nodes by
 // consistent hashing on the canonical coalescing key:
@@ -73,6 +74,8 @@ func main() {
 		traceEvery   = flag.Int("trace-every", 100, "with -trace-dir, trace every Nth computing request")
 		historyEvery = flag.Duration("history-every", 10*time.Second, "sampling interval for the /metrics/history ring; 0 disables sampling")
 		historySize  = flag.Int("history-size", 0, "samples retained by /metrics/history (0 = 360, an hour at the default interval)")
+		respCache    = flag.Int("resp-cache", 0, "preencoded-response cache entries (0 = 1024, negative disables)")
+		respCacheB   = flag.Int64("resp-cache-bytes", 0, "preencoded-response cache byte bound (0 = 64 MiB, negative = unbounded)")
 
 		peers         = flag.String("peers", "", "comma-separated base URLs of the cluster's nodes (may include this one); empty = single-node")
 		clusterSelf   = flag.String("cluster-self", "", "this node's advertised base URL on the ring (required with -peers)")
@@ -109,12 +112,14 @@ func main() {
 		}
 	}
 	cfg := service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		TraceDir:       *traceDir,
-		TraceEvery:     *traceEvery,
-		HistorySize:    *historySize,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		RequestTimeout:   *timeout,
+		TraceDir:         *traceDir,
+		TraceEvery:       *traceEvery,
+		HistorySize:      *historySize,
+		RespCacheEntries: *respCache,
+		RespCacheBytes:   *respCacheB,
 	}
 	if node != nil {
 		cfg.Cluster = node

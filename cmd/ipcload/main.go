@@ -1,9 +1,21 @@
-// Command ipcload is a closed-loop load generator for ipcd — the
-// repository's own conversation-workload client. Each of -c workers
-// draws workload points from a deterministic SplitMix64 stream derived
-// from -seed and issues one request at a time (a closed loop: offered
-// load tracks service capacity, as in the thesis's conversation
-// workload), until -duration elapses.
+// Command ipcload is a load generator for ipcd — the repository's own
+// conversation-workload client. Each of -c workers draws workload
+// points from a deterministic SplitMix64 stream derived from -seed and
+// issues one request at a time (a closed loop: offered load tracks
+// service capacity, as in the thesis's conversation workload), until
+// -duration elapses.
+//
+// -rate switches to an open loop: arrivals follow a deterministic
+// schedule — Poisson (exponential gaps) or fixed-interval, -rate
+// requests/second aggregate across all workers — that marches on
+// regardless of how fast responses return, the way a population of
+// independent users actually behaves. Latency is then reported two
+// ways: raw (send to completion) and coordinated-omission-corrected
+// (INTENDED arrival to completion, Gil Tene's HdrHistogram
+// discipline). When the server stalls, queued intended arrivals charge
+// the stall to every request it delayed; the raw number would hide it.
+// Corrected >= raw pointwise, since a request can never be sent before
+// its intended time.
 //
 // Determinism: the request point set is a fixed function of the seed,
 // and ipcd's responses are deterministic JSON, so the reported response
@@ -31,13 +43,14 @@
 //	ipcload -targets http://n1:8080,http://n2:8080,http://n3:8080 -c 32 -duration 5s
 //	ipcload -endpoint simulate -c 8 -duration 10s -seed 7
 //	ipcload -nonlocal ...   include non-local workload points (slow solves)
+//	ipcload -rate 500 -arrivals poisson -c 16 -duration 10s   open loop
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"hash/fnv"
-	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -58,6 +71,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload stream seed")
 		endpoint = flag.String("endpoint", "solve", "endpoint to drive: solve or simulate")
 		nonlocal = flag.Bool("nonlocal", false, "include non-local workload points (much slower solves)")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate in requests/second aggregate across workers (0 = closed loop)")
+		arrivals = flag.String("arrivals", "poisson", "open-loop arrival process: poisson or fixed")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -67,6 +82,11 @@ func main() {
 	}
 	if *c < 1 || *endpoint != "solve" && *endpoint != "simulate" {
 		fmt.Fprintln(os.Stderr, "ipcload: -c must be >= 1 and -endpoint must be solve or simulate")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *rate < 0 || *arrivals != "poisson" && *arrivals != "fixed" {
+		fmt.Fprintln(os.Stderr, "ipcload: -rate must be >= 0 and -arrivals must be poisson or fixed")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -89,9 +109,13 @@ func main() {
 	for i, b := range bases {
 		urls[i] = strings.TrimRight(b, "/") + "/v1/" + *endpoint
 	}
+	// Keep-alive pool sized to the worker count per host and compression
+	// off: a load generator must never stall on connection churn or spend
+	// client CPU gunzipping — either would masquerade as server latency.
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        *c * len(urls),
 		MaxIdleConnsPerHost: *c,
+		DisableCompression:  true,
 	}}
 
 	// Per-worker deterministic streams derived from the base seed.
@@ -104,11 +128,19 @@ func main() {
 	var (
 		mu         sync.Mutex
 		latencies  []time.Duration
+		corrected  []time.Duration // open loop only: intended arrival -> completion
 		errs       int
 		mismatches int
 		byStatus   = map[int]int{}       // non-2xx responses per status code (0 = transport error)
 		bodies     = map[string]uint64{} // request body -> response body hash
 	)
+	openLoop := *rate > 0
+	// Each worker carries 1/c of the aggregate rate; superposing c
+	// independent Poisson streams of rate r/c is again Poisson of rate r.
+	var gapMean float64
+	if openLoop {
+		gapMean = float64(*c) / *rate * float64(time.Second)
+	}
 	deadline := time.Now().Add(*duration)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -116,20 +148,45 @@ func main() {
 		wg.Add(1)
 		go func(w int, stream *rng.Source) {
 			defer wg.Done()
-			var local []time.Duration
+			var local, localCorr []time.Duration
 			localStatus := map[int]int{}
 			type seen struct {
 				req  string
 				hash uint64
 			}
 			var observed []seen
+			buf := bytes.NewBuffer(make([]byte, 0, 64<<10))
 			// Each worker walks the target list round-robin from its own
 			// staggered offset, so the spread stays even at any -c.
-			for i := 0; time.Now().Before(deadline); i++ {
+			// Open loop: the intended-arrival clock marches on a
+			// deterministic schedule regardless of response times; a worker
+			// sleeps until each intended instant, never sends early, and
+			// charges latency from the INTENDED time so server stalls are
+			// billed to every request they delayed (coordinated-omission
+			// correction).
+			next := start
+			for i := 0; ; i++ {
+				if openLoop {
+					if *arrivals == "poisson" {
+						next = next.Add(time.Duration(stream.Exp(gapMean)))
+					} else {
+						next = next.Add(time.Duration(gapMean))
+					}
+					if next.After(deadline) {
+						break
+					}
+					time.Sleep(time.Until(next))
+				} else if !time.Now().Before(deadline) {
+					break
+				}
 				req := points[stream.Intn(len(points))]
 				t0 := time.Now()
-				body, status, ok := post(client, urls[(w+i)%len(urls)], req)
-				local = append(local, time.Since(t0))
+				body, status, ok := post(client, urls[(w+i)%len(urls)], req, buf)
+				done := time.Now()
+				local = append(local, done.Sub(t0))
+				if openLoop {
+					localCorr = append(localCorr, done.Sub(next))
+				}
 				if !ok {
 					localStatus[status]++
 					continue
@@ -138,6 +195,7 @@ func main() {
 			}
 			mu.Lock()
 			latencies = append(latencies, local...)
+			corrected = append(corrected, localCorr...)
 			for s, n := range localStatus {
 				byStatus[s] += n
 				errs += n
@@ -196,6 +254,35 @@ func main() {
 		}
 		fmt.Printf("  histogram %s", service.MarshalDeterministic(
 			map[string]any{"latency_us": map[string]any{*endpoint: h.Snapshot()}}))
+		if openLoop {
+			// Both views of the same run, deterministically encoded so a
+			// harness can parse the line: raw (send -> completion) hides
+			// queueing behind a stalled server; corrected (intended ->
+			// completion) charges it. Corrected >= raw pointwise, because a
+			// request never goes out before its intended time.
+			sort.Slice(corrected, func(i, j int) bool { return corrected[i] < corrected[j] })
+			qc := func(p float64) time.Duration {
+				i := int(p * float64(len(corrected)))
+				if i >= len(corrected) {
+					i = len(corrected) - 1
+				}
+				return corrected[i]
+			}
+			fmt.Printf("  open-loop %s", service.MarshalDeterministic(map[string]any{
+				"arrivals":         *arrivals,
+				"target_rate_rps":  *rate,
+				"requests":         n,
+				"errors":           errs,
+				"p50_raw_us":       q(0.50).Microseconds(),
+				"p90_raw_us":       q(0.90).Microseconds(),
+				"p99_raw_us":       q(0.99).Microseconds(),
+				"max_raw_us":       latencies[n-1].Microseconds(),
+				"p50_corrected_us": qc(0.50).Microseconds(),
+				"p90_corrected_us": qc(0.90).Microseconds(),
+				"p99_corrected_us": qc(0.99).Microseconds(),
+				"max_corrected_us": corrected[len(corrected)-1].Microseconds(),
+			}))
+		}
 	}
 	fmt.Printf("  response digest %016x (%d distinct points, %d mismatches)\n",
 		digest(bodies), len(bodies), mismatches)
@@ -235,23 +322,26 @@ func workloadPoints(endpoint string, nonlocal bool) []string {
 	return points
 }
 
-// post issues one request. ok means a 2xx response with a readable
-// body; otherwise status reports the response code (0 for a transport
-// or body-read error) so the caller can break failures down by cause.
-func post(client *http.Client, url, body string) ([]byte, int, bool) {
+// post issues one request, reading the body into the caller's reusable
+// buffer (the returned bytes are valid until the next post on the same
+// buffer — each worker owns one, so no per-request allocation). ok
+// means a 2xx response with a readable body; otherwise status reports
+// the response code (0 for a transport or body-read error) so the
+// caller can break failures down by cause.
+func post(client *http.Client, url, body string, buf *bytes.Buffer) ([]byte, int, bool) {
 	resp, err := client.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
 		return nil, 0, false
 	}
 	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
+	buf.Reset()
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		return nil, 0, false
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return nil, resp.StatusCode, false
 	}
-	return b, resp.StatusCode, true
+	return buf.Bytes(), resp.StatusCode, true
 }
 
 // statusLabel names a failure bucket: 0 is a connection-level error,

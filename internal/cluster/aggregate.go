@@ -36,6 +36,7 @@ func (n *Node) AggregateMetrics(ctx context.Context) []byte {
 	unreachable := []string{}
 	var sums = map[string]float64{}
 	var cacheHits, cacheMisses float64
+	var respHits, respMisses float64
 	for _, m := range members {
 		doc, err := n.fetchMemberJSON(ctx, m, "/metrics")
 		if err != nil {
@@ -58,12 +59,22 @@ func (n *Node) AggregateMetrics(ctx context.Context) []byte {
 				cacheMisses += v
 			}
 		}
+		if cache, ok := doc["resp_cache"].(map[string]any); ok {
+			if v, ok := cache["hits"].(float64); ok {
+				respHits += v
+			}
+			if v, ok := cache["misses"].(float64); ok {
+				respMisses += v
+			}
+		}
 	}
 	for _, k := range totalKeys {
 		totals[k] = sums[k]
 	}
 	totals["gtpn_cache_hits"] = cacheHits
 	totals["gtpn_cache_misses"] = cacheMisses
+	totals["resp_cache_hits"] = respHits
+	totals["resp_cache_misses"] = respMisses
 	return service.MarshalDeterministic(map[string]any{
 		"epoch":       n.Epoch(),
 		"members":     members,

@@ -729,3 +729,58 @@ func TestClusterControlEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// A replica push must land in the unified response cache and serve a
+// later local request byte-identically without a solver call: zero
+// leaders on the replica, one replica hit, and the cached entry visible
+// through the server's own RespCache handle.
+func TestClusterReplicaPushServesUnifiedCache(t *testing.T) {
+	ref := newReferenceServer(t)
+	tc := newTestCluster(t, 3, nil)
+
+	// A point whose owner and first replica are distinct harness nodes.
+	var p point
+	var owner, replica int
+	found := false
+	for _, cand := range allPoints() {
+		reps := tc.nodes[0].ReplicasOf(cand.key(t))
+		if len(reps) >= 2 && reps[0] != reps[1] {
+			p, owner, replica = cand, tc.index(t, reps[0]), tc.index(t, reps[1])
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no point with distinct owner and replica")
+	}
+
+	want := mustSolve(t, ref, p.body(), "")
+	if got := mustSolve(t, tc.urls[owner], p.body(), ""); !bytes.Equal(got, want) {
+		t.Fatalf("owner bytes diverge from reference:\n got: %s\nwant: %s", got, want)
+	}
+	waitFor(t, "replica push", func() bool {
+		return tc.nodes[replica].Stats().ReplicaStores >= 1
+	})
+
+	// The pushed entry lives in the serving tier's own cache.
+	if body, ok := tc.srvs[replica].RespCache().GetKey(p.key(t)); !ok || !bytes.Equal(body, want) {
+		t.Fatalf("unified cache entry missing or wrong: ok=%v body=%s", ok, body)
+	}
+
+	// A request through the replica serves the pushed bytes: no solve.
+	if got := mustSolve(t, tc.urls[replica], p.body(), ""); !bytes.Equal(got, want) {
+		t.Fatalf("replica hit diverges from reference:\n got: %s\nwant: %s", got, want)
+	}
+	if leaders, _, served := servingCounters(t, tc.srvs[replica]); leaders != 0 || served != 1 {
+		t.Fatalf("replica leaders=%d cluster_served=%d, want 0 and 1 (no local solve)", leaders, served)
+	}
+	st := tc.nodes[replica].Stats()
+	if st.ReplicaHits != 1 || st.ForwardsOut != 0 {
+		t.Fatalf("replica stats = %+v, want 1 replica hit and no forwards", st)
+	}
+	// Both the direct GetKey above and the served request counted as
+	// response-cache hits.
+	if rc := tc.srvs[replica].RespCache().Stats(); rc.Hits < 2 {
+		t.Fatalf("resp_cache hits = %d, want >= 2", rc.Hits)
+	}
+}

@@ -119,9 +119,14 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		writeJSONErr(w, http.StatusBadRequest, "replicate wants {\"key\", \"body\"}")
 		return
 	}
-	n.cache.put(q.Key, []byte(q.Body))
-	n.replicaStores.Add(1)
-	writeJSON(w, http.StatusOK, map[string]any{"stored": true})
+	// Replica pushes land in the bound server's unified response cache,
+	// keyed by flight key only — the local fast path never serves them
+	// directly; Route does, gated on current ring entitlement.
+	stored := n.respCache().PutReplica(q.Key, []byte(q.Body))
+	if stored {
+		n.replicaStores.Add(1)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stored": stored})
 }
 
 func (n *Node) handleMembers(w http.ResponseWriter, _ *http.Request) {

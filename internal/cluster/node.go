@@ -32,8 +32,6 @@ type Config struct {
 	// Replicas is how many successor nodes beyond the owner receive a
 	// hot entry. 0 means 1; negative disables replication.
 	Replicas int
-	// CacheEntries bounds the replica cache. 0 means 1024.
-	CacheEntries int
 	// ControlTimeout bounds one membership/replication/aggregation
 	// call. 0 means 5 seconds.
 	ControlTimeout time.Duration
@@ -55,9 +53,6 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Replicas < 0 {
 		c.Replicas = 0
 	}
-	if c.CacheEntries <= 0 {
-		c.CacheEntries = 1024
-	}
 	if c.ControlTimeout <= 0 {
 		c.ControlTimeout = 5 * time.Second
 	}
@@ -72,12 +67,15 @@ func (c Config) withDefaults() (Config, error) {
 
 // Local is the node's own serving core — implemented by
 // *service.Server. The node mounts its handler under the cluster
-// endpoints and reads its snapshots for the self entry of aggregated
-// views.
+// endpoints, reads its snapshots for the self entry of aggregated
+// views, and stores/serves replicated response bytes through its
+// preencoded-response cache — one cache for both the local fast path
+// and the replica tier.
 type Local interface {
 	Handler() http.Handler
 	MetricsJSON() []byte
 	HistoryJSON() []byte
+	RespCache() *service.RespCache
 }
 
 // Node is one member of the cluster tier. It implements
@@ -93,8 +91,6 @@ type Node struct {
 	members map[string]bool
 	ring    atomic.Pointer[Ring]
 	epoch   atomic.Int64 // bumped on every membership change
-
-	cache *replicaCache
 
 	forwardsOut       atomic.Int64 // forwards attempted
 	forwardServed     atomic.Int64 // forwards answered 200 by the owner
@@ -118,7 +114,6 @@ func New(cfg Config) (*Node, error) {
 		cfg:     cfg,
 		self:    cfg.Self,
 		members: map[string]bool{cfg.Self: true},
-		cache:   newReplicaCache(cfg.CacheEntries),
 	}
 	for _, p := range cfg.Peers {
 		if p != "" {
@@ -248,9 +243,14 @@ func (n *Node) Route(ctx context.Context, spec service.ComputeSpec) (service.Rou
 	if owner == "" || owner == n.self {
 		return service.RoutedResult{}, false
 	}
-	if body, ok := n.cache.get(spec.Key); ok {
-		n.replicaHits.Add(1)
-		return service.RoutedResult{Status: http.StatusOK, Body: body}, true
+	// A non-owner replica answers from the unified response cache — but
+	// only while the current ring still names it a replica, so stale
+	// entries from before a rebalance route onward instead of serving.
+	if n.onReplicaSet(spec.Key) {
+		if body, ok := n.respCache().GetKey(spec.Key); ok {
+			n.replicaHits.Add(1)
+			return service.RoutedResult{Status: http.StatusOK, Body: body}, true
+		}
 	}
 	if spec.Hops+1 >= service.MaxHops {
 		// A forwarded request for a key we don't own: the sender's ring
@@ -270,6 +270,30 @@ func (n *Node) Route(ctx context.Context, spec service.ComputeSpec) (service.Rou
 	}
 	n.forwardServed.Add(1)
 	return res, true
+}
+
+// respCache is the bound server's unified response cache (nil before
+// Bind, or when the service disabled caching — both valid no-op views).
+func (n *Node) respCache() *service.RespCache {
+	if n.local == nil {
+		return nil
+	}
+	return n.local.RespCache()
+}
+
+// onReplicaSet reports whether this node is key's current owner or one
+// of its replicas, without allocating: the hot serve path asks on every
+// cache hit.
+func (n *Node) onReplicaSet(key string) bool {
+	return n.ring.Load().OnReplicaSet(key, n.self, 1+n.cfg.Replicas)
+}
+
+// CacheServeable implements service.ClusterRouter: the serving layer's
+// fast path may answer key from cache only while this node is on the
+// key's replica set. Membership changes flip the answer immediately —
+// the ring is the invalidation.
+func (n *Node) CacheServeable(key string) bool {
+	return n.onReplicaSet(key)
 }
 
 // forward replays spec on the owner, hop count incremented. Any
@@ -384,7 +408,7 @@ func (n *Node) Stats() Stats {
 		ReplicaPushes:     n.replicaPushes.Load(),
 		ReplicaPushErrors: n.replicaPushErrors.Load(),
 		HopCapLocal:       n.hopCapLocal.Load(),
-		CacheEntries:      n.cache.len(),
+		CacheEntries:      n.respCache().Len(),
 	}
 }
 

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// The serving-tier benchmarks, pinned in BENCH_gtpn.json alongside the
+// solver's so ipcbench -compare gates both tiers. The harness avoids
+// httptest.ResponseRecorder (a fresh body buffer per use) and fresh
+// requests per iteration — what's measured is the serving path itself.
+
+// replayBody is a resettable request body: one http.Request replays
+// across iterations without per-iteration allocation.
+type replayBody struct{ bytes.Reader }
+
+func (b *replayBody) Close() error { return nil }
+
+// discardRW is a minimal ResponseWriter with one reusable header map;
+// bodies are counted, not kept.
+type discardRW struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func (w *discardRW) Header() http.Header         { return w.h }
+func (w *discardRW) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+func (w *discardRW) WriteHeader(code int)        { w.status = code }
+
+func benchSolveRequest() (*http.Request, *replayBody, []byte) {
+	payload := []byte(solveBody)
+	rb := &replayBody{}
+	rb.Reset(payload)
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", rb)
+	return req, rb, payload
+}
+
+// BenchmarkServeSolveHit is the zero-allocation fast path: an identical
+// request answered from the preencoded-response cache.
+func BenchmarkServeSolveHit(b *testing.B) {
+	s := New(Config{})
+	h := s.Handler()
+	req, rb, payload := benchSolveRequest()
+	w := &discardRW{h: make(http.Header, 4)}
+
+	rb.Reset(payload)
+	h.ServeHTTP(w, req)
+	if w.status != http.StatusOK {
+		b.Fatalf("warmup status %d", w.status)
+	}
+	if s.respCache.Stats().Stores != 1 {
+		b.Fatal("warmup did not populate the response cache")
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.Reset(payload)
+		w.status = 0
+		h.ServeHTTP(w, req)
+	}
+	b.StopTimer()
+	if w.status != http.StatusOK {
+		b.Fatalf("status %d", w.status)
+	}
+	if hits := s.respCache.Stats().Hits; hits < int64(b.N) {
+		b.Fatalf("only %d cache hits for %d iterations", hits, b.N)
+	}
+}
+
+// BenchmarkServeSolveMiss walks the full serving path — pooled decode,
+// flight group, admission, the (GTPN-cached) solve, deterministic
+// re-encode. The gap to the Hit benchmark is what the response cache
+// buys.
+func BenchmarkServeSolveMiss(b *testing.B) {
+	s := New(Config{RespCacheEntries: -1})
+	h := s.Handler()
+	req, rb, payload := benchSolveRequest()
+	w := &discardRW{h: make(http.Header, 4)}
+
+	rb.Reset(payload)
+	h.ServeHTTP(w, req) // warm the process-global GTPN solve cache
+	if w.status != http.StatusOK {
+		b.Fatalf("warmup status %d", w.status)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.Reset(payload)
+		w.status = 0
+		h.ServeHTTP(w, req)
+	}
+	b.StopTimer()
+	if w.status != http.StatusOK {
+		b.Fatalf("status %d", w.status)
+	}
+}
+
+// BenchmarkDecodeSolveRequest isolates the pooled request decode.
+func BenchmarkDecodeSolveRequest(b *testing.B) {
+	s := New(Config{})
+	req, rb, payload := benchSolveRequest()
+	w := &discardRW{h: make(http.Header, 4)}
+
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rb.Reset(payload)
+		var q solveRequest
+		if !s.decodeBody(w, req, &q) {
+			b.Fatal("decode failed")
+		}
+	}
+}

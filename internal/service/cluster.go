@@ -58,6 +58,12 @@ type ClusterRouter interface {
 	// Offer hands a locally computed 200 result to the cluster for
 	// asynchronous replication to the key's replica node.
 	Offer(spec ComputeSpec, body []byte)
+	// CacheServeable reports whether this node may serve cached response
+	// bytes for key right now — true while the current ring names it the
+	// key's owner or one of its replicas. The serving layer consults it
+	// on every response-cache hit, so membership changes retire a
+	// departed node's cached keys without any invalidation traffic.
+	CacheServeable(key string) bool
 	// MetricsSnapshot reports the node's cluster counters as a
 	// deterministically encodable tree (merged into GET /metrics).
 	MetricsSnapshot() map[string]any

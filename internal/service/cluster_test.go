@@ -75,10 +75,11 @@ func TestHopLimitRejection(t *testing.T) {
 // fakeRouter is a scriptable ClusterRouter for exercising the service
 // side of the cluster hook without real peers.
 type fakeRouter struct {
-	mu      sync.Mutex
-	route   func(spec ComputeSpec) (RoutedResult, bool)
-	routed  []ComputeSpec
-	offered map[string][]byte
+	mu        sync.Mutex
+	route     func(spec ComputeSpec) (RoutedResult, bool)
+	serveable func(key string) bool // nil means never serveable from cache
+	routed    []ComputeSpec
+	offered   map[string][]byte
 }
 
 func (f *fakeRouter) Route(_ context.Context, spec ComputeSpec) (RoutedResult, bool) {
@@ -90,6 +91,16 @@ func (f *fakeRouter) Route(_ context.Context, spec ComputeSpec) (RoutedResult, b
 		return RoutedResult{}, false
 	}
 	return fn(spec)
+}
+
+func (f *fakeRouter) CacheServeable(key string) bool {
+	f.mu.Lock()
+	fn := f.serveable
+	f.mu.Unlock()
+	if fn == nil {
+		return false
+	}
+	return fn(key)
 }
 
 func (f *fakeRouter) Offer(spec ComputeSpec, body []byte) {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // Deterministic JSON encoding for every service response. The contract
@@ -18,13 +19,27 @@ import (
 // the supported leaf types; an unsupported type is a programming error
 // and panics in the response path's encode step.
 
+// encodePool recycles the scratch buffers marshalDet encodes into; the
+// result is copied out, so callers own plain immutable slices and the
+// buffer's capacity is reused by the next encode.
+var encodePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledEncodeBuf bounds the buffers the pool retains — a rare huge
+// body (an experiment dump) must not pin its capacity forever.
+const maxPooledEncodeBuf = 1 << 20
+
 // marshalDet renders v deterministically, with a trailing newline so
 // bodies are friendly to curl.
 func marshalDet(v any) []byte {
-	var buf bytes.Buffer
-	encodeDet(&buf, v)
+	buf := encodePool.Get().(*bytes.Buffer)
+	buf.Reset()
+	encodeDet(buf, v)
 	buf.WriteByte('\n')
-	return buf.Bytes()
+	out := append([]byte(nil), buf.Bytes()...)
+	if buf.Cap() <= maxPooledEncodeBuf {
+		encodePool.Put(buf)
+	}
+	return out
 }
 
 // MarshalDeterministic is the exported form of the service's

@@ -62,6 +62,7 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	queueDepth := s.queueDepth()
 	cs := gtpn.SolveCacheStats()
 	es := gtpn.SolverEngineStats()
+	rc := s.respCache.Stats()
 
 	routes := make([]string, 0, len(byRoute))
 	for r := range byRoute {
@@ -84,6 +85,12 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.family("ipcd_rejected_draining_total", "counter", rejectedDrain)
 	p.family("ipcd_rejected_hops_total", "counter", rejectedHops)
 	p.family("ipcd_errors_total", "counter", errs)
+	p.family("ipcd_resp_cache_hits_total", "counter", rc.Hits)
+	p.family("ipcd_resp_cache_misses_total", "counter", rc.Misses)
+	p.family("ipcd_resp_cache_evictions_total", "counter", rc.Evictions)
+	p.family("ipcd_resp_cache_stores_total", "counter", rc.Stores)
+	p.family("ipcd_resp_cache_entries", "gauge", rc.Entries)
+	p.family("ipcd_resp_cache_bytes", "gauge", rc.Bytes)
 	p.family("ipcd_gtpn_cache_hits_total", "counter", int64(cs.Hits))
 	p.family("ipcd_gtpn_cache_misses_total", "counter", int64(cs.Misses))
 	p.family("ipcd_gtpn_cache_bypassed_total", "counter", int64(cs.Bypassed))

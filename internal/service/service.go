@@ -18,11 +18,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -59,6 +61,14 @@ type Config struct {
 	// appended by SampleMetrics. 0 means 360 (an hour at ipcd's default
 	// ten-second sampling interval).
 	HistorySize int
+	// RespCacheEntries bounds the preencoded-response cache: identical
+	// solve/simulate requests are answered from stored canonical bytes
+	// without decoding, computing, or re-encoding. 0 means 1024; negative
+	// disables the cache.
+	RespCacheEntries int
+	// RespCacheBytes bounds the response cache's total body bytes.
+	// 0 means 64 MiB; negative means no byte bound.
+	RespCacheBytes int64
 	// Cluster, when non-nil, makes this server one node of a
 	// consistent-hash cluster: solve/simulate computations whose key
 	// another node owns are routed there instead of computed locally,
@@ -89,6 +99,18 @@ func (c Config) withDefaults() Config {
 	if c.HistorySize <= 0 {
 		c.HistorySize = 360
 	}
+	if c.RespCacheEntries == 0 {
+		c.RespCacheEntries = 1024
+	}
+	if c.RespCacheEntries < 0 {
+		c.RespCacheEntries = 0 // disabled
+	}
+	if c.RespCacheBytes == 0 {
+		c.RespCacheBytes = 64 << 20
+	}
+	if c.RespCacheBytes < 0 {
+		c.RespCacheBytes = 0 // unbounded
+	}
 	return c
 }
 
@@ -108,6 +130,7 @@ type Server struct {
 	sweepFlights flightGroup
 	metrics      *metrics
 	history      *historyRing
+	respCache    *RespCache   // nil when disabled
 	traceSeq     atomic.Int64 // computing requests seen, for trace sampling
 
 	// testHookAdmitted, when set, runs in a computation leader after it
@@ -129,6 +152,9 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 	}
 	s.history = newHistoryRing(s.cfg.HistorySize)
+	if s.cfg.RespCacheEntries > 0 {
+		s.respCache = newRespCache(s.cfg.RespCacheEntries, s.cfg.RespCacheBytes)
+	}
 	s.slots = make(chan struct{}, s.cfg.Workers)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
@@ -177,11 +203,15 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// statusWriter records the status code a handler wrote.
+// statusWriter records the status code a handler wrote. Instances are
+// pooled: one is live only between instrument's wrap and its
+// requestEnd, and no handler retains its writer past returning.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 }
+
+var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
@@ -216,7 +246,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		s.metrics.requestStart(route)
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw := statusWriterPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status = w, http.StatusOK
 		if rec, seq := s.sampleTrace(route); rec != nil {
 			sc := rec.NewScope(0, route)
 			sp := sc.Begin(route, "http")
@@ -227,6 +258,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			h(sw, r)
 		}
 		s.metrics.requestEnd(route, time.Since(start), sw.status)
+		sw.ResponseWriter = nil
+		statusWriterPool.Put(sw)
 	}
 }
 
@@ -322,7 +355,11 @@ func (s *Server) queueDepth() int64 {
 // compute, so they never occupy the admission queue. Only a locally
 // owned (or cluster-unserveable) key admits and computes here, and a
 // fresh 200 is offered back for replication.
-func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, spec ComputeSpec, fn func(ctx context.Context) flightResult) {
+// A store callback, when non-nil, receives a leader's fresh 200 body —
+// the response-cache population point. It never sees a cluster-routed
+// body: what another node served is that node's cache's business, and
+// storing it here would let this node answer keys it does not own.
+func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, spec ComputeSpec, fn func(ctx context.Context) flightResult, store func(body []byte)) {
 	sc := trace.ScopeFrom(r.Context())
 	res, leader, err := s.flights.do(r.Context(), spec.Key, func() flightResult {
 		if s.cfg.Cluster != nil && spec.Body != nil {
@@ -364,8 +401,13 @@ func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, spec ComputeSp
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 		defer cancel()
 		res := fn(trace.NewContext(ctx, sc))
-		if s.cfg.Cluster != nil && spec.Body != nil && res.status == http.StatusOK {
-			s.cfg.Cluster.Offer(spec, res.body)
+		if res.status == http.StatusOK {
+			if store != nil {
+				store(res.body)
+			}
+			if s.cfg.Cluster != nil && spec.Body != nil {
+				s.cfg.Cluster.Offer(spec, res.body)
+			}
 		}
 		return res
 	})
@@ -383,12 +425,68 @@ func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, spec ComputeSp
 	writeDet(w, res.status, res.header, res.body)
 }
 
-// decodeBody decodes a JSON request body with a size limit.
+// decodeState is the pooled per-request decode scratch: the body bytes
+// and a resettable reader the JSON decoder consumes them through.
+// (json.Decoder itself has no Reset, so the decoder is the one small
+// allocation the decode path keeps.)
+type decodeState struct {
+	buf []byte
+	rd  bytes.Reader
+}
+
+var decodePool = sync.Pool{
+	New: func() any { return &decodeState{buf: make([]byte, 0, 4096)} },
+}
+
+// maxPooledDecodeBuf bounds the buffers the pool retains: a rare
+// near-MaxBodyBytes request must not pin megabytes per pooled slot.
+const maxPooledDecodeBuf = 64 << 10
+
+// errBodyTooLarge carries the exact message http.MaxBytesReader used
+// here before pooling, so the client-visible 400 body is unchanged.
+var errBodyTooLarge = errors.New("http: request body too large")
+
+// readBounded appends r's bytes to dst until EOF, failing once more
+// than max bytes arrive.
+func readBounded(dst []byte, r io.Reader, max int64) ([]byte, error) {
+	for {
+		if int64(len(dst)) > max {
+			return dst, errBodyTooLarge
+		}
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			if int64(len(dst)) > max {
+				return dst, errBodyTooLarge
+			}
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// decodeBody decodes a JSON request body with a size limit, through
+// pooled read buffers. Decoder semantics are preserved exactly (one
+// value decoded, unknown fields rejected, trailing bytes tolerated).
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(into); err != nil {
+	ds := decodePool.Get().(*decodeState)
+	buf, err := readBounded(ds.buf[:0], r.Body, s.cfg.MaxBodyBytes)
+	ds.buf = buf
+	if err == nil {
+		ds.rd.Reset(buf)
+		dec := json.NewDecoder(&ds.rd)
+		dec.DisallowUnknownFields()
+		err = dec.Decode(into)
+	}
+	if cap(ds.buf) <= maxPooledDecodeBuf {
+		decodePool.Put(ds)
+	}
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error(), nil)
 		return false
 	}
@@ -489,6 +587,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error(), nil)
 		return
 	}
+	p := solveParams{
+		arch:            q.Arch,
+		conversations:   q.Conversations,
+		hosts:           q.Hosts,
+		serverComputeUS: q.ServerComputeUS,
+		nonLocal:        q.NonLocal,
+	}
+	// The zero-allocation fast path: an identical validated request has
+	// preencoded bytes. Keyed by the parameter struct — deriving the
+	// flight key would build a GTPN net just to sign it — and gated on
+	// cluster entitlement at serve time, so a node answers only keys its
+	// current ring says it owns or replicates. Traced requests take the
+	// full path: a sampled trace exists to show the pipeline.
+	if trace.ScopeFrom(r.Context()) == nil {
+		if ckey, body, ok := s.respCache.getSolve(p); ok && s.cacheServeable(ckey) {
+			s.respCache.served()
+			writeDet(w, http.StatusOK, nil, body)
+			return
+		}
+	}
 	sys := q.system()
 	key, err := SolveKey(q.Arch, q.Conversations, q.Hosts, q.ServerComputeUS, q.NonLocal)
 	if err != nil {
@@ -510,8 +628,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		res := flightResult{status: http.StatusOK, body: marshalDet(body)}
 		sp.End()
 		return res
+	}, func(body []byte) {
+		if s.cacheServeable(key) {
+			s.respCache.putSolve(p, key, body)
+		}
 	})
 }
+
+// cacheServeable reports whether this node may answer key from its
+// response cache right now: always in single-node operation, and only
+// while the cluster ring names it owner or replica otherwise. Checked
+// at serve time — never at store time alone — so a membership change
+// silently retires a departed node's cached keys without invalidation.
+func (s *Server) cacheServeable(key string) bool {
+	return s.cfg.Cluster == nil || s.cfg.Cluster.CacheServeable(key)
+}
+
+// RespCache exposes the preencoded-response cache (nil when disabled).
+// The cluster tier serves replicated entries through it and stores
+// replica pushes into it.
+func (s *Server) RespCache() *RespCache { return s.respCache }
 
 // simulateRequest is the body of POST /v1/simulate: the workload point
 // plus the replication ensemble. The seed is part of the request, so
@@ -568,6 +704,27 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error(), nil)
 		return
 	}
+	p := simParams{
+		solveParams: solveParams{
+			arch:            q.Arch,
+			conversations:   q.Conversations,
+			hosts:           q.Hosts,
+			serverComputeUS: q.ServerComputeUS,
+			nonLocal:        q.NonLocal,
+		},
+		seconds:      q.Seconds,
+		seed:         q.Seed,
+		replications: q.Replications,
+	}
+	// Simulations are seeded and therefore deterministic too: the same
+	// fast path as solve, with the ensemble parameters in the identity.
+	if trace.ScopeFrom(r.Context()) == nil {
+		if ckey, body, ok := s.respCache.getSim(p); ok && s.cacheServeable(ckey) {
+			s.respCache.served()
+			writeDet(w, http.StatusOK, nil, body)
+			return
+		}
+	}
 	key := fmt.Sprintf("sim|a=%d|n=%d|h=%d|x=%s|nl=%t|s=%d|seed=%d|reps=%d",
 		q.Arch, q.Conversations, q.Hosts, formatFloatKey(q.ServerComputeUS),
 		q.NonLocal, q.Seconds, q.Seed, q.Replications)
@@ -587,6 +744,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		body["seed"] = q.Seed
 		body["throughput_rps"] = meas.Throughput
 		return flightResult{status: http.StatusOK, body: marshalDet(body)}
+	}, func(body []byte) {
+		if s.cacheServeable(key) {
+			s.respCache.putSim(p, key, body)
+		}
 	})
 }
 
@@ -640,7 +801,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			"quick":  quick,
 			"title":  e.Title,
 		})}
-	})
+	}, nil)
 }
 
 // experimentIDs lists the registry ids in paper order.
@@ -680,7 +841,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) MetricsJSON() []byte {
 	cs := gtpn.SolveCacheStats()
 	es := gtpn.SolverEngineStats()
+	rc := s.respCache.Stats()
 	body := map[string]any{
+		"resp_cache": map[string]any{
+			"bytes":     rc.Bytes,
+			"entries":   rc.Entries,
+			"evictions": rc.Evictions,
+			"hits":      rc.Hits,
+			"misses":    rc.Misses,
+			"stores":    rc.Stores,
+		},
 		"gtpn_cache": map[string]any{
 			"bypassed": cs.Bypassed,
 			"entries":  int64(cs.Entries),

@@ -349,7 +349,9 @@ func TestGracefulDrain(t *testing.T) {
 func TestMetricsCacheCounters(t *testing.T) {
 	gtpn.ResetSolveCache()
 	t.Cleanup(gtpn.ResetSolveCache)
-	_, ts := testServer(t, Config{})
+	// Response caching off: this test pins the GTPN solve cache's
+	// counters, which the repeat request must actually reach.
+	_, ts := testServer(t, Config{RespCacheEntries: -1})
 
 	read := func() (hits, misses float64) {
 		_, body := get(t, ts.URL+"/metrics")
