@@ -9,9 +9,10 @@
 # BENCH_gtpn.json (see cmd/ipcbench). Commit the refreshed file whenever
 # a change is meant to move the solver or serving-path numbers.
 #
-# `./check.sh cluster` runs only the three-node cluster smoke, and
-# `./check.sh openloop` only the open-loop load smoke — the same blocks
-# the full gate ends with.
+# `./check.sh cluster` runs only the three-node cluster smoke,
+# `./check.sh openloop` only the open-loop load smoke, and
+# `./check.sh obsv` only the observability smoke — the same blocks the
+# full gate ends with.
 set -eux
 
 if [ "${1:-}" = "bench" ]; then
@@ -90,8 +91,141 @@ openloop_smoke() {
     trap - EXIT
 }
 
+# Observability smoke: a three-node cluster with per-request tracing,
+# JSON access logs and request rings. One solve pushed through a
+# follower must (a) leave a merged Chrome trace on the follower whose
+# span lanes cover BOTH nodes of the hop, (b) appear in both nodes'
+# JSON access logs under the SAME request ID, and (c) show up in the
+# cluster-merged /debug/requests view with its routing decision.
+obsv_smoke() {
+    go build -o /tmp/ipcd.check ./cmd/ipcd
+    OBSV_DIR=$(mktemp -d)
+    OBSV_PIDS=""
+    cleanup_obsv() {
+        for p in $OBSV_PIDS; do kill "$p" 2>/dev/null || true; done
+        OBSV_PIDS=""
+    }
+    trap cleanup_obsv EXIT
+    OBSV_PEERS="http://127.0.0.1:18101,http://127.0.0.1:18102,http://127.0.0.1:18103"
+    for port in 18101 18102 18103; do
+        /tmp/ipcd.check -addr 127.0.0.1:$port -cluster-self "http://127.0.0.1:$port" \
+            -peers "$OBSV_PEERS" -cluster-replicas -1 -node-name "n$port" \
+            -log-format json -trace-dir "$OBSV_DIR/t$port" -trace-every 1 \
+            2>"$OBSV_DIR/log$port.json" &
+        OBSV_PIDS="$OBSV_PIDS $!"
+    done
+    for port in 18101 18102 18103; do
+        i=0
+        until curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+            i=$((i + 1))
+            test "$i" -lt 100
+            sleep 0.1
+        done
+    done
+    # The same solve through every node: exactly one owns the key, the
+    # other two forward (replication is off, so no replica shortcut).
+    solve_body='{"arch":2,"conversations":1,"server_compute_us":1140}'
+    for port in 18101 18102 18103; do
+        curl -fsS -X POST -H 'Content-Type: application/json' -d "$solve_body" \
+            "http://127.0.0.1:$port/v1/solve" >/dev/null
+    done
+    forwarder=""
+    for port in 18101 18102 18103; do
+        if curl -fsS "http://127.0.0.1:$port/metrics" | grep -q '"forward_served":[1-9]'; then
+            forwarder=$port
+            break
+        fi
+    done
+    test -n "$forwarder"
+    # (a) The forwarder's trace merges the owner's spans: two process
+    # lanes (pid 0 local, pid 1 remote) and the owner-side serve span.
+    tracefile=$(ls "$OBSV_DIR/t$forwarder"/req-*-solve.json | head -1)
+    test "$(grep -o '"pid":[0-9]*' "$tracefile" | sort -u | wc -l)" -ge 2
+    grep -q '"name":"peer.rtt"' "$tracefile"
+    grep -q '"name":"admission.wait"' "$tracefile"
+    # (b) Both nodes' access logs are valid JSON and share the request
+    # ID the forwarder minted.
+    cat >/tmp/obsv_checklog.go <<'EOF'
+// Smoke helper: every line of each file must parse as JSON. With -id,
+// at least one access record carrying that id must appear in EVERY
+// file; with -print, the first solve access record's id is printed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	id := flag.String("id", "", "require an access record with this id in every file")
+	print := flag.Bool("print", false, "print the first solve access record's id")
+	flag.Parse()
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		found := false
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var m map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: not JSON: %v: %s\n", path, err, sc.Text())
+				os.Exit(1)
+			}
+			if m["msg"] != "access" {
+				continue
+			}
+			if *print && m["route"] == "solve" {
+				fmt.Println(m["id"])
+				return
+			}
+			if *id != "" && m["id"] == *id {
+				found = true
+			}
+		}
+		f.Close()
+		if *id != "" && !found {
+			fmt.Fprintf(os.Stderr, "%s: no access record with id %q\n", path, *id)
+			os.Exit(1)
+		}
+	}
+}
+EOF
+    req_id=$(go run /tmp/obsv_checklog.go -print "$OBSV_DIR/log$forwarder.json")
+    test -n "$req_id"
+    # The ID must appear in the forwarder's log AND in at least one other
+    # node's log (the owner inherited it on the forwarded hop).
+    go run /tmp/obsv_checklog.go -id "$req_id" "$OBSV_DIR/log$forwarder.json"
+    others=0
+    for port in 18101 18102 18103; do
+        if [ "$port" != "$forwarder" ] &&
+            go run /tmp/obsv_checklog.go -id "$req_id" "$OBSV_DIR/log$port.json" 2>/dev/null; then
+            others=$((others + 1))
+        fi
+    done
+    test "$others" -ge 1
+    # (c) The cluster-merged request ring records the routing decision.
+    curl -fsS "http://127.0.0.1:$forwarder/debug/requests?scope=cluster" |
+        grep -q '"decision":"forwarded"'
+    # The load client's machine-readable summary stays parseable.
+    go run ./cmd/ipcload -json -addr "http://127.0.0.1:18101" -c 2 -duration 1s |
+        grep -q '"digest":"'
+    cleanup_obsv
+    trap - EXIT
+}
+
 if [ "${1:-}" = "cluster" ]; then
     cluster_smoke
+    exit 0
+fi
+
+if [ "${1:-}" = "obsv" ]; then
+    obsv_smoke
     exit 0
 fi
 
@@ -148,3 +282,4 @@ go run ./cmd/ipcbench -compare BENCH_gtpn.json -tolerance 0.25
 go run ./cmd/ipcsim -arch 2 -n 2 -x 1140 -seconds 1 -counters | grep -q 'res.node0.host0.busy'
 cluster_smoke
 openloop_smoke
+obsv_smoke

@@ -10,6 +10,7 @@
 //	ipcd -pprof localhost:6060   net/http/pprof on a separate listener (off by default)
 //	ipcd -trace-dir traces       sample per-request Chrome traces (every -trace-every requests)
 //	ipcd -resp-cache 4096        preencoded-response cache entries (negative disables)
+//	ipcd -log-format json        structured JSON logs and access records on stderr
 //
 // Cluster mode shards the solve keyspace across a fleet of nodes by
 // consistent hashing on the canonical coalescing key:
@@ -36,6 +37,8 @@
 //	GET  /metrics?scope=cluster      cluster-wide fan-out merge of every member's counters
 //	GET  /metrics/history     in-process counter time series (-history-every samples)
 //	GET  /metrics/history?scope=cluster  merged member time series, ordered by (time, node)
+//	GET  /debug/requests      recent-request ring: IDs, routing decisions, phase timings
+//	GET  /debug/requests?scope=cluster   merged member rings, ordered by (time, node)
 //	POST /cluster/v1/{join,leave,replicate}, GET /cluster/v1/members  (cluster mode)
 //
 // On SIGTERM/SIGINT the daemon drains: in cluster mode it first leaves
@@ -49,9 +52,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -82,6 +86,10 @@ func main() {
 		clusterListen = flag.String("cluster-listen", "", "serve cluster traffic (forwards, membership, replication) on this separate address; empty = the main listener")
 		vnodes        = flag.Int("cluster-vnodes", 0, "virtual nodes per member on the hash ring (0 = 64)")
 		replicas      = flag.Int("cluster-replicas", 0, "ring successors receiving each hot entry (0 = 1, negative disables replication)")
+
+		logFormat = flag.String("log-format", "text", "structured log encoding on stderr: text or json")
+		nodeName  = flag.String("node-name", "", "this node's name in request IDs, traces and access logs (default: -cluster-self host, else \"ipcd\")")
+		recentReq = flag.Int("recent-requests", 0, "requests retained by the /debug/requests ring (0 = 128)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -90,15 +98,44 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One slog.Logger carries both daemon lifecycle records and the
+	// per-request access log; -log-format json makes every line (and
+	// therefore the smoke tests' assertions) machine-parseable.
+	var logHandler slog.Handler
+	switch *logFormat {
+	case "text":
+		logHandler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "ipcd: -log-format must be text or json, got %q\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(logHandler)
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	name := *nodeName
+	if name == "" && *clusterSelf != "" {
+		// A cluster node defaults to its advertised host:port — unique
+		// within the fleet, so merged traces and logs stay attributable.
+		if u, err := url.Parse(*clusterSelf); err == nil && u.Host != "" {
+			name = u.Host
+		}
+	}
+
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
-			log.Fatalf("ipcd: trace dir: %v", err)
+			fatal("trace dir", "err", err)
 		}
 	}
 	var node *cluster.Node
 	if *peers != "" {
 		if *clusterSelf == "" {
-			log.Fatalf("ipcd: -peers requires -cluster-self (this node's advertised URL)")
+			fatal("-peers requires -cluster-self (this node's advertised URL)")
 		}
 		var err error
 		node, err = cluster.New(cluster.Config{
@@ -108,7 +145,7 @@ func main() {
 			Replicas:     *replicas,
 		})
 		if err != nil {
-			log.Fatalf("ipcd: cluster: %v", err)
+			fatal("cluster", "err", err)
 		}
 	}
 	cfg := service.Config{
@@ -120,6 +157,9 @@ func main() {
 		HistorySize:      *historySize,
 		RespCacheEntries: *respCache,
 		RespCacheBytes:   *respCacheB,
+		NodeName:         name,
+		RecentRequests:   *recentReq,
+		AccessLog:        logger,
 	}
 	if node != nil {
 		cfg.Cluster = node
@@ -152,9 +192,9 @@ func main() {
 	if node != nil && *clusterListen != "" {
 		csrv := &http.Server{Addr: *clusterListen, Handler: node.Handler(), ReadHeaderTimeout: 10 * time.Second}
 		go func() {
-			log.Printf("ipcd: cluster listener on %s", *clusterListen)
+			logger.Info("cluster listener", "addr", *clusterListen)
 			if err := csrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("ipcd: cluster listener: %v", err)
+				logger.Error("cluster listener", "err", err)
 			}
 		}()
 	}
@@ -171,9 +211,9 @@ func main() {
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		psrv := &http.Server{Addr: *pprofAt, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
-			log.Printf("ipcd: pprof on %s", *pprofAt)
+			logger.Info("pprof listener", "addr", *pprofAt)
 			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("ipcd: pprof: %v", err)
+				logger.Error("pprof listener", "err", err)
 			}
 		}()
 	}
@@ -183,7 +223,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("ipcd: serving on %s", *addr)
+	logger.Info("serving", "addr", *addr, "node", name)
 	if node != nil {
 		// Announce this node to the fleet once the listeners are up; peers
 		// listed statically already route to us, so a failed announcement
@@ -192,15 +232,15 @@ func main() {
 			jctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 			defer cancel()
 			if err := node.Join(jctx); err != nil {
-				log.Printf("ipcd: cluster join: %v", err)
+				logger.Error("cluster join", "err", err)
 			}
-			log.Printf("ipcd: cluster members %v", node.Members())
+			logger.Info("cluster joined", "members", strings.Join(node.Members(), ","))
 		}()
 	}
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("ipcd: %v", err)
+		fatal("listen", "err", err)
 	case <-ctx.Done():
 	}
 
@@ -210,16 +250,16 @@ func main() {
 		// to the new owner — byte-identical either way.
 		lctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		if err := node.Leave(lctx); err != nil {
-			log.Printf("ipcd: cluster leave: %v", err)
+			logger.Error("cluster leave", "err", err)
 		}
 		cancel()
 	}
-	log.Printf("ipcd: draining (up to %v)", *drain)
+	logger.Info("draining", "grace", drain.String())
 	srv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("ipcd: shutdown: %v", err)
+		logger.Error("shutdown", "err", err)
 	}
-	log.Printf("ipcd: drained, exiting")
+	logger.Info("drained, exiting")
 }

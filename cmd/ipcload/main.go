@@ -44,6 +44,7 @@
 //	ipcload -endpoint simulate -c 8 -duration 10s -seed 7
 //	ipcload -nonlocal ...   include non-local workload points (slow solves)
 //	ipcload -rate 500 -arrivals poisson -c 16 -duration 10s   open loop
+//	ipcload -json ...       one deterministic JSON summary document on stdout
 package main
 
 import (
@@ -73,6 +74,7 @@ func main() {
 		nonlocal = flag.Bool("nonlocal", false, "include non-local workload points (much slower solves)")
 		rate     = flag.Float64("rate", 0, "open-loop arrival rate in requests/second aggregate across workers (0 = closed loop)")
 		arrivals = flag.String("arrivals", "poisson", "open-loop arrival process: poisson or fixed")
+		jsonOut  = flag.Bool("json", false, "print the end-of-run summary as one deterministic JSON document instead of text")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -216,6 +218,56 @@ func main() {
 	wall := time.Since(start)
 
 	n := len(latencies)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	sort.Slice(corrected, func(i, j int) bool { return corrected[i] < corrected[j] })
+	q := func(p float64) time.Duration { return quantile(latencies, p) }
+	qc := func(p float64) time.Duration { return quantile(corrected, p) }
+
+	if *jsonOut {
+		// One deterministically encoded document (sorted keys, shortest
+		// round-trip floats) a harness can parse without scraping the text
+		// layout. Percentiles cover both latency views; corrected ones are
+		// present only in open-loop runs, where they are defined.
+		doc := map[string]any{
+			"arrivals":        *arrivals,
+			"digest":          fmt.Sprintf("%016x", digest(bodies)),
+			"distinct_points": len(bodies),
+			"duration_s":      wall.Seconds(),
+			"endpoint":        *endpoint,
+			"errors":          errs,
+			"mismatches":      mismatches,
+			"open_loop":       openLoop,
+			"requests":        n,
+			"rps":             float64(n-errs) / wall.Seconds(),
+			"seed":            *seed,
+			"target_rate_rps": *rate,
+		}
+		if n > 0 {
+			doc["p50_raw_us"] = q(0.50).Microseconds()
+			doc["p90_raw_us"] = q(0.90).Microseconds()
+			doc["p99_raw_us"] = q(0.99).Microseconds()
+			doc["max_raw_us"] = latencies[n-1].Microseconds()
+		}
+		if openLoop && len(corrected) > 0 {
+			doc["p50_corrected_us"] = qc(0.50).Microseconds()
+			doc["p90_corrected_us"] = qc(0.90).Microseconds()
+			doc["p99_corrected_us"] = qc(0.99).Microseconds()
+			doc["max_corrected_us"] = corrected[len(corrected)-1].Microseconds()
+		}
+		// Per-status failure breakdown under the same labels as the text
+		// summary ("transport", "429 (backpressure)", ...).
+		failed := map[string]any{}
+		for s, c := range byStatus {
+			failed[statusLabel(s)] = c
+		}
+		doc["failed"] = failed
+		os.Stdout.Write(service.MarshalDeterministic(doc))
+		if errs > 0 || mismatches > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("ipcload: %d requests in %.2fs (%.1f req/s), %d errors\n",
 		n, wall.Seconds(), float64(n-errs)/wall.Seconds(), errs)
 	if len(byStatus) > 0 {
@@ -234,14 +286,6 @@ func main() {
 		fmt.Printf("  failed: %s\n", strings.Join(parts, ", "))
 	}
 	if n > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		q := func(p float64) time.Duration {
-			i := int(p * float64(n))
-			if i >= n {
-				i = n - 1
-			}
-			return latencies[i]
-		}
 		fmt.Printf("  latency p50 %v  p90 %v  p99 %v  max %v\n",
 			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 			q(0.99).Round(time.Microsecond), latencies[n-1].Round(time.Microsecond))
@@ -260,14 +304,6 @@ func main() {
 			// queueing behind a stalled server; corrected (intended ->
 			// completion) charges it. Corrected >= raw pointwise, because a
 			// request never goes out before its intended time.
-			sort.Slice(corrected, func(i, j int) bool { return corrected[i] < corrected[j] })
-			qc := func(p float64) time.Duration {
-				i := int(p * float64(len(corrected)))
-				if i >= len(corrected) {
-					i = len(corrected) - 1
-				}
-				return corrected[i]
-			}
 			fmt.Printf("  open-loop %s", service.MarshalDeterministic(map[string]any{
 				"arrivals":         *arrivals,
 				"target_rate_rps":  *rate,
@@ -360,6 +396,19 @@ func statusLabel(s int) string {
 	default:
 		return fmt.Sprintf("%d", s)
 	}
+}
+
+// quantile indexes a sorted latency slice at fraction p (nearest-rank,
+// clamped); zero for an empty slice.
+func quantile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 func hashBytes(b []byte) uint64 {

@@ -36,7 +36,7 @@ func (n *Node) AggregateMetrics(ctx context.Context) []byte {
 	unreachable := []string{}
 	var sums = map[string]float64{}
 	var cacheHits, cacheMisses float64
-	var respHits, respMisses float64
+	var respHits, respMisses, respTraceBypass float64
 	for _, m := range members {
 		doc, err := n.fetchMemberJSON(ctx, m, "/metrics")
 		if err != nil {
@@ -66,6 +66,9 @@ func (n *Node) AggregateMetrics(ctx context.Context) []byte {
 			if v, ok := cache["misses"].(float64); ok {
 				respMisses += v
 			}
+			if v, ok := cache["trace_bypass"].(float64); ok {
+				respTraceBypass += v
+			}
 		}
 	}
 	for _, k := range totalKeys {
@@ -75,6 +78,7 @@ func (n *Node) AggregateMetrics(ctx context.Context) []byte {
 	totals["gtpn_cache_misses"] = cacheMisses
 	totals["resp_cache_hits"] = respHits
 	totals["resp_cache_misses"] = respMisses
+	totals["resp_cache_trace_bypass"] = respTraceBypass
 	return service.MarshalDeterministic(map[string]any{
 		"epoch":       n.Epoch(),
 		"members":     members,
@@ -87,30 +91,46 @@ func (n *Node) AggregateMetrics(ctx context.Context) []byte {
 
 // AggregateHistory implements service.ClusterRouter.
 func (n *Node) AggregateHistory(ctx context.Context) []byte {
+	return n.aggregateTimeline(ctx, "/metrics/history", "points")
+}
+
+// AggregateRequests implements service.ClusterRouter: the cluster-wide
+// recent-request ring, every member's entries tagged with their node
+// and merged on the same deterministic order as history points.
+func (n *Node) AggregateRequests(ctx context.Context) []byte {
+	return n.aggregateTimeline(ctx, "/debug/requests", "requests")
+}
+
+// aggregateTimeline merges one timestamped list (doc[listKey], each
+// entry carrying unix_ms) from every member: entries are tagged with
+// their node and ordered by (unix_ms, node, per-node sequence), so the
+// merged view is deterministic for unchanged inputs even though member
+// clocks are unrelated.
+func (n *Node) aggregateTimeline(ctx context.Context, path, listKey string) []byte {
 	members := n.Members()
 	type tagged struct {
 		unixMS float64
 		node   string
 		seq    int // original per-node order, for a stable tie-break
-		point  map[string]any
+		entry  map[string]any
 	}
 	var merged []tagged
 	unreachable := []string{}
 	for _, m := range members {
-		doc, err := n.fetchMemberJSON(ctx, m, "/metrics/history")
+		doc, err := n.fetchMemberJSON(ctx, m, path)
 		if err != nil {
 			unreachable = append(unreachable, m)
 			continue
 		}
-		points, _ := doc["points"].([]any)
-		for i, p := range points {
+		entries, _ := doc[listKey].([]any)
+		for i, p := range entries {
 			pm, ok := p.(map[string]any)
 			if !ok {
 				continue
 			}
 			pm["node"] = m
 			ts, _ := pm["unix_ms"].(float64)
-			merged = append(merged, tagged{unixMS: ts, node: m, seq: i, point: pm})
+			merged = append(merged, tagged{unixMS: ts, node: m, seq: i, entry: pm})
 		}
 	}
 	sort.Slice(merged, func(i, j int) bool {
@@ -122,13 +142,13 @@ func (n *Node) AggregateHistory(ctx context.Context) []byte {
 		}
 		return merged[i].seq < merged[j].seq
 	})
-	points := make([]any, 0, len(merged))
+	entries := make([]any, 0, len(merged))
 	for _, t := range merged {
-		points = append(points, t.point)
+		entries = append(entries, t.entry)
 	}
 	return service.MarshalDeterministic(map[string]any{
+		listKey:       entries,
 		"members":     members,
-		"points":      points,
 		"self":        n.self,
 		"unreachable": unreachable,
 	})
@@ -142,6 +162,8 @@ func (n *Node) fetchMemberJSON(ctx context.Context, member, path string) (map[st
 		switch path {
 		case "/metrics":
 			raw = n.local.MetricsJSON()
+		case "/debug/requests":
+			raw = n.local.RequestsJSON()
 		default:
 			raw = n.local.HistoryJSON()
 		}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // Config tunes one cluster node.
@@ -75,6 +76,7 @@ type Local interface {
 	Handler() http.Handler
 	MetricsJSON() []byte
 	HistoryJSON() []byte
+	RequestsJSON() []byte
 	RespCache() *service.RespCache
 }
 
@@ -249,7 +251,9 @@ func (n *Node) Route(ctx context.Context, spec service.ComputeSpec) (service.Rou
 	if n.onReplicaSet(spec.Key) {
 		if body, ok := n.respCache().GetKey(spec.Key); ok {
 			n.replicaHits.Add(1)
-			return service.RoutedResult{Status: http.StatusOK, Body: body}, true
+			trace.ScopeFrom(ctx).Instant("respcache.replica_hit", "cluster")
+			return service.RoutedResult{Status: http.StatusOK, Body: body,
+				Decision: service.DecisionReplicaHit}, true
 		}
 	}
 	if spec.Hops+1 >= service.MaxHops {
@@ -257,7 +261,7 @@ func (n *Node) Route(ctx context.Context, spec service.ComputeSpec) (service.Rou
 		// disagrees with ours (a membership change in flight). Computing
 		// locally is byte-identical and cannot loop.
 		n.hopCapLocal.Add(1)
-		return service.RoutedResult{}, false
+		return service.RoutedResult{Decision: service.DecisionHopCappedLocal}, false
 	}
 	n.forwardsOut.Add(1)
 	res, err := n.forward(ctx, owner, spec)
@@ -296,8 +300,12 @@ func (n *Node) CacheServeable(key string) bool {
 	return n.onReplicaSet(key)
 }
 
-// forward replays spec on the owner, hop count incremented. Any
-// non-200 answer is an error: the caller falls back to local compute.
+// forward replays spec on the owner, hop count incremented and request
+// ID attached. Any non-200 answer is an error: the caller falls back to
+// local compute. When the routing context carries a trace scope, the
+// owner is asked to trace its hop too (X-Ipcd-Trace) and the spans it
+// returns are merged into this request's recording as the owner's own
+// process lane, re-based to the moment the forward left this node.
 func (n *Node) forward(ctx context.Context, owner string, spec service.ComputeSpec) (service.RoutedResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		owner+"/v1/"+spec.Route, bytes.NewReader(spec.Body))
@@ -306,19 +314,43 @@ func (n *Node) forward(ctx context.Context, owner string, spec service.ComputeSp
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(service.HopsHeader, strconv.Itoa(spec.Hops+1))
+	if spec.RequestID != "" {
+		req.Header.Set(service.RequestIDHeader, spec.RequestID)
+	}
+	sc := trace.ScopeFrom(ctx)
+	var sentAt int64
+	if sc != nil {
+		req.Header.Set(service.TraceHeader, "1")
+		sentAt = sc.Recorder().Since()
+	}
+	sp := sc.Begin("peer.rtt", "cluster")
 	resp, err := n.cfg.Client.Do(req)
 	if err != nil {
+		sp.End()
 		return service.RoutedResult{}, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	sp.End()
 	if err != nil {
 		return service.RoutedResult{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		return service.RoutedResult{}, fmt.Errorf("owner %s answered %d", owner, resp.StatusCode)
 	}
-	return service.RoutedResult{Status: http.StatusOK, Body: body}, nil
+	if sc != nil {
+		if data := resp.Header.Get(service.TraceSpansHeader); data != "" {
+			node := resp.Header.Get(service.TraceNodeHeader)
+			if node == "" {
+				node = owner
+			}
+			// Best-effort: a malformed header loses the owner's lane,
+			// never the response.
+			_ = sc.Recorder().MergeRemote(node, []byte(data), sentAt)
+		}
+	}
+	return service.RoutedResult{Status: http.StatusOK, Body: body,
+		Decision: service.DecisionForwarded}, nil
 }
 
 // Offer implements service.ClusterRouter: push a locally computed 200
@@ -332,15 +364,18 @@ func (n *Node) Offer(spec service.ComputeSpec, body []byte) {
 		if m == n.self {
 			continue
 		}
-		go n.pushReplica(m, spec.Key, body)
+		go n.pushReplica(m, spec.Key, body, spec.RequestID)
 	}
 }
 
-func (n *Node) pushReplica(member, key string, body []byte) {
+func (n *Node) pushReplica(member, key string, body []byte, reqID string) {
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ControlTimeout)
 	defer cancel()
+	// The originating request's ID rides the push, so a replica's access
+	// log names the request that seeded its cache entry.
 	err := n.postJSON(ctx, member+"/cluster/v1/replicate",
-		map[string]any{"key": key, "body": string(body)}, nil)
+		map[string]any{"key": key, "body": string(body)}, nil,
+		service.RequestIDHeader, reqID)
 	if err != nil {
 		n.replicaPushErrors.Add(1)
 		return
@@ -349,8 +384,9 @@ func (n *Node) pushReplica(member, key string, body []byte) {
 }
 
 // postJSON issues one control-plane POST with a deterministic JSON body
-// and optionally decodes a JSON response into out.
-func (n *Node) postJSON(ctx context.Context, url string, body map[string]any, out any) error {
+// and optionally decodes a JSON response into out. hdrs are extra
+// header key/value pairs; empty values are skipped.
+func (n *Node) postJSON(ctx context.Context, url string, body map[string]any, out any, hdrs ...string) error {
 	ctx, cancel := context.WithTimeout(ctx, n.cfg.ControlTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url,
@@ -359,6 +395,11 @@ func (n *Node) postJSON(ctx context.Context, url string, body map[string]any, ou
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for i := 0; i+1 < len(hdrs); i += 2 {
+		if hdrs[i+1] != "" {
+			req.Header.Set(hdrs[i], hdrs[i+1])
+		}
+	}
 	resp, err := n.cfg.Client.Do(req)
 	if err != nil {
 		return err

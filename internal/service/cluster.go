@@ -22,6 +22,25 @@ import (
 // increments it.
 const HopsHeader = "X-Ipcd-Hops"
 
+// RequestIDHeader carries a request's ID across cluster hops (forwards
+// and replica pushes), so one logical request keeps one ID in every
+// node's logs, ring, and exemplars. A receiving node inherits the
+// header's value verbatim and echoes it on the response.
+const RequestIDHeader = "X-Ipcd-Request-Id"
+
+// TraceHeader marks a forwarded request as traced by the sending node:
+// the receiver serves it through a private span recorder and returns
+// the serialized spans in TraceSpansHeader.
+const TraceHeader = "X-Ipcd-Trace"
+
+// TraceNodeHeader names the responding node on a remote-traced
+// response; it becomes the merged trace's process-lane name.
+const TraceNodeHeader = "X-Ipcd-Trace-Node"
+
+// TraceSpansHeader carries the responding node's serialized spans
+// (trace.Recorder.MarshalSpans) on a remote-traced response.
+const TraceSpansHeader = "X-Ipcd-Trace-Spans"
+
 // MaxHops bounds the forwarding chain: a request arriving with
 // HopsHeader >= MaxHops is rejected outright (508 Loop Detected), so a
 // misconfigured ring — two nodes each believing the other owns a key —
@@ -32,18 +51,21 @@ const MaxHops = 2
 // on, its coalescing key, the canonical request body a peer can replay
 // it from, and the hop count it arrived with.
 type ComputeSpec struct {
-	Route string // route name: "solve" or "simulate"
-	Key   string // the flight key (canonical net signature + parameters)
-	Body  []byte // canonical JSON request body, replayable on a peer
-	Hops  int    // forwarding hops already taken
+	Route     string // route name: "solve" or "simulate"
+	Key       string // the flight key (canonical net signature + parameters)
+	Body      []byte // canonical JSON request body, replayable on a peer
+	Hops      int    // forwarding hops already taken
+	RequestID string // the request's ID, propagated on forwards and pushes
 }
 
 // RoutedResult is a cluster-served response: the owner's (or a
-// replica's) deterministic bytes.
+// replica's) deterministic bytes, plus how the cluster answered it
+// (Decision — one of the Decision* names — feeds /debug/requests).
 type RoutedResult struct {
-	Status int
-	Header map[string]string
-	Body   []byte
+	Status   int
+	Header   map[string]string
+	Body     []byte
+	Decision string
 }
 
 // ClusterRouter is implemented by the cluster tier (internal/cluster).
@@ -73,6 +95,9 @@ type ClusterRouter interface {
 	// AggregateHistory fans GET /metrics/history out to every member
 	// and merges the sampled points, ordered by (unix_ms, node).
 	AggregateHistory(ctx context.Context) []byte
+	// AggregateRequests fans GET /debug/requests out to every member
+	// and merges the recent-request rows, ordered by (unix_ms, node).
+	AggregateRequests(ctx context.Context) []byte
 }
 
 // checkHops parses the request's forwarding hop count and rejects the

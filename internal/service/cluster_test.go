@@ -124,6 +124,10 @@ func (f *fakeRouter) AggregateHistory(context.Context) []byte {
 	return []byte(`{"aggregated":"history"}`)
 }
 
+func (f *fakeRouter) AggregateRequests(context.Context) []byte {
+	return []byte(`{"aggregated":"requests"}`)
+}
+
 func (f *fakeRouter) routedSpecs() []ComputeSpec {
 	f.mu.Lock()
 	defer f.mu.Unlock()

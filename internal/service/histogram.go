@@ -17,6 +17,18 @@ type Histogram struct {
 	count  int64
 	sum    float64
 	max    float64
+	// exemplars, when non-nil (withExemplars), retains per bucket the
+	// last observation that landed there together with its request ID —
+	// the OpenMetrics exemplar notion, linking a slow bucket directly to
+	// a trace file or access-log line. The server's metrics histograms
+	// enable it; client-side histograms (ipcload) do not.
+	exemplars []exemplar
+}
+
+// exemplar pins the last request that landed in a bucket.
+type exemplar struct {
+	id RequestID
+	us float64
 }
 
 // histBounds are the bucket upper bounds, in microseconds. An
@@ -39,8 +51,19 @@ func HistogramBounds() []float64 {
 	return append([]float64(nil), histBounds...)
 }
 
+// withExemplars enables per-bucket exemplar retention and returns h.
+func (h *Histogram) withExemplars() *Histogram {
+	h.exemplars = make([]exemplar, len(histBounds)+1)
+	return h
+}
+
 // Observe records one latency observation in microseconds.
-func (h *Histogram) Observe(us float64) {
+func (h *Histogram) Observe(us float64) { h.ObserveID(us, RequestID{}) }
+
+// ObserveID records one observation tagged with the request that
+// produced it; the bucket it lands in retains the ID as its exemplar
+// (when exemplar retention is enabled and the ID is non-zero).
+func (h *Histogram) ObserveID(us float64, id RequestID) {
 	i := 0
 	for i < len(histBounds) && us > histBounds[i] {
 		i++
@@ -50,6 +73,9 @@ func (h *Histogram) Observe(us float64) {
 	h.sum += us
 	if us > h.max {
 		h.max = us
+	}
+	if h.exemplars != nil && !id.IsZero() {
+		h.exemplars[i] = exemplar{id: id, us: us}
 	}
 }
 
@@ -94,6 +120,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 func (h *Histogram) clone() *Histogram {
 	c := *h
 	c.counts = append([]int64(nil), h.counts...)
+	if h.exemplars != nil {
+		c.exemplars = append([]exemplar(nil), h.exemplars...)
+	}
 	return &c
 }
 
@@ -106,7 +135,7 @@ func (h *Histogram) Snapshot() map[string]any {
 	if h.count > 0 {
 		mean = h.sum / float64(h.count)
 	}
-	return map[string]any{
+	snap := map[string]any{
 		"count":   h.count,
 		"mean_us": mean,
 		"max_us":  h.max,
@@ -115,4 +144,14 @@ func (h *Histogram) Snapshot() map[string]any {
 		"p99_us":  h.Quantile(0.99),
 		"buckets": h.Counts(),
 	}
+	if h.exemplars != nil {
+		// One entry per bucket, aligned with "buckets": the last request
+		// ID that landed there ("" while the bucket has none).
+		ids := make([]string, len(h.exemplars))
+		for i, ex := range h.exemplars {
+			ids[i] = ex.id.String()
+		}
+		snap["exemplars"] = ids
+	}
+	return snap
 }

@@ -41,15 +41,15 @@ func (m *metrics) requestStart(route string) {
 	m.mu.Unlock()
 }
 
-func (m *metrics) requestEnd(route string, d time.Duration, status int) {
+func (m *metrics) requestEnd(route string, d time.Duration, status int, id RequestID) {
 	m.mu.Lock()
 	m.inFlight--
 	h := m.latency[route]
 	if h == nil {
-		h = NewHistogram()
+		h = NewHistogram().withExemplars()
 		m.latency[route] = h
 	}
-	h.Observe(float64(d.Microseconds()))
+	h.ObserveID(float64(d.Microseconds()), id)
 	switch {
 	case status == 429:
 		m.rejectedBusy++

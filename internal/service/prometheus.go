@@ -89,6 +89,7 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.family("ipcd_resp_cache_misses_total", "counter", rc.Misses)
 	p.family("ipcd_resp_cache_evictions_total", "counter", rc.Evictions)
 	p.family("ipcd_resp_cache_stores_total", "counter", rc.Stores)
+	p.family("ipcd_resp_cache_trace_bypass_total", "counter", rc.TraceBypass)
 	p.family("ipcd_resp_cache_entries", "gauge", rc.Entries)
 	p.family("ipcd_resp_cache_bytes", "gauge", rc.Bytes)
 	p.family("ipcd_gtpn_cache_hits_total", "counter", int64(cs.Hits))
@@ -118,8 +119,16 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 			if i < len(histBounds) {
 				le = promFloat(histBounds[i])
 			}
-			p.line(`ipcd_request_duration_us_bucket{route="` + r + `",le="` + le + `"} ` +
-				strconv.FormatInt(cum, 10))
+			line := `ipcd_request_duration_us_bucket{route="` + r + `",le="` + le + `"} ` +
+				strconv.FormatInt(cum, 10)
+			// OpenMetrics exemplar: the last request that landed in this
+			// bucket, linking the distribution back to a concrete
+			// trace/log line.
+			if h.exemplars != nil && !h.exemplars[i].id.IsZero() {
+				ex := h.exemplars[i]
+				line += ` # {request_id="` + ex.id.String() + `"} ` + promFloat(ex.us)
+			}
+			p.line(line)
 		}
 		p.line(`ipcd_request_duration_us_sum{route="` + r + `"} ` + promFloat(h.Sum()))
 		p.line(`ipcd_request_duration_us_count{route="` + r + `"} ` + strconv.FormatInt(h.Count(), 10))

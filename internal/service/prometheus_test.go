@@ -49,7 +49,21 @@ func promParse(t *testing.T, body []byte) map[string]int {
 				t.Fatalf("line %d: malformed labels %q", i+1, labels)
 			}
 		}
-		if _, err := strconv.ParseFloat(value, 64); err != nil {
+		// OpenMetrics exemplar suffix on histogram buckets:
+		// `<value> # {label="v"} <exemplarValue>`. The exemplar's own
+		// value must parse too.
+		if value, exemplar, found := strings.Cut(value, " # "); found {
+			labels, exVal, ok := strings.Cut(exemplar, "} ")
+			if !ok || !strings.HasPrefix(labels, "{") || !strings.Contains(labels, `="`) {
+				t.Fatalf("line %d: malformed exemplar %q", i+1, exemplar)
+			}
+			if _, err := strconv.ParseFloat(exVal, 64); err != nil {
+				t.Fatalf("line %d: bad exemplar value %q: %v", i+1, exVal, err)
+			}
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Fatalf("line %d: bad value %q: %v", i+1, value, err)
+			}
+		} else if _, err := strconv.ParseFloat(value, 64); err != nil {
 			t.Fatalf("line %d: bad value %q: %v", i+1, value, err)
 		}
 		// A sample must belong to a declared family; histogram series
@@ -128,6 +142,11 @@ func TestPrometheusHistogramConsistency(t *testing.T) {
 	var lastBucket, count int64
 	for _, line := range strings.Split(buf.String(), "\n") {
 		if strings.HasPrefix(line, `ipcd_request_duration_us_bucket{route="solve"`) {
+			// The cumulative count is the first value after the labels; an
+			// exemplar suffix (` # {...} v`) may follow it.
+			if cut, _, found := strings.Cut(line, " # "); found {
+				line = cut
+			}
 			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
 			if err != nil {
 				t.Fatal(err)

@@ -69,12 +69,13 @@ const (
 
 // RespCacheStats is a point-in-time snapshot of the cache counters.
 type RespCacheStats struct {
-	Hits      int64 // responses served from cached bytes
-	Misses    int64 // fast-path lookups that found nothing
-	Evictions int64 // entries dropped for capacity
-	Stores    int64 // entries stored (local computes + replica pushes)
-	Entries   int64 // current entry count
-	Bytes     int64 // current sum of body bytes
+	Hits        int64 // responses served from cached bytes
+	Misses      int64 // fast-path lookups that found nothing
+	Evictions   int64 // entries dropped for capacity
+	Stores      int64 // entries stored (local computes + replica pushes)
+	Entries     int64 // current entry count
+	Bytes       int64 // current sum of body bytes
+	TraceBypass int64 // traced requests that skipped the fast path
 }
 
 // RespCache is the LRU-bounded preencoded-response cache. A nil
@@ -90,28 +91,30 @@ type RespCache struct {
 	bySolve    map[solveParams]*respEntry
 	bySim      map[simParams]*respEntry
 
-	hits      *counters.Counter
-	misses    *counters.Counter
-	evictions *counters.Counter
-	stores    *counters.Counter
-	entries   *counters.Gauge
-	bytes     *counters.Gauge
+	hits        *counters.Counter
+	misses      *counters.Counter
+	evictions   *counters.Counter
+	stores      *counters.Counter
+	traceBypass *counters.Counter
+	entries     *counters.Gauge
+	bytes       *counters.Gauge
 }
 
 func newRespCache(maxEntries int, maxBytes int64) *RespCache {
 	reg := counters.New()
 	return &RespCache{
-		maxEntries: maxEntries,
-		maxBytes:   maxBytes,
-		byKey:      map[string]*respEntry{},
-		bySolve:    map[solveParams]*respEntry{},
-		bySim:      map[simParams]*respEntry{},
-		hits:       reg.Counter("resp_cache.hits"),
-		misses:     reg.Counter("resp_cache.misses"),
-		evictions:  reg.Counter("resp_cache.evictions"),
-		stores:     reg.Counter("resp_cache.stores"),
-		entries:    reg.Gauge("resp_cache.entries"),
-		bytes:      reg.Gauge("resp_cache.bytes"),
+		maxEntries:  maxEntries,
+		maxBytes:    maxBytes,
+		byKey:       map[string]*respEntry{},
+		bySolve:     map[solveParams]*respEntry{},
+		bySim:       map[simParams]*respEntry{},
+		hits:        reg.Counter("resp_cache.hits"),
+		misses:      reg.Counter("resp_cache.misses"),
+		evictions:   reg.Counter("resp_cache.evictions"),
+		stores:      reg.Counter("resp_cache.stores"),
+		traceBypass: reg.Counter("resp_cache.trace_bypass"),
+		entries:     reg.Gauge("resp_cache.entries"),
+		bytes:       reg.Gauge("resp_cache.bytes"),
 	}
 }
 
@@ -151,6 +154,19 @@ func (c *RespCache) getSim(p simParams) (key string, body []byte, ok bool) {
 	key, body = e.key, e.body
 	c.mu.Unlock()
 	return key, body, true
+}
+
+// TraceBypass counts one traced request that skipped the fast path: a
+// sampled trace exists to show the full pipeline, so traced requests
+// never consult the typed indexes, and without this counter that skew
+// would be invisible in the hit/miss ratio.
+func (c *RespCache) TraceBypass() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.traceBypass.Inc()
+	c.mu.Unlock()
 }
 
 // served counts one response actually answered from cached bytes.
@@ -328,11 +344,12 @@ func (c *RespCache) Stats() RespCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return RespCacheStats{
-		Hits:      c.hits.Value(),
-		Misses:    c.misses.Value(),
-		Evictions: c.evictions.Value(),
-		Stores:    c.stores.Value(),
-		Entries:   c.entries.Value(),
-		Bytes:     c.bytes.Value(),
+		Hits:        c.hits.Value(),
+		Misses:      c.misses.Value(),
+		Evictions:   c.evictions.Value(),
+		Stores:      c.stores.Value(),
+		Entries:     c.entries.Value(),
+		Bytes:       c.bytes.Value(),
+		TraceBypass: c.traceBypass.Value(),
 	}
 }

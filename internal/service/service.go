@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -69,6 +70,20 @@ type Config struct {
 	// RespCacheBytes bounds the response cache's total body bytes.
 	// 0 means 64 MiB; negative means no byte bound.
 	RespCacheBytes int64
+	// NodeName labels this node in request IDs, trace process lanes,
+	// and access logs. Empty means "ipcd"; ipcd derives it from the
+	// advertised cluster URL in cluster mode.
+	NodeName string
+	// RecentRequests bounds the /debug/requests ring: the last N
+	// completed requests' observability rows (id, route, key, routing
+	// decision, per-phase durations). 0 means 128; values below 1 are
+	// clamped to 1 (the endpoint always answers).
+	RecentRequests int
+	// AccessLog, when non-nil, receives one structured record per
+	// completed request, carrying the request ID. Nil (the default)
+	// disables access logging and keeps the untraced serving fast path
+	// allocation-free.
+	AccessLog *slog.Logger
 	// Cluster, when non-nil, makes this server one node of a
 	// consistent-hash cluster: solve/simulate computations whose key
 	// another node owns are routed there instead of computed locally,
@@ -111,6 +126,15 @@ func (c Config) withDefaults() Config {
 	if c.RespCacheBytes < 0 {
 		c.RespCacheBytes = 0 // unbounded
 	}
+	if c.NodeName == "" {
+		c.NodeName = "ipcd"
+	}
+	if c.RecentRequests == 0 {
+		c.RecentRequests = 128
+	}
+	if c.RecentRequests < 1 {
+		c.RecentRequests = 1
+	}
 	return c
 }
 
@@ -130,8 +154,11 @@ type Server struct {
 	sweepFlights flightGroup
 	metrics      *metrics
 	history      *historyRing
+	requests     *requestRing
 	respCache    *RespCache   // nil when disabled
 	traceSeq     atomic.Int64 // computing requests seen, for trace sampling
+	reqSeq       atomic.Int64 // request IDs minted on compute routes
+	obsSeq       atomic.Int64 // request IDs minted on observability routes
 
 	// testHookAdmitted, when set, runs in a computation leader after it
 	// holds a worker slot and before it computes — tests use it to hold
@@ -152,6 +179,7 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 	}
 	s.history = newHistoryRing(s.cfg.HistorySize)
+	s.requests = newRequestRing(s.cfg.RecentRequests)
 	if s.cfg.RespCacheEntries > 0 {
 		s.respCache = newRespCache(s.cfg.RespCacheEntries, s.cfg.RespCacheBytes)
 	}
@@ -165,6 +193,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /metrics/history", s.instrument("history", s.handleMetricsHistory))
+	s.mux.HandleFunc("GET /debug/requests", s.instrument("requests", s.handleDebugRequests))
 	return s
 }
 
@@ -209,19 +238,40 @@ func (s *Server) Drain(ctx context.Context) error {
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	// buf, when non-nil, captures the handler's body instead of passing
+	// it through — the remote-traced path must append trace headers
+	// after the handler finishes, so the response is held until then.
+	buf *bytes.Buffer
+	// rec is the request's observability record, embedded by value so
+	// the untraced fast path fills it without allocating.
+	rec requestRecord
 }
 
 var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	if w.buf != nil {
+		return
+	}
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.buf != nil {
+		return w.buf.Write(p)
+	}
+	return w.ResponseWriter.Write(p)
 }
 
 // Flush forwards to the underlying writer, preserving http.Flusher
 // through the instrumentation wrapper — without this the sweep NDJSON
-// stream would buffer until the handler returns.
+// stream would buffer until the handler returns. While buffering for
+// the remote-traced path it is a no-op: the response is held anyway.
 func (w *statusWriter) Flush() {
+	if w.buf != nil {
+		return
+	}
 	if f, ok := w.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
@@ -229,12 +279,14 @@ func (w *statusWriter) Flush() {
 
 // drainExempt reports whether a route stays reachable during a drain —
 // the observability endpoints, so orchestrators can watch it progress.
+// /debug/requests is exempt for the same reason the metrics are: the
+// ring is precisely the evidence an operator wants while a node drains.
 func drainExempt(route string) bool {
-	return route == "healthz" || route == "metrics" || route == "history"
+	return route == "healthz" || route == "metrics" || route == "history" || route == "requests"
 }
 
-// instrument wraps a route handler with drain refusal and the request
-// counters.
+// instrument wraps a route handler with drain refusal, request
+// identity, and the request counters.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() && !drainExempt(route) {
@@ -247,9 +299,18 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		s.metrics.requestStart(route)
 		start := time.Now()
 		sw := statusWriterPool.Get().(*statusWriter)
-		sw.ResponseWriter, sw.status = w, http.StatusOK
-		if rec, seq := s.sampleTrace(route); rec != nil {
-			sc := rec.NewScope(0, route)
+		sw.ResponseWriter, sw.status, sw.buf = w, http.StatusOK, nil
+		sw.rec = requestRecord{route: route, id: s.mintID(r, route)}
+		if sw.rec.id.Raw != "" {
+			// Echo an inherited ID so the sending node can correlate the
+			// hop even when it is not tracing.
+			w.Header().Set(RequestIDHeader, sw.rec.id.Raw)
+		}
+		if r.Header.Get(TraceHeader) != "" && !drainExempt(route) {
+			s.serveRemoteTraced(sw, r, route, h)
+		} else if rec, seq := s.sampleTrace(route); rec != nil {
+			rec.RegisterProcess(0, s.cfg.NodeName)
+			sc := rec.NewScope(0, sw.rec.id.String()+" "+route)
 			sp := sc.Begin(route, "http")
 			h(sw, r.WithContext(trace.NewContext(r.Context(), sc)))
 			sp.End()
@@ -257,10 +318,83 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		} else {
 			h(sw, r)
 		}
-		s.metrics.requestEnd(route, time.Since(start), sw.status)
+		d := time.Since(start)
+		sw.rec.status = sw.status
+		sw.rec.unixMS = start.UnixMilli()
+		sw.rec.totalUS = d.Microseconds()
+		s.metrics.requestEnd(route, d, sw.status, sw.rec.id)
+		if !drainExempt(route) {
+			s.requests.add(&sw.rec)
+		}
+		s.logAccess(&sw.rec)
 		sw.ResponseWriter = nil
 		statusWriterPool.Put(sw)
 	}
+}
+
+// mintID assigns the request its ID: inherited verbatim from an
+// upstream cluster node when the header is present, freshly minted
+// otherwise. Observability routes draw from their own sequence so
+// health polls and scrapes never perturb the compute-route numbering.
+func (s *Server) mintID(r *http.Request, route string) RequestID {
+	if raw := r.Header.Get(RequestIDHeader); raw != "" {
+		return RequestID{Raw: raw}
+	}
+	if drainExempt(route) {
+		return RequestID{Node: s.cfg.NodeName, Seq: s.obsSeq.Add(1), Obs: true}
+	}
+	return RequestID{Node: s.cfg.NodeName, Seq: s.reqSeq.Add(1)}
+}
+
+// logAccess emits one structured access-log record for a completed
+// request. Off (nil logger) it costs a nil check.
+func (s *Server) logAccess(rec *requestRecord) {
+	lg := s.cfg.AccessLog
+	if lg == nil {
+		return
+	}
+	lg.LogAttrs(context.Background(), slog.LevelInfo, "access",
+		slog.String("id", rec.id.String()),
+		slog.String("route", rec.route),
+		slog.Int("status", rec.status),
+		slog.String("decision", decisionNames[rec.decision]),
+		slog.Int("hops", rec.hops),
+		slog.String("key", rec.key),
+		slog.Int64("decode_us", rec.decodeUS),
+		slog.Int64("wait_us", rec.waitUS),
+		slog.Int64("route_us", rec.routeUS),
+		slog.Int64("compute_us", rec.computeUS),
+		slog.Int64("total_us", rec.totalUS),
+	)
+}
+
+// maxTraceSpansHeader bounds the serialized-span response header a
+// remote-traced hop returns; a hop whose spans outgrow it returns none
+// (the trace merge is best-effort, the response is not).
+const maxTraceSpansHeader = 48 << 10
+
+// serveRemoteTraced serves one hop of another node's traced request: a
+// fresh wall recorder captures this node's spans while the response is
+// held in a buffer, then the serialized spans ride back to the tracing
+// node in response headers and the buffered body is replayed verbatim —
+// the bytes on the wire are identical to an untraced serve.
+func (s *Server) serveRemoteTraced(sw *statusWriter, r *http.Request, route string, h http.HandlerFunc) {
+	rec := trace.NewWall(1 << 12)
+	rec.RegisterProcess(0, s.cfg.NodeName)
+	sc := rec.NewScope(0, sw.rec.id.String()+" "+route)
+	sw.buf = new(bytes.Buffer)
+	sp := sc.Begin(route, "http")
+	h(sw, r.WithContext(trace.NewContext(r.Context(), sc)))
+	sp.End()
+	hdr := sw.Header()
+	hdr.Set(TraceNodeHeader, s.cfg.NodeName)
+	if data := rec.MarshalSpans(); len(data) > 0 && len(data) <= maxTraceSpansHeader {
+		hdr.Set(TraceSpansHeader, string(data))
+	}
+	body := sw.buf
+	sw.buf = nil
+	sw.ResponseWriter.WriteHeader(sw.status)
+	sw.ResponseWriter.Write(body.Bytes())
 }
 
 // sampleTrace decides whether this request is traced; the zeroth,
@@ -274,9 +408,7 @@ func (s *Server) sampleTrace(route string) (*trace.Recorder, int64) {
 	if (n-1)%int64(s.cfg.TraceEvery) != 0 {
 		return nil, 0
 	}
-	rec := trace.NewWall(1 << 12)
-	rec.RegisterProcess(0, "ipcd")
-	return rec, n
+	return trace.NewWall(1 << 12), n
 }
 
 // writeTrace persists a sampled request's trace. Tracing is
@@ -361,23 +493,39 @@ func (s *Server) queueDepth() int64 {
 // storing it here would let this node answer keys it does not own.
 func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, spec ComputeSpec, fn func(ctx context.Context) flightResult, store func(body []byte)) {
 	sc := trace.ScopeFrom(r.Context())
+	rec := recordOf(w)
 	res, leader, err := s.flights.do(r.Context(), spec.Key, func() flightResult {
 		if s.cfg.Cluster != nil && spec.Body != nil {
 			// The routing deadline is the server's, like the computation's
 			// below: a forward keeps serving the leader's followers even if
-			// the leader's own client disconnects.
+			// the leader's own client disconnects. The trace scope rides
+			// the routing context so the forward's peer-RTT span and the
+			// owner's merged spans land on this request's track.
 			rctx, rcancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+			rctx = trace.NewContext(rctx, sc)
 			sp := sc.Begin("cluster.route", "serve")
+			t0 := time.Now()
 			rr, served := s.cfg.Cluster.Route(rctx, spec)
+			rec.setRouteUS(time.Since(t0))
 			sp.End()
 			rcancel()
 			if served {
 				s.metrics.add(&s.metrics.clusterServed, 1)
+				d := decisionFromName(rr.Decision)
+				if d == decisionNone {
+					d = decisionForwarded
+				}
+				rec.setDecision(d)
 				return flightResult{status: rr.Status, header: rr.Header, body: rr.Body}
 			}
+			// An unserved route may still classify the request — a spent
+			// hop budget means this local compute is the hop-capped kind.
+			rec.setDecision(decisionFromName(rr.Decision))
 		}
 		sp := sc.Begin("admission.wait", "serve")
+		t0 := time.Now()
 		release, ok, full := s.acquire(r.Context())
+		rec.setWaitUS(time.Since(t0))
 		sp.End()
 		if full {
 			return flightResult{
@@ -391,6 +539,7 @@ func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, spec ComputeSp
 		}
 		defer release()
 		s.metrics.add(&s.metrics.leaders, 1)
+		rec.defaultDecision(decisionLocalCompute)
 		if s.testHookAdmitted != nil {
 			s.testHookAdmitted(spec.Key)
 		}
@@ -400,7 +549,9 @@ func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, spec ComputeSp
 		// along so the solver's spans land on this request's track.
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 		defer cancel()
+		t1 := time.Now()
 		res := fn(trace.NewContext(ctx, sc))
+		rec.setComputeUS(time.Since(t1))
 		if res.status == http.StatusOK {
 			if store != nil {
 				store(res.body)
@@ -419,6 +570,7 @@ func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, spec ComputeSp
 	}
 	if !leader {
 		s.metrics.add(&s.metrics.coalesced, 1)
+		rec.setDecision(decisionFlightFollower)
 		// A traced follower's wait is the whole story of its request.
 		sc.Instant("coalesced", "serve")
 	}
@@ -575,12 +727,20 @@ func SolveKey(arch, conversations, hosts int, serverComputeUS float64, nonLocal 
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	rec := recordOf(w)
 	hops, rejected := s.checkHops(w, r)
 	if rejected {
 		return
 	}
+	rec.setHops(hops)
+	sc := trace.ScopeFrom(r.Context())
 	var q solveRequest
-	if !s.decodeBody(w, r, &q) {
+	sp := sc.Begin("decode", "serve")
+	t0 := time.Now()
+	decoded := s.decodeBody(w, r, &q)
+	rec.setDecodeUS(time.Since(t0))
+	sp.End()
+	if !decoded {
 		return
 	}
 	if err := q.validate(); err != nil {
@@ -600,12 +760,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// cluster entitlement at serve time, so a node answers only keys its
 	// current ring says it owns or replicates. Traced requests take the
 	// full path: a sampled trace exists to show the pipeline.
-	if trace.ScopeFrom(r.Context()) == nil {
+	if sc == nil {
 		if ckey, body, ok := s.respCache.getSolve(p); ok && s.cacheServeable(ckey) {
 			s.respCache.served()
+			rec.setKey(ckey)
+			rec.setDecision(decisionRespCacheHit)
 			writeDet(w, http.StatusOK, nil, body)
 			return
 		}
+	} else if s.respCache != nil {
+		s.respCache.TraceBypass()
+		sc.Instant("respcache.bypass", "serve")
 	}
 	sys := q.system()
 	key, err := SolveKey(q.Arch, q.Conversations, q.Hosts, q.ServerComputeUS, q.NonLocal)
@@ -613,7 +778,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err.Error(), nil)
 		return
 	}
-	spec := ComputeSpec{Route: "solve", Key: key, Body: q.canonicalBody(), Hops: hops}
+	rec.setKey(key)
+	fsp := sc.Begin("forward.encode", "serve")
+	canonical := q.canonicalBody()
+	fsp.End()
+	spec := ComputeSpec{Route: "solve", Key: key, Body: canonical, Hops: hops, RequestID: rec.idString()}
 	s.coalesce(w, r, spec, func(ctx context.Context) flightResult {
 		pred, err := sys.AnalyzeContext(ctx, q.workload())
 		if err != nil {
@@ -692,12 +861,20 @@ func (q *simulateRequest) canonicalBody() []byte {
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	rec := recordOf(w)
 	hops, rejected := s.checkHops(w, r)
 	if rejected {
 		return
 	}
+	rec.setHops(hops)
+	sc := trace.ScopeFrom(r.Context())
 	var q simulateRequest
-	if !s.decodeBody(w, r, &q) {
+	sp := sc.Begin("decode", "serve")
+	t0 := time.Now()
+	decoded := s.decodeBody(w, r, &q)
+	rec.setDecodeUS(time.Since(t0))
+	sp.End()
+	if !decoded {
 		return
 	}
 	if err := q.validate(); err != nil {
@@ -718,17 +895,26 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Simulations are seeded and therefore deterministic too: the same
 	// fast path as solve, with the ensemble parameters in the identity.
-	if trace.ScopeFrom(r.Context()) == nil {
+	if sc == nil {
 		if ckey, body, ok := s.respCache.getSim(p); ok && s.cacheServeable(ckey) {
 			s.respCache.served()
+			rec.setKey(ckey)
+			rec.setDecision(decisionRespCacheHit)
 			writeDet(w, http.StatusOK, nil, body)
 			return
 		}
+	} else if s.respCache != nil {
+		s.respCache.TraceBypass()
+		sc.Instant("respcache.bypass", "serve")
 	}
 	key := fmt.Sprintf("sim|a=%d|n=%d|h=%d|x=%s|nl=%t|s=%d|seed=%d|reps=%d",
 		q.Arch, q.Conversations, q.Hosts, formatFloatKey(q.ServerComputeUS),
 		q.NonLocal, q.Seconds, q.Seed, q.Replications)
-	spec := ComputeSpec{Route: "simulate", Key: key, Body: q.canonicalBody(), Hops: hops}
+	rec.setKey(key)
+	fsp := sc.Begin("forward.encode", "serve")
+	canonical := q.canonicalBody()
+	fsp.End()
+	spec := ComputeSpec{Route: "simulate", Key: key, Body: canonical, Hops: hops, RequestID: rec.idString()}
 	s.coalesce(w, r, spec, func(ctx context.Context) flightResult {
 		sys := core.New(core.Arch(q.Arch), core.WithHosts(q.Hosts), core.WithSeed(q.Seed))
 		// One worker per ensemble: the HTTP pool is the concurrency bound.
@@ -844,12 +1030,13 @@ func (s *Server) MetricsJSON() []byte {
 	rc := s.respCache.Stats()
 	body := map[string]any{
 		"resp_cache": map[string]any{
-			"bytes":     rc.Bytes,
-			"entries":   rc.Entries,
-			"evictions": rc.Evictions,
-			"hits":      rc.Hits,
-			"misses":    rc.Misses,
-			"stores":    rc.Stores,
+			"bytes":        rc.Bytes,
+			"entries":      rc.Entries,
+			"evictions":    rc.Evictions,
+			"hits":         rc.Hits,
+			"misses":       rc.Misses,
+			"stores":       rc.Stores,
+			"trace_bypass": rc.TraceBypass,
 		},
 		"gtpn_cache": map[string]any{
 			"bypassed": cs.Bypassed,

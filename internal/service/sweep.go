@@ -26,8 +26,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // sweepPointSpec is one grid point of a sweep request.
@@ -124,8 +126,15 @@ type sweepLine struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	rec := recordOf(w)
+	sc := trace.ScopeFrom(r.Context())
 	var q sweepRequest
-	if !s.decodeBody(w, r, &q) {
+	sp := sc.Begin("decode", "serve")
+	t0 := time.Now()
+	decoded := s.decodeBody(w, r, &q)
+	rec.setDecodeUS(time.Since(t0))
+	sp.End()
+	if !decoded {
 		return
 	}
 	// Read the request body through EOF: net/http only starts the
@@ -144,7 +153,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// One admission slot covers the whole stream: a sweep is one
 	// computation from the pool's point of view, however many points it
 	// solves.
+	wsp := sc.Begin("admission.wait", "serve")
+	t1 := time.Now()
 	release, ok, full := s.acquire(r.Context())
+	rec.setWaitUS(time.Since(t1))
+	wsp.End()
 	if full {
 		writeDet(w, http.StatusTooManyRequests, map[string]string{"Retry-After": "1"},
 			marshalDet(map[string]any{"error": "admission queue full"}))
@@ -155,6 +168,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	rec.setDecision(decisionLocalCompute)
 	if s.testHookAdmitted != nil {
 		s.testHookAdmitted("sweep")
 	}
