@@ -34,6 +34,7 @@
 //	GET  /healthz             200 ok, 503 while draining
 //	GET  /metrics             counters: requests, coalescing, queue, cache, latency
 //	GET  /metrics?format=prometheus  the same counters in Prometheus text format
+//	                                 (OpenMetrics with exemplars when Accept asks for it)
 //	GET  /metrics?scope=cluster      cluster-wide fan-out merge of every member's counters
 //	GET  /metrics/history     in-process counter time series (-history-every samples)
 //	GET  /metrics/history?scope=cluster  merged member time series, ordered by (time, node)

@@ -4,14 +4,18 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/gtpn"
 )
 
 // promWriter accumulates exposition lines with a sticky error, so the
-// render code reads as straight-line output.
+// render code reads as straight-line output. om selects the OpenMetrics
+// dialect: counter families are declared without the _total suffix,
+// histogram buckets carry exemplars, and the body ends with # EOF.
 type promWriter struct {
 	w   io.Writer
+	om  bool
 	err error
 }
 
@@ -22,9 +26,19 @@ func (p *promWriter) line(s string) {
 	_, p.err = io.WriteString(p.w, s+"\n")
 }
 
+// typeLine declares a family. OpenMetrics names a counter family
+// without the _total suffix its samples carry; the legacy 0.0.4 format
+// uses the sample name throughout.
+func (p *promWriter) typeLine(name, kind string) {
+	if p.om && kind == "counter" {
+		name = strings.TrimSuffix(name, "_total")
+	}
+	p.line("# TYPE " + name + " " + kind)
+}
+
 // family emits one unlabeled single-sample family: TYPE line plus value.
 func (p *promWriter) family(name, kind string, v int64) {
-	p.line("# TYPE " + name + " " + kind)
+	p.typeLine(name, kind)
 	p.line(name + " " + strconv.FormatInt(v, 10))
 }
 
@@ -36,8 +50,24 @@ func promFloat(f float64) string {
 // /metrics reports as JSON — in the Prometheus text exposition format
 // (version 0.0.4). The output is a pure function of the counter values:
 // families appear in a fixed order and route labels are sorted, so two
-// snapshots of an unchanged server are byte-identical.
+// snapshots of an unchanged server are byte-identical. Exemplars are
+// not emitted: the legacy text parser rejects them, so they belong to
+// WriteOpenMetrics only.
 func (s *Server) WritePrometheus(w io.Writer) error {
+	return s.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the same snapshot in the OpenMetrics text
+// format (the dialect a scraper negotiates with
+// Accept: application/openmetrics-text): counter families drop the
+// _total suffix in their TYPE declarations, histogram buckets carry the
+// request-ID exemplars, and the body terminates with # EOF. Equally
+// deterministic: byte-identical for an unchanged server.
+func (s *Server) WriteOpenMetrics(w io.Writer) error {
+	return s.writeExposition(w, true)
+}
+
+func (s *Server) writeExposition(w io.Writer, om bool) error {
 	// Copy everything rendered below under the metrics lock, so the
 	// exposition is one coherent snapshot.
 	s.metrics.mu.Lock()
@@ -70,9 +100,9 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	}
 	sort.Strings(routes)
 
-	p := &promWriter{w: w}
+	p := &promWriter{w: w, om: om}
 	p.family("ipcd_requests_total", "counter", requestsTotal)
-	p.line("# TYPE ipcd_route_requests_total counter")
+	p.typeLine("ipcd_route_requests_total", "counter")
 	for _, r := range routes {
 		p.line(`ipcd_route_requests_total{route="` + r + `"} ` + strconv.FormatInt(byRoute[r], 10))
 	}
@@ -123,8 +153,9 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 				strconv.FormatInt(cum, 10)
 			// OpenMetrics exemplar: the last request that landed in this
 			// bucket, linking the distribution back to a concrete
-			// trace/log line.
-			if h.exemplars != nil && !h.exemplars[i].id.IsZero() {
+			// trace/log line. The legacy 0.0.4 parser rejects exemplars,
+			// so they are rendered only in the OpenMetrics dialect.
+			if om && h.exemplars != nil && !h.exemplars[i].id.IsZero() {
 				ex := h.exemplars[i]
 				line += ` # {request_id="` + ex.id.String() + `"} ` + promFloat(ex.us)
 			}
@@ -132,6 +163,9 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		}
 		p.line(`ipcd_request_duration_us_sum{route="` + r + `"} ` + promFloat(h.Sum()))
 		p.line(`ipcd_request_duration_us_count{route="` + r + `"} ` + strconv.FormatInt(h.Count(), 10))
+	}
+	if om {
+		p.line("# EOF")
 	}
 	return p.err
 }

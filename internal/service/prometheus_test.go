@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -122,6 +123,62 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 	if !bytes.Equal(one.Bytes(), two.Bytes()) {
 		t.Fatalf("exposition of an unchanged server differs:\n%s\n---\n%s", one.Bytes(), two.Bytes())
+	}
+}
+
+// The exposition dialect follows content negotiation: a plain scrape
+// gets the legacy 0.0.4 format (no exemplars — its parser rejects
+// them), while an Accept: application/openmetrics-text scrape gets the
+// OpenMetrics dialect with exemplars, suffix-free counter TYPE lines,
+// and a terminating # EOF.
+func TestPrometheusOpenMetricsNegotiation(t *testing.T) {
+	_, ts := testServer(t, Config{NodeName: "n1"})
+	if code, _, b := post(t, ts.URL+"/v1/solve", solveBody); code != 200 {
+		t.Fatalf("solve: %d %s", code, b)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("legacy scrape Content-Type = %q", ct)
+	}
+	if bytes.Contains(legacy, []byte(" # {")) || bytes.Contains(legacy, []byte("# EOF")) {
+		t.Fatalf("legacy scrape carries OpenMetrics constructs:\n%s", legacy)
+	}
+	promParse(t, legacy)
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics?format=prometheus", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/openmetrics-text") {
+		t.Fatalf("openmetrics scrape Content-Type = %q", ct)
+	}
+	if !bytes.HasSuffix(om, []byte("# EOF\n")) {
+		t.Fatalf("openmetrics scrape not terminated with # EOF:\n...%s", om[max(0, len(om)-80):])
+	}
+	if !bytes.Contains(om, []byte(`# {request_id="n1-1"} `)) {
+		t.Fatalf("openmetrics scrape carries no exemplar:\n%s", om)
+	}
+	// OpenMetrics counter families drop the _total sample suffix in
+	// their TYPE declarations.
+	if !bytes.Contains(om, []byte("# TYPE ipcd_requests counter\n")) ||
+		bytes.Contains(om, []byte("# TYPE ipcd_requests_total counter\n")) {
+		t.Fatalf("openmetrics counter TYPE lines keep the _total suffix:\n%s", om)
+	}
+	if !bytes.Contains(om, []byte("\nipcd_requests_total ")) {
+		t.Fatalf("openmetrics counter samples lost the _total suffix:\n%s", om)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -224,11 +225,71 @@ func TestLatencyExemplars(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := s.WritePrometheus(&buf); err != nil {
+	if err := s.WriteOpenMetrics(&buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), `# {request_id="n1-1"} `) {
-		t.Fatalf("prometheus exposition carries no exemplar for n1-1:\n%s", buf.String())
+		t.Fatalf("openmetrics exposition carries no exemplar for n1-1:\n%s", buf.String())
+	}
+	// The legacy 0.0.4 format must NOT carry exemplars: Prometheus's
+	// plain-text parser rejects them and would drop the whole scrape.
+	buf.Reset()
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), " # {") {
+		t.Fatalf("legacy 0.0.4 exposition carries exemplars:\n%s", buf.String())
+	}
+}
+
+// An inherited ID is adopted only when it is bounded and drawn from the
+// safe charset; anything else (exposition-breaking characters, oversized
+// values) is ignored and the request gets a locally minted ID.
+func TestRequestIDInheritedValidation(t *testing.T) {
+	_, ts := testServer(t, Config{NodeName: "n3"})
+	for _, raw := range []string{`a"} 1`, "sp ace", "x{y", `b\slash`, strings.Repeat("a", 65)} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", strings.NewReader(solveBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(RequestIDHeader, raw)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve with bad inherited ID %q: %d", raw, resp.StatusCode)
+		}
+		if got := resp.Header.Get(RequestIDHeader); got != "" {
+			t.Fatalf("invalid inherited ID %q echoed back as %q", raw, got)
+		}
+	}
+	doc := debugRequests(t, ts.URL)
+	if len(doc.Requests) == 0 {
+		t.Fatal("no ring rows")
+	}
+	for i, row := range doc.Requests {
+		if want := "n3-" + strconv.Itoa(i+1); row.ID != want {
+			t.Fatalf("row %d ID = %q, want locally minted %q", i, row.ID, want)
+		}
+	}
+	// A fleet-shaped ID — default node names are the advertised
+	// host:port — must still be inherited verbatim.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", strings.NewReader(solveBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(RequestIDHeader, "127.0.0.1:9001-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "127.0.0.1:9001-7" {
+		t.Fatalf("host:port ID not inherited: echoed %q", got)
 	}
 }
 
@@ -301,5 +362,74 @@ func TestServeRemoteTraced(t *testing.T) {
 		if !names[want] {
 			t.Fatalf("remote spans missing %q: %v", want, spans)
 		}
+	}
+}
+
+// X-Ipcd-Trace alone is not trusted: without the inherited request ID a
+// cluster forward always carries, the request is served through the
+// normal (cache-eligible, unbuffered) path and returns no span headers.
+func TestTraceHeaderRequiresInheritedID(t *testing.T) {
+	s, ts := testServer(t, Config{NodeName: "owner"})
+	if code, _, b := post(t, ts.URL+"/v1/solve", solveBody); code != 200 {
+		t.Fatalf("warm solve: %d %s", code, b)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", strings.NewReader(solveBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TraceHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(TraceSpansHeader); got != "" {
+		t.Fatalf("bare %s returned spans: %q", TraceHeader, got)
+	}
+	if got := resp.Header.Get(TraceNodeHeader); got != "" {
+		t.Fatalf("bare %s returned %s: %q", TraceHeader, TraceNodeHeader, got)
+	}
+	// The warm entry answered it — the bare header must not force the
+	// trace bypass that a genuine remote-traced hop takes.
+	var doc struct {
+		RespCache struct {
+			Hits int64 `json:"hits"`
+		} `json:"resp_cache"`
+	}
+	if err := json.Unmarshal(s.MetricsJSON(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.RespCache.Hits != 1 {
+		t.Fatalf("resp_cache hits = %d, want 1 (bare trace header must stay on the fast path)", doc.RespCache.Hits)
+	}
+}
+
+// The sweep NDJSON stream is never remote-traced — even a peer-shaped
+// trace demand must not buffer the stream or break per-point flushing.
+func TestSweepStreamNotRemoteTraced(t *testing.T) {
+	_, ts := testServer(t, Config{NodeName: "owner"})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweep", strings.NewReader(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(RequestIDHeader, "n1-4")
+	req.Header.Set(TraceHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body.String())
+	}
+	if got := resp.Header.Get(TraceSpansHeader); got != "" {
+		t.Fatalf("sweep stream served remote-traced: %q", got)
 	}
 }

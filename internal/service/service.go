@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -306,7 +307,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			// hop even when it is not tracing.
 			w.Header().Set(RequestIDHeader, sw.rec.id.Raw)
 		}
-		if r.Header.Get(TraceHeader) != "" && !drainExempt(route) {
+		if r.Header.Get(TraceHeader) != "" && remoteTraceable(route) && sw.rec.id.Raw != "" {
 			s.serveRemoteTraced(sw, r, route, h)
 		} else if rec, seq := s.sampleTrace(route); rec != nil {
 			rec.RegisterProcess(0, s.cfg.NodeName)
@@ -332,12 +333,41 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// mintID assigns the request its ID: inherited verbatim from an
-// upstream cluster node when the header is present, freshly minted
-// otherwise. Observability routes draw from their own sequence so
-// health polls and scrapes never perturb the compute-route numbering.
+// maxInheritedIDLen bounds an inherited request ID. Cluster-minted IDs
+// (<node>-<seq>) are far shorter; the cap only guards against an
+// arbitrary client ballooning every log line, ring row, and exemplar.
+const maxInheritedIDLen = 64
+
+// validInheritedID reports whether raw may be adopted as this request's
+// ID. The value is interpolated verbatim into exemplar labels, trace
+// scope names, and access-log records, so it must be bounded and drawn
+// from a charset that cannot break the Prometheus exposition (quotes,
+// backslashes, braces, whitespace are all rejected). The colon is
+// allowed because a cluster node's default name is its advertised
+// host:port, so fleet-minted IDs look like "127.0.0.1:9001-7".
+func validInheritedID(raw string) bool {
+	if raw == "" || len(raw) > maxInheritedIDLen {
+		return false
+	}
+	for i := 0; i < len(raw); i++ {
+		switch c := raw[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '.', c == '_', c == '-', c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// mintID assigns the request its ID: inherited from an upstream cluster
+// node when the header carries a valid ID, freshly minted otherwise (a
+// malformed or oversized header is ignored, not an error — the request
+// still serves, under a local ID). Observability routes draw from their
+// own sequence so health polls and scrapes never perturb the
+// compute-route numbering.
 func (s *Server) mintID(r *http.Request, route string) RequestID {
-	if raw := r.Header.Get(RequestIDHeader); raw != "" {
+	if raw := r.Header.Get(RequestIDHeader); validInheritedID(raw) {
 		return RequestID{Raw: raw}
 	}
 	if drainExempt(route) {
@@ -366,6 +396,20 @@ func (s *Server) logAccess(rec *requestRecord) {
 		slog.Int64("compute_us", rec.computeUS),
 		slog.Int64("total_us", rec.totalUS),
 	)
+}
+
+// remoteTraceable reports whether a route may serve a remote-traced hop
+// — a buffered response with span headers appended after the handler
+// returns. Only the cluster-forwardable compute routes qualify: the
+// sweep NDJSON stream must keep its per-point Flush semantics (a peer
+// never forwards it traced), and observability routes are never traced.
+// The header is additionally honored only alongside a valid inherited
+// X-Ipcd-Request-Id (checked at the call site) — the peer-shaped
+// request signature every cluster forward carries — so a bare external
+// X-Ipcd-Trace cannot switch a route onto the buffering path or bypass
+// the response cache.
+func remoteTraceable(route string) bool {
+	return route == "solve" || route == "simulate"
 }
 
 // maxTraceSpansHeader bounds the serialized-span response header a
@@ -1008,8 +1052,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeDet(w, http.StatusOK, nil, marshalDet(map[string]any{"status": "ok"}))
 }
 
+// acceptsOpenMetrics reports whether the scraper negotiated the
+// OpenMetrics exposition format. Prometheus offers it explicitly
+// ("application/openmetrics-text;version=1.0.0;q=...") when configured
+// for it; anything else gets the legacy 0.0.4 text format.
+func acceptsOpenMetrics(accept string) bool {
+	return strings.Contains(accept, "application/openmetrics-text")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "prometheus" {
+		// Exemplars are an OpenMetrics construct — the legacy text parser
+		// fails the whole scrape on them — so the dialect follows the
+		// Accept header: OpenMetrics (with exemplars and # EOF) only when
+		// the scraper asked for it.
+		if acceptsOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			_ = s.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		_ = s.WritePrometheus(w)
