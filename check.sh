@@ -10,9 +10,10 @@
 # a change is meant to move the solver or serving-path numbers.
 #
 # `./check.sh cluster` runs only the three-node cluster smoke,
-# `./check.sh openloop` only the open-loop load smoke, and
-# `./check.sh obsv` only the observability smoke — the same blocks the
-# full gate ends with.
+# `./check.sh openloop` only the open-loop load smoke,
+# `./check.sh obsv` only the observability smoke, and
+# `./check.sh slo` only the SLO/health-prober smoke — the same blocks
+# the full gate ends with.
 set -eux
 
 if [ "${1:-}" = "bench" ]; then
@@ -219,8 +220,70 @@ EOF
     trap - EXIT
 }
 
+# SLO / health-prober smoke: a three-node cluster with SLO tracking and
+# fast peer probing, driven by an open-loop ipcload pass. Killing one
+# node hard (SIGKILL — a crash, not a graceful leave) must flip it to
+# unreachable in the survivors' ipctop fleet snapshot within the probe
+# hysteresis bound, the survivors' merged event journal must record the
+# peer_health transitions, and the SLO windows must hold the load's
+# samples.
+slo_smoke() {
+    go build -o /tmp/ipcd.check ./cmd/ipcd
+    go build -o /tmp/ipctop.check ./cmd/ipctop
+    SLO_PIDS=""
+    cleanup_slo() {
+        for p in $SLO_PIDS; do kill -9 "$p" 2>/dev/null || true; done
+        SLO_PIDS=""
+    }
+    trap cleanup_slo EXIT
+    SLO_PEERS="http://127.0.0.1:18111,http://127.0.0.1:18112,http://127.0.0.1:18113"
+    for port in 18111 18112 18113; do
+        /tmp/ipcd.check -addr 127.0.0.1:$port -cluster-self "http://127.0.0.1:$port" \
+            -peers "$SLO_PEERS" -node-name "n$port" -probe-every 200ms \
+            -slo "route=solve,p=99,lat=50ms" &
+        SLO_PIDS="$SLO_PIDS $!"
+        eval "SLO_PID_$port=$!"
+    done
+    for port in 18111 18112 18113; do
+        i=0
+        until curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+            i=$((i + 1))
+            test "$i" -lt 100
+            sleep 0.1
+        done
+    done
+    # Open-loop load across the fleet; the JSON summary must carry the
+    # per-second throughput timeline.
+    go run ./cmd/ipcload -targets "$SLO_PEERS" -rate 150 -c 3 -duration 3s -json >/tmp/slo_load.json
+    grep -q '"timeline":\[{' /tmp/slo_load.json
+    # Crash one node (SIGKILL: no drain, no ring leave) and wait for the
+    # survivors' probers to walk it to unreachable.
+    kill -9 "$SLO_PID_18113"
+    SLO_SURVIVORS="http://127.0.0.1:18111,http://127.0.0.1:18112"
+    i=0
+    until /tmp/ipctop.check -targets "$SLO_SURVIVORS" -once -json |
+        grep -q '"state":"unreachable"'; do
+        i=$((i + 1))
+        test "$i" -lt 50
+        sleep 0.2
+    done
+    /tmp/ipctop.check -targets "$SLO_PEERS" -once -json >/tmp/slo_top.json
+    grep -q '"reachable":false' /tmp/slo_top.json            # the dead target
+    grep -q '"type":"peer_health"' /tmp/slo_top.json         # survivor events
+    grep -q '"window":"1m"' /tmp/slo_top.json                # SLO windows...
+    grep -q '"total":[1-9]' /tmp/slo_top.json                # ...populated
+    grep -q '"name":"solve:p99:lat50ms"' /tmp/slo_top.json   # the -slo flag's objective
+    cleanup_slo
+    trap - EXIT
+}
+
 if [ "${1:-}" = "cluster" ]; then
     cluster_smoke
+    exit 0
+fi
+
+if [ "${1:-}" = "slo" ]; then
+    slo_smoke
     exit 0
 fi
 
@@ -283,3 +346,4 @@ go run ./cmd/ipcsim -arch 2 -n 2 -x 1140 -seconds 1 -counters | grep -q 'res.nod
 cluster_smoke
 openloop_smoke
 obsv_smoke
+slo_smoke

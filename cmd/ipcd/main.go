@@ -40,7 +40,20 @@
 //	GET  /metrics/history?scope=cluster  merged member time series, ordered by (time, node)
 //	GET  /debug/requests      recent-request ring: IDs, routing decisions, phase timings
 //	GET  /debug/requests?scope=cluster   merged member rings, ordered by (time, node)
+//	GET  /debug/health        peer health: prober state machine, RTT EWMA (?scope=cluster merges)
+//	GET  /debug/events        event journal: membership, drain, peer transitions, SLO breaches
 //	POST /cluster/v1/{join,leave,replicate}, GET /cluster/v1/members  (cluster mode)
+//
+// Service objectives are tracked per route over rolling 1m/5m/30m
+// windows and exposed as burn rates in /metrics and ipcd_slo_* families:
+//
+//	ipcd -slo "route=solve,p=99,lat=50ms" -slo "route=simulate,p=99.9"
+//
+// Without -slo flags a default solve p99/50ms objective is tracked; an
+// explicit -slo "" disables tracking. In cluster mode each node probes
+// its peers' /healthz every -probe-every (hysteresis: degraded after 2
+// consecutive failures, unreachable after 4, healthy again after 2
+// successes) and the forwarding tier skips known-unreachable owners.
 //
 // On SIGTERM/SIGINT the daemon drains: in cluster mode it first leaves
 // the ring — handing its key slots to the surviving members — then
@@ -64,8 +77,50 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
+
+// version is stamped at build time: go build -ldflags "-X main.version=v1.2.3".
+var version = "dev"
+
+// sloFlags collects repeatable -slo objective specs. An explicit empty
+// value disables SLO tracking entirely (the default, with no flags, is
+// the built-in solve p99/50ms objective).
+type sloFlags struct {
+	objectives []obs.Objective
+	disabled   bool
+}
+
+func (s *sloFlags) String() string {
+	names := make([]string, 0, len(s.objectives))
+	for _, o := range s.objectives {
+		names = append(names, o.Name())
+	}
+	return strings.Join(names, ",")
+}
+
+func (s *sloFlags) Set(v string) error {
+	if strings.TrimSpace(v) == "" {
+		s.disabled = true
+		return nil
+	}
+	o, err := obs.ParseObjective(v)
+	if err != nil {
+		return err
+	}
+	s.objectives = append(s.objectives, o)
+	return nil
+}
+
+// config reports the service-level objective list: nil for the default
+// objective, empty for disabled, else the parsed flags.
+func (s *sloFlags) config() []obs.Objective {
+	if s.disabled {
+		return []obs.Objective{}
+	}
+	return s.objectives
+}
 
 func main() {
 	var (
@@ -91,8 +146,18 @@ func main() {
 		logFormat = flag.String("log-format", "text", "structured log encoding on stderr: text or json")
 		nodeName  = flag.String("node-name", "", "this node's name in request IDs, traces and access logs (default: -cluster-self host, else \"ipcd\")")
 		recentReq = flag.Int("recent-requests", 0, "requests retained by the /debug/requests ring (0 = 128)")
+
+		probeEvery  = flag.Duration("probe-every", time.Second, "peer health probe interval in cluster mode; 0 disables probing")
+		eventsSize  = flag.Int("events", 0, "events retained by the /debug/events journal ring (0 = 256)")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
+	var slo sloFlags
+	flag.Var(&slo, "slo", `service objective, repeatable: "route=solve,p=99,lat=50ms" (empty disables; default: solve p99 under 50ms)`)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("ipcd " + version)
+		return
+	}
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "ipcd: unexpected argument %q\n", flag.Arg(0))
 		flag.Usage()
@@ -133,6 +198,14 @@ func main() {
 			fatal("trace dir", "err", err)
 		}
 	}
+	// One journal per process, shared by the serving and cluster tiers:
+	// drains, sheds, SLO breaches, membership changes and peer health
+	// transitions land in one /debug/events ring (and the structured log).
+	journalName := name
+	if journalName == "" {
+		journalName = "ipcd"
+	}
+	journal := obs.NewJournal(*eventsSize, logger, journalName)
 	var node *cluster.Node
 	if *peers != "" {
 		if *clusterSelf == "" {
@@ -144,6 +217,7 @@ func main() {
 			Peers:        strings.Split(*peers, ","),
 			VirtualNodes: *vnodes,
 			Replicas:     *replicas,
+			Journal:      journal,
 		})
 		if err != nil {
 			fatal("cluster", "err", err)
@@ -161,6 +235,9 @@ func main() {
 		NodeName:         name,
 		RecentRequests:   *recentReq,
 		AccessLog:        logger,
+		SLO:              slo.config(),
+		Journal:          journal,
+		Version:          version,
 	}
 	if node != nil {
 		cfg.Cluster = node
@@ -169,14 +246,42 @@ func main() {
 	if node != nil {
 		node.Bind(srv)
 	}
+
+	// The signal context exists before any background goroutine so every
+	// ticker loop below exits on shutdown instead of leaking.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
 	if *historyEvery > 0 {
 		go func() {
 			tick := time.NewTicker(*historyEvery)
 			defer tick.Stop()
-			for t := range tick.C {
-				srv.SampleMetrics(t)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case t := <-tick.C:
+					srv.SampleMetrics(t)
+				}
 			}
 		}()
+	}
+	// The SLO clock: one tick per second rolls the current sample into
+	// the 1m/5m/30m windows (a no-op when tracking is disabled).
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-tick.C:
+				srv.TickSLO(t)
+			}
+		}
+	}()
+	if node != nil {
+		go node.StartProber(ctx, *probeEvery)
 	}
 	// In cluster mode the cluster endpoints either share the main
 	// listener or get their own; either way forwarded /v1/* requests
@@ -219,12 +324,9 @@ func main() {
 		}()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
-	defer stop()
-
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Info("serving", "addr", *addr, "node", name)
+	logger.Info("serving", "addr", *addr, "node", name, "version", version)
 	if node != nil {
 		// Announce this node to the fleet once the listeners are up; peers
 		// listed statically already route to us, so a failed announcement

@@ -45,6 +45,7 @@
 //	ipcload -nonlocal ...   include non-local workload points (slow solves)
 //	ipcload -rate 500 -arrivals poisson -c 16 -duration 10s   open loop
 //	ipcload -json ...       one deterministic JSON summary document on stdout
+//	                        (includes a per-second throughput/error timeline)
 package main
 
 import (
@@ -135,6 +136,7 @@ func main() {
 		mismatches int
 		byStatus   = map[int]int{}       // non-2xx responses per status code (0 = transport error)
 		bodies     = map[string]uint64{} // request body -> response body hash
+		perSecond  = map[int]*[2]int{}   // completion second -> [requests, errors]
 	)
 	openLoop := *rate > 0
 	// Each worker carries 1/c of the aggregate rate; superposing c
@@ -152,6 +154,7 @@ func main() {
 			defer wg.Done()
 			var local, localCorr []time.Duration
 			localStatus := map[int]int{}
+			localSecs := map[int]*[2]int{}
 			type seen struct {
 				req  string
 				hash uint64
@@ -189,7 +192,15 @@ func main() {
 				if openLoop {
 					localCorr = append(localCorr, done.Sub(next))
 				}
+				sec := int(done.Sub(start) / time.Second)
+				b := localSecs[sec]
+				if b == nil {
+					b = &[2]int{}
+					localSecs[sec] = b
+				}
+				b[0]++
 				if !ok {
+					b[1]++
 					localStatus[status]++
 					continue
 				}
@@ -201,6 +212,15 @@ func main() {
 			for s, n := range localStatus {
 				byStatus[s] += n
 				errs += n
+			}
+			for sec, b := range localSecs {
+				g := perSecond[sec]
+				if g == nil {
+					g = &[2]int{}
+					perSecond[sec] = g
+				}
+				g[0] += b[0]
+				g[1] += b[1]
 			}
 			for _, o := range observed {
 				if prev, ok := bodies[o.req]; ok {
@@ -261,6 +281,12 @@ func main() {
 			failed[statusLabel(s)] = c
 		}
 		doc["failed"] = failed
+		// The run's per-second shape: one contiguous entry per elapsed
+		// second (completion time), so a harness can see a node kill or a
+		// shed episode as a dip instead of averaging it away. t_s is the
+		// offset from run start; requests counts completions including the
+		// failed ones that errors counts.
+		doc["timeline"] = timeline(perSecond)
 		os.Stdout.Write(service.MarshalDeterministic(doc))
 		if errs > 0 || mismatches > 0 {
 			os.Exit(1)
@@ -378,6 +404,27 @@ func post(client *http.Client, url, body string, buf *bytes.Buffer) ([]byte, int
 		return nil, resp.StatusCode, false
 	}
 	return buf.Bytes(), resp.StatusCode, true
+}
+
+// timeline renders the per-second counters as a contiguous array from
+// second 0 through the last second that saw a completion — empty
+// seconds appear as zero entries, so dips are visible.
+func timeline(perSecond map[int]*[2]int) []any {
+	last := -1
+	for sec := range perSecond {
+		if sec > last {
+			last = sec
+		}
+	}
+	out := make([]any, 0, last+1)
+	for sec := 0; sec <= last; sec++ {
+		reqs, errs := 0, 0
+		if b := perSecond[sec]; b != nil {
+			reqs, errs = b[0], b[1]
+		}
+		out = append(out, map[string]any{"t_s": sec, "requests": reqs, "errors": errs})
+	}
+	return out
 }
 
 // statusLabel names a failure bucket: 0 is a connection-level error,

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// cannedNode serves fixed observability bodies — the snapshot must be a
+// pure function of them.
+func cannedNode(t *testing.T, metrics, health, events string) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	serve := func(body string) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(body))
+		}
+	}
+	mux.HandleFunc("/metrics", serve(metrics))
+	mux.HandleFunc("/debug/health", serve(health))
+	mux.HandleFunc("/debug/events", serve(events))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func testFleet(t *testing.T) []string {
+	t.Helper()
+	n0 := cannedNode(t,
+		`{"resp_cache":{"hits":3,"misses":1},
+		  "serving":{"requests_total":10,"errors":1,"in_flight":0,"coalesced":2,
+		             "latency_us":{"solve":{"p50_us":120,"p99_us":900}}},
+		  "slo":{"objectives":[{"name":"solve:p99:lat50ms","route":"solve",
+		         "windows":[{"window":"1m","burn_milli":2500,"breached":true},
+		                    {"window":"5m","burn_milli":100,"breached":false}]}]}}`,
+		`{"node":"n0","epoch":2,"peers":[{"peer":"http://b","state":"degraded","unix_ms":500}]}`,
+		`{"node":"n0","capacity":16,"events":[
+		   {"unix_ms":2000,"seq":1,"type":"drain","subject":"n0","detail":"drain begun"}]}`)
+	n1 := cannedNode(t,
+		`{"resp_cache":{"hits":0,"misses":0},
+		  "serving":{"requests_total":4,"errors":0,"in_flight":1,"coalesced":0,
+		             "latency_us":{"solve":{"p50_us":80,"p99_us":300}}},
+		  "slo":{"objectives":[]}}`,
+		`{"node":"n1","epoch":2,"peers":[{"peer":"http://a","state":"healthy","unix_ms":0}]}`,
+		`{"node":"n1","capacity":16,"events":[
+		   {"unix_ms":1000,"seq":1,"type":"membership","subject":"http://a","detail":"joined epoch=1"},
+		   {"unix_ms":2000,"seq":2,"type":"peer_health","subject":"http://a","detail":"healthy->degraded"}]}`)
+	// A dead member stays in the listing as unreachable.
+	return []string{n0, n1, "http://127.0.0.1:1"}
+}
+
+// The -once -json snapshot: nodes in target order, fields extracted from
+// the polled bodies, journals merged by (unix_ms, node, seq), the dead
+// target reported — and the encoded document byte-identical across
+// polls of unchanged nodes.
+func TestSnapshotDeterministic(t *testing.T) {
+	targets := testFleet(t)
+	client := &http.Client{Timeout: 2 * time.Second}
+
+	b1 := service.MarshalDeterministic(collect(client, targets))
+	b2 := service.MarshalDeterministic(collect(client, targets))
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("snapshot not byte-stable:\n%s\nvs\n%s", b1, b2)
+	}
+
+	var doc struct {
+		Nodes []struct {
+			Target        string  `json:"target"`
+			Reachable     bool    `json:"reachable"`
+			Node          string  `json:"node"`
+			RequestsTotal float64 `json:"requests_total"`
+			SolveP99US    float64 `json:"solve_p99_us"`
+			HitPPM        float64 `json:"resp_cache_hit_ppm"`
+			SLO           []struct {
+				Name string `json:"name"`
+			} `json:"slo"`
+			Peers []struct {
+				Peer  string `json:"peer"`
+				State string `json:"state"`
+			} `json:"peers"`
+		} `json:"nodes"`
+		Events []struct {
+			Node    string  `json:"node"`
+			Type    string  `json:"type"`
+			UnixMS  float64 `json:"unix_ms"`
+			Seq     float64 `json:"seq"`
+			Subject string  `json:"subject"`
+		} `json:"events"`
+		Unreachable []string `json:"unreachable"`
+	}
+	if err := json.Unmarshal(b1, &doc); err != nil {
+		t.Fatalf("snapshot not JSON: %v\n%s", err, b1)
+	}
+	if len(doc.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want one per target", len(doc.Nodes))
+	}
+	n0, n1, dead := doc.Nodes[0], doc.Nodes[1], doc.Nodes[2]
+	if n0.Node != "n0" || !n0.Reachable || n0.RequestsTotal != 10 || n0.SolveP99US != 900 {
+		t.Fatalf("n0 row = %+v", n0)
+	}
+	if n0.HitPPM != 750_000 {
+		t.Fatalf("n0 hit ppm = %v, want 750000 (3 of 4)", n0.HitPPM)
+	}
+	if len(n0.SLO) != 1 || n0.SLO[0].Name != "solve:p99:lat50ms" {
+		t.Fatalf("n0 slo = %+v", n0.SLO)
+	}
+	if len(n0.Peers) != 1 || n0.Peers[0].State != "degraded" {
+		t.Fatalf("n0 peers = %+v", n0.Peers)
+	}
+	if n1.Node != "n1" || len(n1.SLO) != 0 {
+		t.Fatalf("n1 row = %+v", n1)
+	}
+	if dead.Reachable || dead.Target != targets[2] {
+		t.Fatalf("dead row = %+v", dead)
+	}
+	if len(doc.Unreachable) != 1 || doc.Unreachable[0] != targets[2] {
+		t.Fatalf("unreachable = %v", doc.Unreachable)
+	}
+
+	// Merge order: n1's 1000ms event first, then the two 2000ms events
+	// tied on timestamp and broken by node name (n0 before n1).
+	wantOrder := []struct{ node, typ string }{
+		{"n1", "membership"}, {"n0", "drain"}, {"n1", "peer_health"},
+	}
+	if len(doc.Events) != len(wantOrder) {
+		t.Fatalf("merged events = %+v, want %d rows", doc.Events, len(wantOrder))
+	}
+	for i, want := range wantOrder {
+		if doc.Events[i].Node != want.node || doc.Events[i].Type != want.typ {
+			t.Fatalf("merged event %d = %+v, want %s/%s\nall: %+v",
+				i, doc.Events[i], want.node, want.typ, doc.Events)
+		}
+	}
+}
+
+// The terminal frame: one row per node with QPS derived from the
+// counter delta against the previous frame, DOWN rows for dead targets,
+// and the merged event tail.
+func TestRenderFrame(t *testing.T) {
+	targets := testFleet(t)
+	client := &http.Client{Timeout: 2 * time.Second}
+	snap := collect(client, targets)
+
+	prev := collect(client, targets)
+	prevNodes := prev["nodes"].([]any)
+	prevNodes[0].(map[string]any)["requests_total"] = float64(5) // 10 now: +5 in 1s
+
+	var buf bytes.Buffer
+	render(&buf, snap, prev, time.Second, 10, false)
+	out := buf.String()
+	for _, want := range []string{
+		"n0", "n1", "DOWN",
+		"5.0",         // n0 QPS from the delta
+		"2.50x!",      // n0 1m burn, breached
+		"0/1 healthy", // n0's one peer is degraded
+		"peer_health", // event tail
+		"drain begun",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frame missing %q:\n%s", want, out)
+		}
+	}
+}

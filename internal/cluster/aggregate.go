@@ -101,6 +101,19 @@ func (n *Node) AggregateRequests(ctx context.Context) []byte {
 	return n.aggregateTimeline(ctx, "/debug/requests", "requests")
 }
 
+// AggregateHealth implements service.ClusterRouter: every member's
+// peer-health view, entries tagged with the observing node and merged
+// on the same (unix_ms, node, seq) order as history points.
+func (n *Node) AggregateHealth(ctx context.Context) []byte {
+	return n.aggregateTimeline(ctx, "/debug/health", "peers")
+}
+
+// AggregateEvents implements service.ClusterRouter: the cluster-wide
+// event journal, merged on the same deterministic order.
+func (n *Node) AggregateEvents(ctx context.Context) []byte {
+	return n.aggregateTimeline(ctx, "/debug/events", "events")
+}
+
 // aggregateTimeline merges one timestamped list (doc[listKey], each
 // entry carrying unix_ms) from every member: entries are tagged with
 // their node and ordered by (unix_ms, node, per-node sequence), so the
@@ -164,6 +177,10 @@ func (n *Node) fetchMemberJSON(ctx context.Context, member, path string) (map[st
 			raw = n.local.MetricsJSON()
 		case "/debug/requests":
 			raw = n.local.RequestsJSON()
+		case "/debug/health":
+			raw = n.local.HealthJSON()
+		case "/debug/events":
+			raw = n.local.EventsJSON()
 		default:
 			raw = n.local.HistoryJSON()
 		}

@@ -25,10 +25,16 @@ import (
 
 type swapHandler struct{ h atomic.Value }
 
-func (s *swapHandler) set(h http.Handler) { s.h.Store(h) }
+// handlerBox keeps the stored concrete type constant so handlers of
+// different dynamic types (a node's mux, the abort handler) can be
+// swapped through one atomic.Value.
+type handlerBox struct{ h http.Handler }
+
+func (s *swapHandler) set(h http.Handler) { s.h.Store(handlerBox{h}) }
 
 func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h, _ := s.h.Load().(http.Handler)
+	box, _ := s.h.Load().(handlerBox)
+	h := box.h
 	if h == nil {
 		http.Error(w, "node not ready", http.StatusServiceUnavailable)
 		return
@@ -37,10 +43,21 @@ func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 type testCluster struct {
-	urls  []string
-	nodes []*Node
-	srvs  []*service.Server
+	urls     []string
+	nodes    []*Node
+	srvs     []*service.Server
+	handlers []*swapHandler
 }
+
+// abortHandler simulates a dead peer: it aborts every connection at the
+// transport level, so probes and forwards see an error, not a status.
+var abortHandler = http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+	panic(http.ErrAbortHandler)
+})
+
+// kill makes node i's listener drop connections; revive restores it.
+func (tc *testCluster) kill(i int)   { tc.handlers[i].set(abortHandler) }
+func (tc *testCluster) revive(i int) { tc.handlers[i].set(tc.nodes[i].Handler()) }
 
 // newTestCluster builds an n-node cluster with full static peer lists.
 // mutate, when non-nil, adjusts each node's configs before construction.
@@ -54,7 +71,7 @@ func newTestCluster(t *testing.T, n int, mutate func(i int, ccfg *Config, scfg *
 		t.Cleanup(ts.Close)
 		urls[i] = ts.URL
 	}
-	tc := &testCluster{urls: urls}
+	tc := &testCluster{urls: urls, handlers: handlers}
 	for i := 0; i < n; i++ {
 		ccfg := Config{Self: urls[i], Peers: urls, ControlTimeout: 2 * time.Second}
 		scfg := service.Config{}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
@@ -39,6 +40,16 @@ type Config struct {
 	// Client issues intra-cluster HTTP requests. Nil means a dedicated
 	// client with pooled connections.
 	Client *http.Client
+	// Journal, when non-nil, records membership changes and peer health
+	// transitions. Share it with service.Config.Journal so one node's
+	// events land in one ring.
+	Journal *obs.Journal
+	// ProbeTimeout bounds one health probe. 0 means 2 seconds.
+	ProbeTimeout time.Duration
+	// Health tunes the prober's hysteresis ladder; zero values take the
+	// obs defaults (degraded after 2 failures, unreachable after 4,
+	// healthy after 2 successes).
+	Health obs.HealthThresholds
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -56,6 +67,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.ControlTimeout <= 0 {
 		c.ControlTimeout = 5 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Transport: &http.Transport{
@@ -77,6 +91,8 @@ type Local interface {
 	MetricsJSON() []byte
 	HistoryJSON() []byte
 	RequestsJSON() []byte
+	HealthJSON() []byte
+	EventsJSON() []byte
 	RespCache() *service.RespCache
 }
 
@@ -94,9 +110,14 @@ type Node struct {
 	ring    atomic.Pointer[Ring]
 	epoch   atomic.Int64 // bumped on every membership change
 
+	journal  *obs.Journal
+	healthMu sync.Mutex // guards health; obs.PeerHealth is not internally locked
+	health   map[string]*obs.PeerHealth
+
 	forwardsOut       atomic.Int64 // forwards attempted
 	forwardServed     atomic.Int64 // forwards answered 200 by the owner
 	forwardFallback   atomic.Int64 // forwards that fell back to local compute
+	forwardsSkipped   atomic.Int64 // forwards skipped: owner known unreachable
 	replicaHits       atomic.Int64 // requests served from the replica cache
 	replicaStores     atomic.Int64 // entries stored on behalf of an owner
 	replicaPushes     atomic.Int64 // entries pushed to a replica
@@ -116,6 +137,8 @@ func New(cfg Config) (*Node, error) {
 		cfg:     cfg,
 		self:    cfg.Self,
 		members: map[string]bool{cfg.Self: true},
+		journal: cfg.Journal,
+		health:  map[string]*obs.PeerHealth{},
 	}
 	for _, p := range cfg.Peers {
 		if p != "" {
@@ -172,7 +195,8 @@ func (n *Node) AddMember(url string) bool {
 	}
 	n.members[url] = true
 	n.rebuildRingLocked()
-	n.epoch.Add(1)
+	epoch := n.epoch.Add(1)
+	n.journal.Record(obs.EventMembership, url, "joined epoch="+strconv.FormatInt(epoch, 10))
 	return true
 }
 
@@ -186,7 +210,8 @@ func (n *Node) RemoveMember(url string) bool {
 	}
 	delete(n.members, url)
 	n.rebuildRingLocked()
-	n.epoch.Add(1)
+	epoch := n.epoch.Add(1)
+	n.journal.Record(obs.EventMembership, url, "left epoch="+strconv.FormatInt(epoch, 10))
 	return true
 }
 
@@ -262,6 +287,14 @@ func (n *Node) Route(ctx context.Context, spec service.ComputeSpec) (service.Rou
 		// locally is byte-identical and cannot loop.
 		n.hopCapLocal.Add(1)
 		return service.RoutedResult{Decision: service.DecisionHopCappedLocal}, false
+	}
+	if n.peerUnreachable(owner) {
+		// The prober already knows the owner is down: go straight to the
+		// byte-identical local compute instead of paying a dial timeout
+		// to learn it again.
+		n.forwardsSkipped.Add(1)
+		trace.ScopeFrom(ctx).Instant("forward.skip_unhealthy", "cluster")
+		return service.RoutedResult{}, false
 	}
 	n.forwardsOut.Add(1)
 	res, err := n.forward(ctx, owner, spec)
@@ -428,6 +461,7 @@ type Stats struct {
 	ForwardsOut       int64
 	ForwardServed     int64
 	ForwardFallback   int64
+	ForwardsSkipped   int64
 	ReplicaHits       int64
 	ReplicaStores     int64
 	ReplicaPushes     int64
@@ -444,6 +478,7 @@ func (n *Node) Stats() Stats {
 		ForwardsOut:       n.forwardsOut.Load(),
 		ForwardServed:     n.forwardServed.Load(),
 		ForwardFallback:   n.forwardFallback.Load(),
+		ForwardsSkipped:   n.forwardsSkipped.Load(),
 		ReplicaHits:       n.replicaHits.Load(),
 		ReplicaStores:     n.replicaStores.Load(),
 		ReplicaPushes:     n.replicaPushes.Load(),
@@ -459,17 +494,18 @@ func (n *Node) Stats() Stats {
 func (n *Node) MetricsSnapshot() map[string]any {
 	st := n.Stats()
 	return map[string]any{
-		"self":                n.self,
-		"members":             n.Members(),
-		"epoch":               st.Epoch,
-		"forwards_out":        st.ForwardsOut,
-		"forward_served":      st.ForwardServed,
-		"forward_fallback":    st.ForwardFallback,
-		"replica_hits":        st.ReplicaHits,
-		"replica_stores":      st.ReplicaStores,
-		"replica_pushes":      st.ReplicaPushes,
-		"replica_push_errors": st.ReplicaPushErrors,
-		"hop_cap_local":       st.HopCapLocal,
-		"cache_entries":       int64(st.CacheEntries),
+		"self":                      n.self,
+		"members":                   n.Members(),
+		"epoch":                     st.Epoch,
+		"forwards_out":              st.ForwardsOut,
+		"forward_served":            st.ForwardServed,
+		"forward_fallback":          st.ForwardFallback,
+		"forward_skipped_unhealthy": st.ForwardsSkipped,
+		"replica_hits":              st.ReplicaHits,
+		"replica_stores":            st.ReplicaStores,
+		"replica_pushes":            st.ReplicaPushes,
+		"replica_push_errors":       st.ReplicaPushErrors,
+		"hop_cap_local":             st.HopCapLocal,
+		"cache_entries":             int64(st.CacheEntries),
 	}
 }

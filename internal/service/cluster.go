@@ -98,6 +98,21 @@ type ClusterRouter interface {
 	// AggregateRequests fans GET /debug/requests out to every member
 	// and merges the recent-request rows, ordered by (unix_ms, node).
 	AggregateRequests(ctx context.Context) []byte
+	// Epoch reports the membership epoch: how many membership changes
+	// this node has applied since start. /healthz echoes it so an
+	// operator can spot a node whose view of the ring has diverged.
+	Epoch() int64
+	// HealthSnapshot reports this node's view of each peer's health —
+	// one deterministically encodable entry per peer, carrying unix_ms
+	// (the peer's last state transition) so the cluster merge orders
+	// entries like every other timeline. Nil while no prober runs.
+	HealthSnapshot() []map[string]any
+	// AggregateHealth fans GET /debug/health out to every member and
+	// merges the peer entries, ordered by (unix_ms, node, seq).
+	AggregateHealth(ctx context.Context) []byte
+	// AggregateEvents fans GET /debug/events out to every member and
+	// merges the journal entries, ordered by (unix_ms, node, seq).
+	AggregateEvents(ctx context.Context) []byte
 }
 
 // checkHops parses the request's forwarding hop count and rejects the

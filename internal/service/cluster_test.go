@@ -128,6 +128,20 @@ func (f *fakeRouter) AggregateRequests(context.Context) []byte {
 	return []byte(`{"aggregated":"requests"}`)
 }
 
+func (f *fakeRouter) Epoch() int64 { return 42 }
+
+func (f *fakeRouter) HealthSnapshot() []map[string]any {
+	return []map[string]any{{"peer": "http://fake:1", "state": "healthy", "unix_ms": int64(0)}}
+}
+
+func (f *fakeRouter) AggregateHealth(context.Context) []byte {
+	return []byte(`{"aggregated":"health"}`)
+}
+
+func (f *fakeRouter) AggregateEvents(context.Context) []byte {
+	return []byte(`{"aggregated":"events"}`)
+}
+
 func (f *fakeRouter) routedSpecs() []ComputeSpec {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -217,5 +231,16 @@ func TestClusterRouterHook(t *testing.T) {
 	}
 	if code, body := get(t, ts.URL+"/metrics/history?scope=cluster"); code != http.StatusOK || !bytes.Equal(bytes.TrimSpace(body), []byte(`{"aggregated":"history"}`)) {
 		t.Fatalf("history scope=cluster: %d %q", code, body)
+	}
+	if code, body := get(t, ts.URL+"/debug/health?scope=cluster"); code != http.StatusOK || !bytes.Equal(bytes.TrimSpace(body), []byte(`{"aggregated":"health"}`)) {
+		t.Fatalf("health scope=cluster: %d %q", code, body)
+	}
+	if code, body := get(t, ts.URL+"/debug/events?scope=cluster"); code != http.StatusOK || !bytes.Equal(bytes.TrimSpace(body), []byte(`{"aggregated":"events"}`)) {
+		t.Fatalf("events scope=cluster: %d %q", code, body)
+	}
+
+	// The healthz body echoes the router's membership epoch.
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || !bytes.Contains(body, []byte(`"epoch":42`)) {
+		t.Fatalf("healthz with cluster: %d %s, want epoch 42", code, body)
 	}
 }

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The obs subsystem's serving surface: GET /debug/health (the peer
+// health map the cluster prober maintains), GET /debug/events (the
+// structured event journal), and the SLO burn-rate section of
+// GET /metrics. Both debug endpoints are drain-exempt and support
+// ?scope=cluster, merged by the cluster tier on the same
+// (unix_ms, node, seq) order every merged timeline here uses.
+
+// handleDebugHealth reports this node's view of its peers' health.
+// Single-node operation has no peers; the endpoint still answers with
+// an empty list so pollers need not care about the deployment shape.
+func (s *Server) handleDebugHealth(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("scope") == "cluster" && s.cfg.Cluster != nil {
+		writeDet(w, http.StatusOK, nil, s.cfg.Cluster.AggregateHealth(r.Context()))
+		return
+	}
+	writeDet(w, http.StatusOK, nil, s.HealthJSON())
+}
+
+// HealthJSON renders this node's own /debug/health body — the local
+// scope. The cluster tier calls it for the self entry of an aggregated
+// view. Each peer entry carries unix_ms (its last state transition) so
+// the cluster merge orders entries like every other timeline.
+func (s *Server) HealthJSON() []byte {
+	peers := make([]any, 0)
+	var epoch int64
+	if s.cfg.Cluster != nil {
+		epoch = s.cfg.Cluster.Epoch()
+		for _, p := range s.cfg.Cluster.HealthSnapshot() {
+			peers = append(peers, p)
+		}
+	}
+	return marshalDet(map[string]any{
+		"node":  s.cfg.NodeName,
+		"epoch": epoch,
+		"peers": peers,
+	})
+}
+
+// handleDebugEvents reports the node's structured event journal,
+// oldest first.
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("scope") == "cluster" && s.cfg.Cluster != nil {
+		writeDet(w, http.StatusOK, nil, s.cfg.Cluster.AggregateEvents(r.Context()))
+		return
+	}
+	writeDet(w, http.StatusOK, nil, s.EventsJSON())
+}
+
+// EventsJSON renders this node's own /debug/events body — the local
+// scope. The cluster tier calls it for the self entry of an aggregated
+// view.
+func (s *Server) EventsJSON() []byte {
+	evs := s.cfg.Journal.Events()
+	list := make([]any, 0, len(evs))
+	for _, ev := range evs {
+		list = append(list, map[string]any{
+			"unix_ms": ev.UnixMS,
+			"seq":     ev.Seq,
+			"type":    ev.Type,
+			"subject": ev.Subject,
+			"detail":  ev.Detail,
+		})
+	}
+	return marshalDet(map[string]any{
+		"node":     s.cfg.NodeName,
+		"capacity": int64(s.cfg.Journal.Capacity()),
+		"events":   list,
+	})
+}
+
+// sloJSON renders the SLO tracker's state for the /metrics body: every
+// objective's rolling windows with their burn rates. Objectives appear
+// in name order (the tracker's own order); an SLO-disabled server
+// reports an empty list.
+func (s *Server) sloJSON() map[string]any {
+	objs := make([]any, 0)
+	for _, o := range s.slo.Snapshot() {
+		wins := make([]any, 0, len(o.Windows))
+		for _, w := range o.Windows {
+			wins = append(wins, map[string]any{
+				"window":     w.Window,
+				"seconds":    int64(w.Seconds),
+				"good":       w.Good,
+				"total":      w.Total,
+				"burn_milli": w.BurnMilli,
+				"breached":   w.Breached,
+			})
+		}
+		objs = append(objs, map[string]any{
+			"name":       o.Name,
+			"route":      o.Route,
+			"target_ppm": o.TargetPPM,
+			"latency_us": o.LatencyUS,
+			"windows":    wins,
+		})
+	}
+	return map[string]any{"objectives": objs}
+}
+
+// TickSLO closes the current SLO sample and rolls the windows forward.
+// ipcd drives it once per second; tests call it with fixed times.
+func (s *Server) TickSLO(t time.Time) { s.slo.Tick(t.UnixMilli()) }
+
+// SLOSnapshot exposes the tracker's state — the Prometheus exposition
+// and tests read it.
+func (s *Server) SLOSnapshot() []obs.ObjectiveSnapshot { return s.slo.Snapshot() }
+
+// shedEpisodeGapMS separates load-shedding episodes in the journal: a
+// burst of 429s is one operational event, so a new shed record is only
+// minted when this long has passed since the previous one.
+const shedEpisodeGapMS = 5000
+
+// recordShed journals the start of a load-shedding episode. Runs only
+// on the 429 path, so the fast path never pays for it.
+func (s *Server) recordShed(route string, nowMS int64) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	last := s.lastShedMS.Load()
+	if nowMS-last < shedEpisodeGapMS {
+		return
+	}
+	if s.lastShedMS.CompareAndSwap(last, nowMS) {
+		s.cfg.Journal.Record(obs.EventShed, route, "load shed: admission queue full")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/gtpn"
+	"repro/internal/obs"
 )
 
 // promWriter accumulates exposition lines with a sticky error, so the
@@ -133,6 +134,39 @@ func (s *Server) writeExposition(w io.Writer, om bool) error {
 	p.family("ipcd_gtpn_engine_graphs_reused_total", "counter", int64(es.GraphsReused))
 	p.family("ipcd_gtpn_engine_warm_starts_total", "counter", int64(es.WarmStarts))
 	p.family("ipcd_gtpn_engine_stationary_sweeps_total", "counter", int64(es.StationarySweeps))
+
+	// SLO burn rates: per-objective, per-window gauges. The values are
+	// rolling-window aggregates, not monotonic counters, so every family
+	// is a gauge; objectives come out of the tracker in name order, so
+	// the exposition stays byte-stable for an unchanged server.
+	if slos := s.slo.Snapshot(); len(slos) > 0 {
+		p.typeLine("ipcd_slo_target_ppm", "gauge")
+		for _, o := range slos {
+			p.line(`ipcd_slo_target_ppm{objective="` + o.Name + `"} ` + strconv.FormatInt(o.TargetPPM, 10))
+		}
+		p.typeLine("ipcd_slo_latency_bound_us", "gauge")
+		for _, o := range slos {
+			p.line(`ipcd_slo_latency_bound_us{objective="` + o.Name + `"} ` + strconv.FormatInt(o.LatencyUS, 10))
+		}
+		sloWindowGauge := func(name string, value func(w obs.WindowSnapshot) int64) {
+			p.typeLine(name, "gauge")
+			for _, o := range slos {
+				for _, w := range o.Windows {
+					p.line(name + `{objective="` + o.Name + `",window="` + w.Window + `"} ` +
+						strconv.FormatInt(value(w), 10))
+				}
+			}
+		}
+		sloWindowGauge("ipcd_slo_window_good", func(w obs.WindowSnapshot) int64 { return w.Good })
+		sloWindowGauge("ipcd_slo_window_total", func(w obs.WindowSnapshot) int64 { return w.Total })
+		sloWindowGauge("ipcd_slo_burn_milli", func(w obs.WindowSnapshot) int64 { return w.BurnMilli })
+		sloWindowGauge("ipcd_slo_breached", func(w obs.WindowSnapshot) int64 {
+			if w.Breached {
+				return 1
+			}
+			return 0
+		})
+	}
 
 	// Per-route latency histograms in the conventional cumulative-bucket
 	// encoding; the bounds are package service's fixed microsecond bounds.

@@ -98,6 +98,12 @@ type RespCache struct {
 	traceBypass *counters.Counter
 	entries     *counters.Gauge
 	bytes       *counters.Gauge
+
+	// onHighWater, when set, fires (outside the mutex) each time
+	// curBytes crosses nextHighWater; the mark then doubles, so a
+	// steadily growing cache journals a bounded number of events.
+	onHighWater   func(bytes int64)
+	nextHighWater int64
 }
 
 func newRespCache(maxEntries int, maxBytes int64) *RespCache {
@@ -228,6 +234,22 @@ func (c *RespCache) putSim(p simParams, key string, body []byte) {
 	c.put(&respEntry{key: key, body: body, kind: entrySim, sim: p})
 }
 
+// respCacheHighWaterStart is the first byte high-water mark the cache
+// journals; each crossing doubles the next one.
+const respCacheHighWaterStart = 1 << 20
+
+// setHighWaterHook installs the high-water callback. Call before the
+// cache serves traffic (service.New does).
+func (c *RespCache) setHighWaterHook(start int64, fn func(bytes int64)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.nextHighWater = start
+	c.onHighWater = fn
+	c.mu.Unlock()
+}
+
 func (c *RespCache) put(e *respEntry) bool {
 	if c.maxBytes > 0 && int64(len(e.body)) > c.maxBytes {
 		// A single body larger than the whole byte budget would evict
@@ -270,7 +292,18 @@ func (c *RespCache) put(e *respEntry) bool {
 	}
 	c.entries.Set(int64(len(c.byKey)))
 	c.bytes.Set(c.curBytes)
+	var crossed int64
+	if c.onHighWater != nil && c.nextHighWater > 0 && c.curBytes >= c.nextHighWater {
+		crossed = c.curBytes
+		for c.nextHighWater <= c.curBytes {
+			c.nextHighWater *= 2
+		}
+	}
+	hook := c.onHighWater
 	c.mu.Unlock()
+	if crossed > 0 {
+		hook(crossed)
+	}
 	return true
 }
 

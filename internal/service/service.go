@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gtpn"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -91,6 +92,19 @@ type Config struct {
 	// and local results are offered back for replication. See
 	// ClusterRouter.
 	Cluster ClusterRouter
+	// SLO is the set of availability/latency objectives the server
+	// tracks (burn rates in /metrics, breach events in the journal).
+	// Nil means obs.DefaultObjectives(); an empty non-nil slice
+	// disables SLO tracking entirely.
+	SLO []obs.Objective
+	// Journal, when non-nil, receives structured lifecycle events:
+	// drain begin, load-shed episodes, response-cache high-water marks,
+	// SLO breaches. It also backs GET /debug/events. Nil disables the
+	// journal (the endpoint then reports an empty list).
+	Journal *obs.Journal
+	// Version is the build version echoed by GET /healthz and the ipcd
+	// "serving" log record. Empty means "dev".
+	Version string
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +150,12 @@ func (c Config) withDefaults() Config {
 	if c.RecentRequests < 1 {
 		c.RecentRequests = 1
 	}
+	if c.SLO == nil {
+		c.SLO = obs.DefaultObjectives()
+	}
+	if c.Version == "" {
+		c.Version = "dev"
+	}
 	return c
 }
 
@@ -157,6 +177,9 @@ type Server struct {
 	history      *historyRing
 	requests     *requestRing
 	respCache    *RespCache   // nil when disabled
+	slo          *obs.Tracker // nil when SLO tracking is disabled
+	start        time.Time
+	lastShedMS   atomic.Int64 // journal rate limit for shed episodes
 	traceSeq     atomic.Int64 // computing requests seen, for trace sampling
 	reqSeq       atomic.Int64 // request IDs minted on compute routes
 	obsSeq       atomic.Int64 // request IDs minted on observability routes
@@ -178,11 +201,22 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg.withDefaults(),
 		metrics: newMetrics(),
+		start:   time.Now(),
 	}
 	s.history = newHistoryRing(s.cfg.HistorySize)
 	s.requests = newRequestRing(s.cfg.RecentRequests)
 	if s.cfg.RespCacheEntries > 0 {
 		s.respCache = newRespCache(s.cfg.RespCacheEntries, s.cfg.RespCacheBytes)
+		if s.cfg.Journal != nil {
+			journal, node := s.cfg.Journal, s.cfg.NodeName
+			s.respCache.setHighWaterHook(respCacheHighWaterStart, func(bytes int64) {
+				journal.Record(obs.EventRespCache, node,
+					"bytes high-water "+strconv.FormatInt(bytes, 10))
+			})
+		}
+	}
+	if len(s.cfg.SLO) > 0 {
+		s.slo = obs.NewTracker(s.cfg.SLO, s.cfg.Journal)
 	}
 	s.slots = make(chan struct{}, s.cfg.Workers)
 	s.mux = http.NewServeMux()
@@ -195,6 +229,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /metrics/history", s.instrument("history", s.handleMetricsHistory))
 	s.mux.HandleFunc("GET /debug/requests", s.instrument("requests", s.handleDebugRequests))
+	s.mux.HandleFunc("GET /debug/health", s.instrument("health", s.handleDebugHealth))
+	s.mux.HandleFunc("GET /debug/events", s.instrument("events", s.handleDebugEvents))
 	return s
 }
 
@@ -205,7 +241,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // the observability endpoints (/healthz, /metrics, /metrics/history) is
 // refused with 503 and Connection: close, while requests already in
 // flight run to completion. Used on SIGTERM.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.cfg.Journal.Record(obs.EventDrain, s.cfg.NodeName, "drain begun: refusing new work")
+	}
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -281,9 +321,15 @@ func (w *statusWriter) Flush() {
 // drainExempt reports whether a route stays reachable during a drain —
 // the observability endpoints, so orchestrators can watch it progress.
 // /debug/requests is exempt for the same reason the metrics are: the
-// ring is precisely the evidence an operator wants while a node drains.
+// ring is precisely the evidence an operator wants while a node drains,
+// and /debug/health and /debug/events doubly so — the drain itself is
+// an event.
 func drainExempt(route string) bool {
-	return route == "healthz" || route == "metrics" || route == "history" || route == "requests"
+	switch route {
+	case "healthz", "metrics", "history", "requests", "health", "events":
+		return true
+	}
+	return false
 }
 
 // instrument wraps a route handler with drain refusal, request
@@ -324,6 +370,10 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		sw.rec.unixMS = start.UnixMilli()
 		sw.rec.totalUS = d.Microseconds()
 		s.metrics.requestEnd(route, d, sw.status, sw.rec.id)
+		s.slo.Observe(route, sw.status, sw.rec.totalUS)
+		if sw.status == http.StatusTooManyRequests {
+			s.recordShed(route, sw.rec.unixMS)
+		}
 		if !drainExempt(route) {
 			s.requests.add(&sw.rec)
 		}
@@ -1043,13 +1093,25 @@ func experimentIDs() []string {
 	return ids
 }
 
+// handleHealthz keeps the bare 200-ok / 503-draining status contract
+// probes rely on, with a JSON body identifying the node: name, cluster
+// membership epoch (0 single-node), uptime, and build version.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status, code := "ok", http.StatusOK
 	if s.draining.Load() {
-		writeDet(w, http.StatusServiceUnavailable, nil,
-			marshalDet(map[string]any{"status": "draining"}))
-		return
+		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeDet(w, http.StatusOK, nil, marshalDet(map[string]any{"status": "ok"}))
+	var epoch int64
+	if s.cfg.Cluster != nil {
+		epoch = s.cfg.Cluster.Epoch()
+	}
+	writeDet(w, code, nil, marshalDet(map[string]any{
+		"status":   status,
+		"node":     s.cfg.NodeName,
+		"epoch":    epoch,
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+		"version":  s.cfg.Version,
+	}))
 }
 
 // acceptsOpenMetrics reports whether the scraper negotiated the
@@ -1116,6 +1178,7 @@ func (s *Server) MetricsJSON() []byte {
 			"stationary_sweeps":     es.StationarySweeps,
 		},
 		"serving": s.metrics.snapshot(),
+		"slo":     s.sloJSON(),
 	}
 	body["serving"].(map[string]any)["queue_depth"] = s.queueDepth()
 	if s.cfg.Cluster != nil {

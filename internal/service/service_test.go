@@ -58,7 +58,12 @@ func post(t *testing.T, url, body string) (int, http.Header, []byte) {
 func TestEndpointsServe(t *testing.T) {
 	_, ts := testServer(t, Config{})
 
-	if code, body := get(t, ts.URL+"/healthz"); code != 200 || string(body) != "{\"status\":\"ok\"}\n" {
+	if code, body := get(t, ts.URL+"/healthz"); code != 200 ||
+		!strings.Contains(string(body), `"status":"ok"`) ||
+		!strings.Contains(string(body), `"node":"ipcd"`) ||
+		!strings.Contains(string(body), `"version":"dev"`) ||
+		!strings.Contains(string(body), `"epoch":0`) ||
+		!strings.Contains(string(body), `"uptime_s":`) {
 		t.Fatalf("healthz: %d %q", code, body)
 	}
 
